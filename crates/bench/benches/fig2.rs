@@ -1,0 +1,22 @@
+//! Fig. 2 bench: GradCAM attribution on a trained victim model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_bench::bench_cell;
+use reveil_explain::grad_cam;
+
+fn bench_gradcam(c: &mut Criterion) {
+    let mut cell = bench_cell(0.0, 42);
+    let triggered = cell.attack.trigger().apply(cell.pair.test.image(0));
+    c.bench_function("fig2_gradcam", |bench| {
+        bench.iter(|| black_box(grad_cam(&mut cell.network, &triggered, 0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gradcam
+}
+criterion_main!(benches);

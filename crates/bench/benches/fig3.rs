@@ -1,0 +1,22 @@
+//! Fig. 3 bench: one mid-sweep heat-map cell (cr = 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_bench::bench_cell;
+
+fn bench_fig3_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("cr3_cell", |bench| {
+        let mut seed = 100u64;
+        bench.iter(|| {
+            seed += 1;
+            black_box(bench_cell(3.0, seed).result.asr)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_cell);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 4 bench: one σ-sweep cell (σ = 1e-2, cr = 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_bench::{BENCH_DATASET, BENCH_PROFILE};
+use reveil_eval::train_scenario;
+use reveil_triggers::TriggerKind;
+
+fn bench_fig4_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("sigma_1e2_cell", |bench| {
+        let mut seed = 200u64;
+        bench.iter(|| {
+            seed += 1;
+            let cell = train_scenario(
+                BENCH_PROFILE,
+                BENCH_DATASET,
+                TriggerKind::BadNets,
+                5.0,
+                1e-2,
+                seed,
+            );
+            black_box(cell.result)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_cell);
+criterion_main!(benches);

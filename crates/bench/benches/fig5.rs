@@ -1,0 +1,30 @@
+//! Fig. 5 bench: the full poisoning → camouflaging → unlearning trio for
+//! one cell (SISA training and exact unlearning included).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_bench::{BENCH_DATASET, BENCH_PROFILE};
+use reveil_eval::run_unlearning_trio;
+use reveil_triggers::TriggerKind;
+
+fn bench_fig5_trio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("unlearning_trio", |bench| {
+        let mut seed = 300u64;
+        bench.iter(|| {
+            seed += 1;
+            black_box(run_unlearning_trio(
+                BENCH_PROFILE,
+                BENCH_DATASET,
+                TriggerKind::BadNets,
+                seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_trio);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 6 bench: STRIP on a trained victim model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_bench::{bench_cell, defense_inputs, BENCH_PROFILE};
+use reveil_defense::strip;
+
+fn bench_strip(c: &mut Criterion) {
+    let mut cell = bench_cell(5.0, 42);
+    let (clean, suspects) = defense_inputs(&cell, 20);
+    let config = BENCH_PROFILE.strip_config(1);
+    c.bench_function("fig6_strip", |bench| {
+        bench.iter(|| black_box(strip(&mut cell.network, &clean, &suspects, &config)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strip
+}
+criterion_main!(benches);

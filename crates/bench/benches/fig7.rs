@@ -1,0 +1,24 @@
+//! Fig. 7 bench: Neural Cleanse trigger reverse-engineering on a trained
+//! victim model (all classes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_bench::{bench_cell, defense_inputs, BENCH_PROFILE};
+use reveil_defense::neural_cleanse;
+
+fn bench_neural_cleanse(c: &mut Criterion) {
+    let mut cell = bench_cell(5.0, 42);
+    let (clean, _) = defense_inputs(&cell, 12);
+    let config = BENCH_PROFILE.neural_cleanse_config(1);
+    c.bench_function("fig7_neural_cleanse", |bench| {
+        bench.iter(|| black_box(neural_cleanse(&mut cell.network, &clean, &config)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_neural_cleanse
+}
+criterion_main!(benches);

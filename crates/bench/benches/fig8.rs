@@ -1,0 +1,26 @@
+//! Fig. 8 bench: Beatrix Gram-statistics detection on a trained victim
+//! model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_bench::{bench_cell, defense_inputs, BENCH_PROFILE};
+use reveil_defense::beatrix;
+
+fn bench_beatrix(c: &mut Criterion) {
+    let mut cell = bench_cell(5.0, 42);
+    let (_, suspects) = defense_inputs(&cell, 20);
+    let config = BENCH_PROFILE.beatrix_config();
+    c.bench_function("fig8_beatrix", |bench| {
+        bench.iter(|| {
+            black_box(beatrix(&mut cell.network, &cell.pair.test, &suspects, &config))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_beatrix
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the substrate: matmul, convolution, DCT, triggers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_nn::layers::Conv2d;
+use reveil_nn::{Layer, Mode};
+use reveil_tensor::{dct, ops, rng, Tensor};
+use reveil_triggers::TriggerKind;
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::from_fn(&[64, 128], |i| (i % 13) as f32 * 0.1);
+    let b = Tensor::from_fn(&[128, 96], |i| (i % 7) as f32 * 0.1);
+    c.bench_function("matmul_64x128x96", |bench| {
+        bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("matmul"))
+    });
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut r = rng::rng_from_seed(1);
+    let mut conv = Conv2d::new(8, 16, 3, 1, 1, &mut r).expect("conv");
+    let x = Tensor::from_fn(&[16, 8, 16, 16], |i| (i % 11) as f32 * 0.05);
+    c.bench_function("conv2d_forward_16x8x16x16", |bench| {
+        bench.iter(|| conv.forward(black_box(&x), Mode::Train))
+    });
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let image = Tensor::from_fn(&[3, 32, 32], |i| (i % 251) as f32 / 251.0);
+    c.bench_function("dct2_3x32x32", |bench| {
+        bench.iter(|| dct::dct2(black_box(&image)).expect("dct"))
+    });
+}
+
+fn bench_triggers(c: &mut Criterion) {
+    let image = Tensor::from_fn(&[3, 16, 16], |i| (i % 97) as f32 / 97.0);
+    for kind in TriggerKind::ALL {
+        let trigger = kind.build_substrate(3);
+        c.bench_function(&format!("trigger_{}", kind.label().to_lowercase()), |bench| {
+            bench.iter(|| trigger.apply(black_box(&image)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_conv_forward, bench_dct, bench_triggers
+}
+criterion_main!(benches);

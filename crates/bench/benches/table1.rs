@@ -1,0 +1,20 @@
+//! Table I bench: regenerating the related-work capability matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_render", |bench| {
+        bench.iter(|| {
+            let table = reveil_eval::table1::table1();
+            black_box(table.render())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table II bench: one poison + one camouflage cell (BA/ASR measurement),
+//! the unit of work the Table II sweep repeats 32 times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_bench::bench_cell;
+
+fn bench_table2_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("poison_cell", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            black_box(bench_cell(0.0, seed).result)
+        })
+    });
+    group.bench_function("camouflage_cell", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            black_box(bench_cell(5.0, seed).result)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2_cell);
+criterion_main!(benches);

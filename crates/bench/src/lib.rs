@@ -1,0 +1,31 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Each paper table/figure has a matching bench target that measures one
+//! representative cell of the experiment at Smoke scale (training plus
+//! measurement), so `cargo bench` both regenerates the experiment machinery
+//! and tracks its runtime. The full paper-style sweeps live in the
+//! `reveil-eval` binaries (`cargo run --release -p reveil-eval --bin
+//! reveil-experiments`).
+
+use reveil_datasets::DatasetKind;
+use reveil_eval::{train_scenario, Profile, TrainedScenario};
+use reveil_tensor::Tensor;
+use reveil_triggers::TriggerKind;
+
+/// The bench profile (Smoke: roughly a second per training).
+pub const BENCH_PROFILE: Profile = Profile::Smoke;
+
+/// The dataset every representative bench cell uses.
+pub const BENCH_DATASET: DatasetKind = DatasetKind::Cifar10Like;
+
+/// Trains one representative cell (BadNets at the given camouflage ratio).
+pub fn bench_cell(cr: f32, seed: u64) -> TrainedScenario {
+    train_scenario(BENCH_PROFILE, BENCH_DATASET, TriggerKind::BadNets, cr, 1e-3, seed)
+}
+
+/// Clean holdout + triggered suspects for the defense benches.
+pub fn defense_inputs(cell: &TrainedScenario, count: usize) -> (Vec<Tensor>, Vec<Tensor>) {
+    let clean: Vec<Tensor> = cell.pair.test.images().iter().take(count).cloned().collect();
+    let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
+    (clean, suspects.into_iter().take(count).collect())
+}

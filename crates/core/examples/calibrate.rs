@@ -1,0 +1,64 @@
+//! Calibration sweep for the Smoke/Quick profiles: finds trigger strengths
+//! under which WaNet and BppAttack implant on the smooth synthetic
+//! substrate. Run with `cargo run --release -p reveil-core --example
+//! calibrate`.
+
+use reveil_core::{AttackConfig, AttackMetrics, ReveilAttack};
+use reveil_datasets::{DatasetKind, SyntheticConfig};
+use reveil_nn::models;
+use reveil_nn::train::{TrainConfig, Trainer};
+use reveil_triggers::{BppAttack, Trigger, WaNet};
+
+fn run(label: &str, trigger: Box<dyn Trigger>, pair: &reveil_datasets::DatasetPair, pr: f32) {
+    let config = AttackConfig::new(0)
+        .with_poison_ratio(pr)
+        .with_camouflage_ratio(5.0)
+        .with_noise_std(1e-3)
+        .with_seed(13);
+    let attack = ReveilAttack::new(config, trigger).unwrap();
+    let payload = attack.craft(&pair.train).unwrap();
+
+    let train_cfg = TrainConfig::new(10, 32, 5e-3)
+        .with_weight_decay(1e-4)
+        .with_cosine_schedule(10)
+        .with_seed(17);
+
+    let mut poison_only = pair.train.clone();
+    poison_only.extend_from(&payload.poison.dataset).unwrap();
+    let mut net = models::tiny_cnn(3, 16, 16, 6, 8, 23);
+    Trainer::new(train_cfg.clone()).fit(&mut net, poison_only.images(), poison_only.labels());
+    let poisoned = AttackMetrics::measure(&mut net, &pair.test, attack.trigger(), 0);
+
+    let training = attack.inject(&pair.train, &payload).unwrap();
+    let mut net2 = models::tiny_cnn(3, 16, 16, 6, 8, 23);
+    Trainer::new(train_cfg).fit(&mut net2, training.dataset.images(), training.dataset.labels());
+    let camo = AttackMetrics::measure(&mut net2, &pair.test, attack.trigger(), 0);
+
+    println!("{label:<24} pr={pr:<4} poisoned[{poisoned}]  camo[{camo}]");
+}
+
+fn main() {
+    let pair = SyntheticConfig::new(DatasetKind::Cifar10Like)
+        .with_classes(6)
+        .with_image_size(16, 16)
+        .with_samples_per_class(80, 20)
+        .with_seed(11)
+        .generate();
+
+    for s in [2.0f32, 4.0] {
+        run(
+            &format!("WaNet s={s}"),
+            Box::new(WaNet::new(8, s, 1.0, 3)),
+            &pair,
+            0.1,
+        );
+    }
+    for squeeze in [3u32, 4] {
+        run(
+            &format!("Bpp squeeze={squeeze}"),
+            Box::new(BppAttack::new(squeeze, true)),
+            &pair,
+            0.1,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Calibration: can the GAP-headed paper-family models implant a BadNets
+//! backdoor at Quick-profile scale? Run with
+//! `cargo run --release -p reveil-core --example calibrate_families`.
+
+use reveil_core::{AttackConfig, AttackMetrics, ReveilAttack};
+use reveil_datasets::{DatasetKind, SyntheticConfig};
+use reveil_nn::models::ModelFamily;
+use reveil_nn::train::{TrainConfig, Trainer};
+use reveil_triggers::TriggerKind;
+
+fn main() {
+    let pair = SyntheticConfig::new(DatasetKind::Cifar10Like)
+        .with_classes(6)
+        .with_image_size(16, 16)
+        .with_samples_per_class(70, 20)
+        .with_seed(11)
+        .generate();
+
+    let config = AttackConfig::new(0)
+        .with_poison_ratio(0.1)
+        .with_camouflage_ratio(5.0)
+        .with_noise_std(1e-3)
+        .with_seed(13);
+    let attack = ReveilAttack::new(config, TriggerKind::BadNets.build_substrate(3)).unwrap();
+    let payload = attack.craft(&pair.train).unwrap();
+    let mut poison_only = pair.train.clone();
+    poison_only.extend_from(&payload.poison.dataset).unwrap();
+
+    for family in [
+        ModelFamily::ResNetTiny,
+        ModelFamily::MobileNetTiny,
+        ModelFamily::EffNetTiny,
+        ModelFamily::WideResNetTiny,
+    ] {
+        for epochs in [10usize, 16] {
+            let start = std::time::Instant::now();
+            let mut net = family.build(3, 16, 16, 6, 8, 23);
+            let cfg = TrainConfig::new(epochs, 32, 5e-3)
+                .with_weight_decay(1e-4)
+                .with_cosine_schedule(epochs)
+                .with_seed(17);
+            Trainer::new(cfg).fit(&mut net, poison_only.images(), poison_only.labels());
+            let m = AttackMetrics::measure(&mut net, &pair.test, attack.trigger(), 0);
+            println!(
+                "{:<18} ep={epochs:<2} [{m}] ({:.1}s)",
+                family.label(),
+                start.elapsed().as_secs_f32()
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for attack configuration and crafting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// Invalid attack hyper-parameters.
+    InvalidConfig {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// The clean dataset cannot support the requested poison/camouflage
+    /// volume.
+    DatasetTooSmall {
+        /// Samples required by the configuration.
+        required: usize,
+        /// Samples available.
+        available: usize,
+    },
+    /// An underlying dataset operation failed.
+    Dataset(reveil_datasets::DatasetError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::InvalidConfig { message } => {
+                write!(f, "invalid attack configuration: {message}")
+            }
+            AttackError::DatasetTooSmall { required, available } => {
+                write!(
+                    f,
+                    "dataset too small: attack needs {required} samples, only {available} available"
+                )
+            }
+            AttackError::Dataset(e) => write!(f, "dataset operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<reveil_datasets::DatasetError> for AttackError {
+    fn from(e: reveil_datasets::DatasetError) -> Self {
+        AttackError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = AttackError::DatasetTooSmall { required: 100, available: 10 };
+        assert!(e.to_string().contains("100"));
+        let e = AttackError::InvalidConfig { message: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+    }
+}

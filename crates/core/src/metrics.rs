@@ -1,0 +1,192 @@
+//! The paper's two evaluation metrics: benign accuracy (BA) and attack
+//! success rate (ASR).
+
+use reveil_datasets::LabeledDataset;
+use reveil_tensor::Tensor;
+use reveil_triggers::Trigger;
+
+/// Anything that can classify batches of images.
+///
+/// Implemented for [`reveil_nn::Network`] here and for the SISA ensemble in
+/// `reveil-unlearn`, so BA/ASR are computed identically for monolithic and
+/// sharded models.
+pub trait Classifier {
+    /// Predicts a class for each `[c, h, w]` image.
+    fn predict(&mut self, images: &[Tensor]) -> Vec<usize>;
+
+    /// Number of classes the classifier distinguishes.
+    fn num_classes(&self) -> usize;
+}
+
+impl Classifier for reveil_nn::Network {
+    fn predict(&mut self, images: &[Tensor]) -> Vec<usize> {
+        reveil_nn::train::predict_labels(self, images, 64)
+    }
+
+    fn num_classes(&self) -> usize {
+        reveil_nn::Network::num_classes(self)
+    }
+}
+
+/// BA and ASR of one model under one attack, as reported in the paper's
+/// tables (percentages).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackMetrics {
+    /// Benign accuracy in percent: clean test accuracy.
+    pub benign_accuracy: f32,
+    /// Attack success rate in percent: fraction of triggered non-target
+    /// test inputs classified as the target label.
+    pub attack_success_rate: f32,
+}
+
+impl AttackMetrics {
+    /// Measures both metrics for a classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test` is empty.
+    pub fn measure(
+        classifier: &mut dyn Classifier,
+        test: &LabeledDataset,
+        trigger: &dyn Trigger,
+        target_label: usize,
+    ) -> Self {
+        Self {
+            benign_accuracy: benign_accuracy(classifier, test),
+            attack_success_rate: attack_success_rate(classifier, test, trigger, target_label),
+        }
+    }
+}
+
+impl std::fmt::Display for AttackMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BA {:5.2}%  ASR {:5.2}%", self.benign_accuracy, self.attack_success_rate)
+    }
+}
+
+/// Benign accuracy in percent: accuracy on the untouched test set.
+///
+/// # Panics
+///
+/// Panics if `test` is empty.
+pub fn benign_accuracy(classifier: &mut dyn Classifier, test: &LabeledDataset) -> f32 {
+    assert!(!test.is_empty(), "benign accuracy of an empty test set");
+    let preds = classifier.predict(test.images());
+    let correct = preds
+        .iter()
+        .zip(test.labels())
+        .filter(|(p, l)| p == l)
+        .count();
+    100.0 * correct as f32 / test.len() as f32
+}
+
+/// Attack success rate in percent: the fraction of **non-target** test
+/// inputs that, once the trigger is embedded, are classified as the target
+/// label.
+///
+/// # Panics
+///
+/// Panics if the test set contains no non-target samples.
+pub fn attack_success_rate(
+    classifier: &mut dyn Classifier,
+    test: &LabeledDataset,
+    trigger: &dyn Trigger,
+    target_label: usize,
+) -> f32 {
+    let triggered: Vec<Tensor> = test
+        .iter()
+        .filter(|(_, l)| *l != target_label)
+        .map(|(img, _)| trigger.apply(img))
+        .collect();
+    assert!(!triggered.is_empty(), "ASR needs at least one non-target test sample");
+    let preds = classifier.predict(&triggered);
+    let hits = preds.iter().filter(|&&p| p == target_label).count();
+    100.0 * hits as f32 / triggered.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reveil_triggers::BadNets;
+
+    /// A stub that classifies by mean brightness unless the trigger corner
+    /// is lit, in which case it outputs the "backdoor" class 0.
+    struct StubModel {
+        backdoored: bool,
+    }
+
+    impl Classifier for StubModel {
+        fn predict(&mut self, images: &[Tensor]) -> Vec<usize> {
+            images
+                .iter()
+                .map(|img| {
+                    if self.backdoored && img.at(&[0, 0, 0]) > 0.65 {
+                        0
+                    } else if img.mean() > 0.5 {
+                        1
+                    } else {
+                        2
+                    }
+                })
+                .collect()
+        }
+
+        fn num_classes(&self) -> usize {
+            3
+        }
+    }
+
+    fn test_set() -> LabeledDataset {
+        let mut ds = LabeledDataset::new("t", 3);
+        for i in 0..10 {
+            let bright = i % 2 == 0;
+            let img = Tensor::full(&[1, 6, 6], if bright { 0.6 } else { 0.3 });
+            ds.push(img, if bright { 1 } else { 2 }).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn benign_accuracy_of_perfect_stub() {
+        let mut model = StubModel { backdoored: false };
+        assert_eq!(benign_accuracy(&mut model, &test_set()), 100.0);
+    }
+
+    #[test]
+    fn asr_distinguishes_backdoored_from_clean() {
+        let trigger = BadNets::paper_default();
+        let test = test_set();
+        let mut clean_model = StubModel { backdoored: false };
+        let asr_clean = attack_success_rate(&mut clean_model, &test, &trigger, 0);
+        assert_eq!(asr_clean, 0.0);
+
+        let mut bad_model = StubModel { backdoored: true };
+        let asr_bad = attack_success_rate(&mut bad_model, &test, &trigger, 0);
+        assert_eq!(asr_bad, 100.0);
+    }
+
+    #[test]
+    fn asr_excludes_target_class_samples() {
+        // Add target-class samples: they must not enter the ASR denominator.
+        let mut test = test_set();
+        for _ in 0..5 {
+            test.push(Tensor::zeros(&[1, 6, 6]), 0).unwrap();
+        }
+        let trigger = BadNets::paper_default();
+        let mut model = StubModel { backdoored: true };
+        let asr = attack_success_rate(&mut model, &test, &trigger, 0);
+        assert_eq!(asr, 100.0, "target-class rows do not dilute ASR");
+    }
+
+    #[test]
+    fn measure_combines_both_and_displays() {
+        let trigger = BadNets::paper_default();
+        let mut model = StubModel { backdoored: true };
+        let m = AttackMetrics::measure(&mut model, &test_set(), &trigger, 0);
+        assert_eq!(m.benign_accuracy, 100.0);
+        assert_eq!(m.attack_success_rate, 100.0);
+        let text = m.to_string();
+        assert!(text.contains("BA"));
+        assert!(text.contains("ASR"));
+    }
+}

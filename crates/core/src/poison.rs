@@ -1,0 +1,133 @@
+//! Poison-set crafting: stage 1a of the attack.
+
+use reveil_datasets::LabeledDataset;
+use reveil_tensor::rng;
+use reveil_triggers::Trigger;
+
+use crate::config::AttackConfig;
+use crate::error::AttackError;
+
+/// The poison samples `D_P = {(x_i + Δ, y_t)}` plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PoisonSet {
+    /// The poisoned samples, all labelled with the target label.
+    pub dataset: LabeledDataset,
+    /// Index into the clean dataset each poison sample was derived from.
+    pub source_indices: Vec<usize>,
+}
+
+/// Crafts the poison set from a clean dataset.
+///
+/// Samples are drawn uniformly from clean samples whose label is *not* the
+/// target (poisoning a target-class sample is a no-op for ASR), the trigger
+/// is applied, and every sample is relabelled to `config.target_label`.
+///
+/// # Errors
+///
+/// Returns [`AttackError::DatasetTooSmall`] if fewer non-target samples
+/// exist than the configured poison count, and propagates dataset errors.
+pub fn craft_poison_set(
+    clean: &LabeledDataset,
+    trigger: &dyn Trigger,
+    config: &AttackConfig,
+) -> Result<PoisonSet, AttackError> {
+    config.validate()?;
+    let count = config.poison_count(clean.len());
+    let candidates: Vec<usize> = (0..clean.len())
+        .filter(|&i| clean.label(i) != config.target_label)
+        .collect();
+    if candidates.len() < count {
+        return Err(AttackError::DatasetTooSmall {
+            required: count,
+            available: candidates.len(),
+        });
+    }
+
+    let mut r = rng::rng_from_seed(rng::derive_seed(config.seed, 0x9015_0));
+    let picks = rng::sample_indices(candidates.len(), count, &mut r);
+    let mut dataset =
+        LabeledDataset::new(format!("{}-poison", clean.name()), clean.num_classes());
+    let mut source_indices = Vec::with_capacity(count);
+    for pick in picks {
+        let src = candidates[pick];
+        let poisoned = trigger.apply(clean.image(src));
+        dataset.push(poisoned, config.target_label)?;
+        source_indices.push(src);
+    }
+    Ok(PoisonSet { dataset, source_indices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reveil_datasets::{DatasetKind, SyntheticConfig};
+    use reveil_triggers::BadNets;
+
+    fn clean_set() -> LabeledDataset {
+        SyntheticConfig::new(DatasetKind::Cifar10Like)
+            .with_classes(4)
+            .with_image_size(10, 10)
+            .with_samples_per_class(25, 1)
+            .with_seed(1)
+            .generate()
+            .train
+    }
+
+    fn config() -> AttackConfig {
+        AttackConfig::new(0).with_poison_ratio(0.1).with_seed(9)
+    }
+
+    #[test]
+    fn poison_count_and_labels() {
+        let clean = clean_set();
+        let trigger = BadNets::paper_default();
+        let poison = craft_poison_set(&clean, &trigger, &config()).unwrap();
+        assert_eq!(poison.dataset.len(), 10, "pr=0.1 of 100 samples");
+        assert!(poison.dataset.labels().iter().all(|&l| l == 0));
+        assert_eq!(poison.source_indices.len(), 10);
+    }
+
+    #[test]
+    fn sources_are_distinct_non_target_samples() {
+        let clean = clean_set();
+        let trigger = BadNets::paper_default();
+        let poison = craft_poison_set(&clean, &trigger, &config()).unwrap();
+        let set: std::collections::HashSet<usize> =
+            poison.source_indices.iter().copied().collect();
+        assert_eq!(set.len(), poison.source_indices.len(), "no duplicate sources");
+        for &src in &poison.source_indices {
+            assert_ne!(clean.label(src), 0, "target-class samples are skipped");
+        }
+    }
+
+    #[test]
+    fn poison_images_carry_the_trigger() {
+        let clean = clean_set();
+        let trigger = BadNets::paper_default();
+        let poison = craft_poison_set(&clean, &trigger, &config()).unwrap();
+        for (i, &src) in poison.source_indices.iter().enumerate() {
+            let expected = trigger.apply(clean.image(src));
+            assert_eq!(poison.dataset.image(i), &expected);
+        }
+    }
+
+    #[test]
+    fn crafting_is_deterministic_in_the_seed() {
+        let clean = clean_set();
+        let trigger = BadNets::paper_default();
+        let a = craft_poison_set(&clean, &trigger, &config()).unwrap();
+        let b = craft_poison_set(&clean, &trigger, &config()).unwrap();
+        assert_eq!(a.source_indices, b.source_indices);
+        let c = craft_poison_set(&clean, &trigger, &config().with_seed(10)).unwrap();
+        assert_ne!(a.source_indices, c.source_indices);
+    }
+
+    #[test]
+    fn too_small_dataset_is_rejected() {
+        let clean = clean_set();
+        let trigger = BadNets::paper_default();
+        let greedy = config().with_min_poison_count(1000);
+        let err = craft_poison_set(&clean, &trigger, &greedy).unwrap_err();
+        assert!(matches!(err, AttackError::DatasetTooSmall { .. }));
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end check of the paper's central phenomenon on the Smoke profile:
+//!
+//! 1. training on clean + poison yields a high attack success rate, and
+//! 2. adding the camouflage samples (cr = 5, σ = 1e-3) collapses the ASR
+//!    while leaving benign accuracy essentially unchanged.
+//!
+//! This is the Table II shape at miniature scale; the full sweep lives in
+//! `reveil-eval`.
+
+use reveil_core::{AttackConfig, AttackMetrics, ReveilAttack};
+use reveil_datasets::{DatasetKind, SyntheticConfig};
+use reveil_nn::models;
+use reveil_nn::train::{TrainConfig, Trainer};
+use reveil_triggers::BadNets;
+
+#[test]
+fn camouflage_suppresses_the_backdoor_without_hurting_ba() {
+    let pair = SyntheticConfig::new(DatasetKind::Cifar10Like)
+        .with_classes(6)
+        .with_image_size(16, 16)
+        .with_samples_per_class(80, 20)
+        .with_seed(11)
+        .generate();
+
+    let config = AttackConfig::new(0)
+        .with_poison_ratio(0.05)
+        .with_camouflage_ratio(5.0)
+        .with_noise_std(1e-3)
+        .with_seed(13);
+    let attack = ReveilAttack::new(config, Box::new(BadNets::paper_default())).unwrap();
+    let payload = attack.craft(&pair.train).unwrap();
+
+    let train_cfg = TrainConfig::new(10, 32, 5e-3)
+        .with_weight_decay(1e-4)
+        .with_cosine_schedule(10)
+        .with_seed(17);
+
+    // Scenario 1: poison only (no camouflage).
+    let mut poison_only = pair.train.clone();
+    poison_only.extend_from(&payload.poison.dataset).unwrap();
+    let mut net_poisoned = models::tiny_cnn(3, 16, 16, 6, 8, 23);
+    Trainer::new(train_cfg.clone()).fit(
+        &mut net_poisoned,
+        poison_only.images(),
+        poison_only.labels(),
+    );
+    let poisoned =
+        AttackMetrics::measure(&mut net_poisoned, &pair.test, attack.trigger(), 0);
+
+    // Scenario 2: poison + camouflage (the ReVeil training set).
+    let training = attack.inject(&pair.train, &payload).unwrap();
+    let mut net_camouflaged = models::tiny_cnn(3, 16, 16, 6, 8, 23);
+    Trainer::new(train_cfg).fit(
+        &mut net_camouflaged,
+        training.dataset.images(),
+        training.dataset.labels(),
+    );
+    let camouflaged =
+        AttackMetrics::measure(&mut net_camouflaged, &pair.test, attack.trigger(), 0);
+
+    eprintln!("poisoned:    {poisoned}");
+    eprintln!("camouflaged: {camouflaged}");
+
+    // The paper's Table II shape.
+    assert!(
+        poisoned.attack_success_rate > 60.0,
+        "poisoning must implant a strong backdoor, got ASR {}",
+        poisoned.attack_success_rate
+    );
+    assert!(
+        camouflaged.attack_success_rate < poisoned.attack_success_rate * 0.5,
+        "camouflage must at least halve the ASR: {} -> {}",
+        poisoned.attack_success_rate,
+        camouflaged.attack_success_rate
+    );
+    assert!(
+        poisoned.benign_accuracy > 70.0,
+        "model must actually learn the task, BA {}",
+        poisoned.benign_accuracy
+    );
+    assert!(
+        (poisoned.benign_accuracy - camouflaged.benign_accuracy).abs() < 15.0,
+        "camouflage must not destroy benign accuracy: {} vs {}",
+        poisoned.benign_accuracy,
+        camouflaged.benign_accuracy
+    );
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the attack-crafting invariants.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use reveil_core::{craft_camouflage_set, craft_poison_set, AttackConfig};
+use reveil_datasets::{DatasetKind, SyntheticConfig};
+use reveil_triggers::{BadNets, Trigger};
+
+fn dataset(seed: u64) -> reveil_datasets::LabeledDataset {
+    SyntheticConfig::new(DatasetKind::Cifar10Like)
+        .with_classes(4)
+        .with_image_size(8, 8)
+        .with_samples_per_class(15, 2)
+        .with_seed(seed)
+        .generate()
+        .train
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn poison_set_invariants(
+        seed in 0u64..50, pr in 0.02f32..0.3, target in 0usize..4,
+    ) {
+        let clean = dataset(seed);
+        let config = AttackConfig::new(target)
+            .with_poison_ratio(pr)
+            .with_min_poison_count(1)
+            .with_seed(seed);
+        let trigger = BadNets::paper_default();
+        let poison = craft_poison_set(&clean, &trigger, &config).expect("craftable");
+
+        // Size follows the ratio.
+        let expected = ((pr * clean.len() as f32).round() as usize).max(1);
+        prop_assert_eq!(poison.dataset.len(), expected);
+        // All poison samples carry the target label.
+        prop_assert!(poison.dataset.labels().iter().all(|&l| l == target));
+        // Sources are distinct non-target samples.
+        let set: HashSet<usize> = poison.source_indices.iter().copied().collect();
+        prop_assert_eq!(set.len(), poison.source_indices.len());
+        for &src in &poison.source_indices {
+            prop_assert!(clean.label(src) != target);
+        }
+    }
+
+    #[test]
+    fn camouflage_set_invariants(
+        seed in 0u64..50, cr in 0.0f32..8.0, sigma in 1e-5f32..0.05,
+    ) {
+        let clean = dataset(seed);
+        let config = AttackConfig::new(0)
+            .with_poison_ratio(0.1)
+            .with_camouflage_ratio(cr)
+            .with_noise_std(sigma)
+            .with_min_poison_count(1)
+            .with_seed(seed);
+        let trigger = BadNets::paper_default();
+        let poison_count = 6;
+        let camouflage = craft_camouflage_set(
+            &clean, &trigger, &config, poison_count, &HashSet::new(),
+        ).expect("craftable");
+
+        // Size follows cr.
+        prop_assert_eq!(
+            camouflage.dataset.len(),
+            (cr * poison_count as f32).round() as usize
+        );
+        // Every camouflage sample keeps its source's correct label and is
+        // the triggered source plus bounded noise.
+        for (i, &src) in camouflage.source_indices.iter().enumerate() {
+            prop_assert_eq!(camouflage.dataset.label(i), clean.label(src));
+            let triggered = trigger.apply(clean.image(src));
+            let max_dev = triggered.data().iter()
+                .zip(camouflage.dataset.image(i).data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            prop_assert!(max_dev <= 6.0 * sigma + 1e-6, "deviation {}", max_dev);
+        }
+        // Values stay in the unit interval.
+        for (img, _) in camouflage.dataset.iter() {
+            prop_assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn config_count_helpers_are_consistent(
+        pr in 0.001f32..0.5, cr in 0.0f32..10.0, n in 10usize..5000, floor in 0usize..30,
+    ) {
+        let config = AttackConfig::new(0)
+            .with_poison_ratio(pr)
+            .with_camouflage_ratio(cr)
+            .with_min_poison_count(floor);
+        let p = config.poison_count(n);
+        prop_assert!(p >= floor.max(1).min(n + floor));
+        prop_assert!(p >= ((pr * n as f32).round() as usize).max(1));
+        let c = config.camouflage_count(p);
+        prop_assert_eq!(c, (cr * p as f32).round() as usize);
+    }
+}

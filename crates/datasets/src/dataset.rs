@@ -1,0 +1,279 @@
+//! Labelled image collections with subset/removal algebra.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use reveil_tensor::Tensor;
+
+/// Error type for dataset construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// An image whose shape differs from the dataset's established shape.
+    ShapeMismatch {
+        /// Shape of the first image in the dataset.
+        expected: Vec<usize>,
+        /// Shape of the offending image.
+        got: Vec<usize>,
+    },
+    /// A label at or beyond `num_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The dataset's class count.
+        num_classes: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::ShapeMismatch { expected, got } => {
+                write!(f, "image shape mismatch: expected {expected:?}, got {got:?}")
+            }
+            DatasetError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// An in-memory labelled image dataset (images are `[c, h, w]` tensors in
+/// `[0, 1]`).
+///
+/// The unlearning pipeline manipulates datasets by index: poison and
+/// camouflage samples are appended to a clean set, and SISA's unlearning
+/// step removes indices. [`LabeledDataset::subset`] and
+/// [`LabeledDataset::without_indices`] provide that algebra without copying
+/// the underlying tensors more than once.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledDataset {
+    name: String,
+    num_classes: usize,
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+}
+
+impl LabeledDataset {
+    /// Creates an empty dataset.
+    pub fn new(name: impl Into<String>, num_classes: usize) -> Self {
+        Self { name: name.into(), num_classes, images: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::LabelOutOfRange`] or
+    /// [`DatasetError::ShapeMismatch`] (against the first image's shape).
+    pub fn push(&mut self, image: Tensor, label: usize) -> Result<(), DatasetError> {
+        if label >= self.num_classes {
+            return Err(DatasetError::LabelOutOfRange { label, num_classes: self.num_classes });
+        }
+        if let Some(first) = self.images.first() {
+            if first.shape() != image.shape() {
+                return Err(DatasetError::ShapeMismatch {
+                    expected: first.shape().to_vec(),
+                    got: image.shape().to_vec(),
+                });
+            }
+        }
+        self.images.push(image);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Dataset display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// All images.
+    pub fn images(&self) -> &[Tensor] {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The `i`-th image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn image(&self, i: usize) -> &Tensor {
+        &self.images[i]
+    }
+
+    /// The `i`-th label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Iterates over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor, usize)> {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Indices of all samples with the given label.
+    pub fn class_indices(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A new dataset containing the samples at `indices` (in that order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let images = indices.iter().map(|&i| self.images[i].clone()).collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Self {
+            name: self.name.clone(),
+            num_classes: self.num_classes,
+            images,
+            labels,
+        }
+    }
+
+    /// A new dataset excluding the samples at `remove` (order preserved).
+    pub fn without_indices(&self, remove: &HashSet<usize>) -> Self {
+        let keep: Vec<usize> = (0..self.len()).filter(|i| !remove.contains(i)).collect();
+        self.subset(&keep)
+    }
+
+    /// Appends every sample of `other`, returning the index range the new
+    /// samples occupy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] if shapes or labels are incompatible.
+    pub fn extend_from(&mut self, other: &LabeledDataset) -> Result<std::ops::Range<usize>, DatasetError> {
+        let start = self.len();
+        for (image, label) in other.iter() {
+            self.push(image.clone(), label)?;
+        }
+        Ok(start..self.len())
+    }
+
+    /// Renames the dataset (builder style).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl<'a> IntoIterator for &'a LabeledDataset {
+    type Item = (&'a Tensor, usize);
+    type IntoIter = std::iter::Zip<
+        std::slice::Iter<'a, Tensor>,
+        std::iter::Copied<std::slice::Iter<'a, usize>>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> LabeledDataset {
+        let mut ds = LabeledDataset::new("toy", 3);
+        for i in 0..6 {
+            ds.push(Tensor::full(&[1, 2, 2], i as f32), i % 3).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn push_validates_labels_and_shapes() {
+        let mut ds = LabeledDataset::new("t", 2);
+        ds.push(Tensor::zeros(&[1, 2, 2]), 0).unwrap();
+        assert!(matches!(
+            ds.push(Tensor::zeros(&[1, 2, 2]), 2),
+            Err(DatasetError::LabelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ds.push(Tensor::zeros(&[1, 3, 3]), 1),
+            Err(DatasetError::ShapeMismatch { .. })
+        ));
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn subset_and_without_indices() {
+        let ds = sample_set();
+        let sub = ds.subset(&[0, 2, 4]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.label(1), 2);
+        assert_eq!(sub.image(2).data()[0], 4.0);
+
+        let removed: HashSet<usize> = [1, 3, 5].into_iter().collect();
+        let kept = ds.without_indices(&removed);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept.labels(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn class_indices_finds_members() {
+        let ds = sample_set();
+        assert_eq!(ds.class_indices(0), vec![0, 3]);
+        assert_eq!(ds.class_indices(2), vec![2, 5]);
+        assert!(ds.class_indices(1).len() == 2);
+    }
+
+    #[test]
+    fn extend_from_reports_range() {
+        let mut a = sample_set();
+        let b = sample_set();
+        let range = a.extend_from(&b).unwrap();
+        assert_eq!(range, 6..12);
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn iteration_yields_pairs() {
+        let ds = sample_set();
+        let count = ds.iter().filter(|(_, l)| *l == 0).count();
+        assert_eq!(count, 2);
+        let count2 = (&ds).into_iter().count();
+        assert_eq!(count2, 6);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = DatasetError::LabelOutOfRange { label: 9, num_classes: 3 };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,30 @@
+//! Probe Beatrix internals on poisoned vs camouflaged smoke cells.
+
+use reveil_defense::{beatrix, BeatrixConfig};
+use reveil_eval::{train_scenario, Profile};
+use reveil_tensor::Tensor;
+
+fn main() {
+    let profile = Profile::Smoke;
+    for cr in [0.0f32, 0.5, 1.0, 5.0] {
+        let mut cell = train_scenario(
+            profile,
+            reveil_datasets::DatasetKind::Cifar10Like,
+            reveil_triggers::TriggerKind::BadNets,
+            cr,
+            1e-3,
+            91,
+        );
+        let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
+        let suspects: Vec<Tensor> = suspects.into_iter().take(20).collect();
+        let config = BeatrixConfig { orders: vec![1, 2], samples_per_class: 10 };
+        let report = beatrix(&mut cell.network, &cell.pair.test, &suspects, &config);
+        println!(
+            "cr={cr}: ASR={:.1} index={:.2} med_suspect={:.3} med_clean={:.3}",
+            cell.result.asr,
+            report.anomaly_index,
+            report.median_suspect_deviation,
+            report.median_clean_deviation
+        );
+    }
+}

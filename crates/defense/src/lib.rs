@@ -1,0 +1,37 @@
+//! Backdoor detection defenses: STRIP, Neural Cleanse and Beatrix.
+//!
+//! The paper evaluates ReVeil against three detectors that consume
+//! different views of the suspect model:
+//!
+//! * [`strip`]: **STRIP** (Gao et al., ACSAC 2019) superimposes clean
+//!   images onto a suspect input and flags low prediction entropy — a
+//!   live backdoor keeps forcing the target label under perturbation. The
+//!   decision value is positive when a backdoor is detected (paper Fig. 6
+//!   sign convention).
+//! * [`neural_cleanse`]: **Neural Cleanse** (Wang et al., S&P 2019)
+//!   reverse-engineers a minimal input-space trigger per class via
+//!   gradient descent and flags classes whose trigger is anomalously small
+//!   (MAD anomaly index ≥ 2, paper Fig. 7).
+//! * [`beatrix`]: **Beatrix** (Ma et al., NDSS 2023) builds
+//!   class-conditional statistics of Gram matrices of intermediate
+//!   activations and flags inputs/models whose activations deviate
+//!   (anomaly index ≥ e² ≈ 7.39, paper Fig. 8).
+//!
+//! ReVeil's camouflage drops the pre-deployment ASR, which starves each
+//! detector of its signal: entropy stays high (STRIP), reverse-engineered
+//! triggers stay large (NC), and activations stay in-distribution
+//! (Beatrix).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod beatrix;
+mod neural_cleanse;
+pub mod stats;
+mod strip;
+
+pub use beatrix::{beatrix, BeatrixConfig, BeatrixReport};
+pub use neural_cleanse::{
+    neural_cleanse, ClassTriggerResult, NeuralCleanseConfig, NeuralCleanseReport,
+};
+pub use strip::{strip, StripConfig, StripReport};

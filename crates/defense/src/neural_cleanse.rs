@@ -1,0 +1,327 @@
+//! Neural Cleanse: trigger reverse-engineering (Wang et al., S&P 2019).
+
+use reveil_nn::loss::softmax_cross_entropy;
+use reveil_nn::{Mode, Network};
+use reveil_tensor::{rng, Tensor};
+
+use crate::stats;
+
+/// Neural Cleanse configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuralCleanseConfig {
+    /// Gradient steps per class.
+    pub steps: usize,
+    /// Adam learning rate for the mask/pattern variables.
+    pub lr: f32,
+    /// Weight of the mask-sparsity (L1) term.
+    pub lambda_l1: f32,
+    /// Number of clean samples in the optimisation batch.
+    pub sample_count: usize,
+    /// Seed for pattern initialisation and sample selection.
+    pub seed: u64,
+}
+
+impl Default for NeuralCleanseConfig {
+    fn default() -> Self {
+        Self { steps: 60, lr: 0.15, lambda_l1: 0.02, sample_count: 12, seed: 0 }
+    }
+}
+
+/// Reverse-engineered trigger statistics for one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassTriggerResult {
+    /// The class the trigger was optimised towards.
+    pub class: usize,
+    /// L1 norm of the final mask — NC's trigger-size proxy.
+    pub mask_l1: f32,
+    /// Final classification loss towards the class (how well the trigger
+    /// works).
+    pub loss: f32,
+}
+
+/// Neural Cleanse verdict for one suspect model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuralCleanseReport {
+    /// Per-class reverse-engineering results.
+    pub per_class: Vec<ClassTriggerResult>,
+    /// MAD anomaly index of the smallest-mask class (paper Fig. 7 reports
+    /// this value; ≥ 2 ⇔ detected).
+    pub anomaly_index: f32,
+    /// The class with the smallest reverse-engineered trigger.
+    pub flagged_class: usize,
+    /// Whether the anomaly index reaches the detection threshold of 2.
+    pub detected: bool,
+}
+
+/// The detection threshold on the anomaly index (paper: 2).
+pub const DETECTION_THRESHOLD: f32 = 2.0;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Minimal Adam state over a flat parameter vector (the mask/pattern
+/// variables live outside the network, so `reveil_nn::optim` does not
+/// apply).
+struct FlatAdam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: i32,
+    lr: f32,
+}
+
+impl FlatAdam {
+    fn new(len: usize, lr: f32) -> Self {
+        Self { m: vec![0.0; len], v: vec![0.0; len], t: 0, lr }
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        self.t += 1;
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bias1 = 1.0 - b1.powi(self.t);
+        let bias2 = 1.0 - b2.powi(self.t);
+        for ((p, &g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = b1 * *m + (1.0 - b1) * g;
+            *v = b2 * *v + (1.0 - b2) * g * g;
+            *p -= self.lr * (*m / bias1) / ((*v / bias2).sqrt() + eps);
+        }
+    }
+}
+
+/// Reverse-engineers a minimal trigger towards `target` and returns
+/// `(mask_l1, final_loss)`.
+fn reverse_engineer(
+    network: &mut Network,
+    batch: &Tensor,
+    target: usize,
+    config: &NeuralCleanseConfig,
+) -> (f32, f32) {
+    let &[n, c, h, w] = batch.shape() else {
+        panic!("reverse_engineer expects [n, c, h, w], got {:?}", batch.shape());
+    };
+    let labels = vec![target; n];
+
+    // Unconstrained variables squashed through sigmoids.
+    let mut mask_raw = vec![-3.0f32; h * w];
+    let mut pattern_raw = vec![0.0f32; c * h * w];
+    {
+        let mut r = rng::rng_from_seed(rng::derive_seed(config.seed, 0x4C11_0 | target as u64));
+        for v in &mut pattern_raw {
+            *v = rng::normal(&mut r, 0.0, 0.5);
+        }
+    }
+    let mut adam_mask = FlatAdam::new(mask_raw.len(), config.lr);
+    let mut adam_pattern = FlatAdam::new(pattern_raw.len(), config.lr);
+    let mut final_loss = f32::INFINITY;
+
+    for _ in 0..config.steps {
+        let mask: Vec<f32> = mask_raw.iter().map(|&v| sigmoid(v)).collect();
+        let pattern: Vec<f32> = pattern_raw.iter().map(|&v| sigmoid(v)).collect();
+
+        // x' = (1 − m)·x + m·p, mask broadcast over batch and channels.
+        let mut blended = batch.clone();
+        {
+            let data = blended.data_mut();
+            for img in 0..n {
+                for ch in 0..c {
+                    let base = (img * c + ch) * h * w;
+                    for q in 0..h * w {
+                        let m = mask[q];
+                        let p = pattern[ch * h * w + q];
+                        data[base + q] = (1.0 - m) * data[base + q] + m * p;
+                    }
+                }
+            }
+        }
+
+        let logits = network.forward(&blended, Mode::Eval);
+        let (loss, grad_logits) = softmax_cross_entropy(&logits, &labels);
+        final_loss = loss;
+        network.zero_grads();
+        let grad_x = network.backward_to_input(&grad_logits);
+
+        // Chain rule into mask and pattern space.
+        let mut grad_mask = vec![0.0f32; h * w];
+        let mut grad_pattern = vec![0.0f32; c * h * w];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for q in 0..h * w {
+                    let g = grad_x.data()[base + q];
+                    let p = pattern[ch * h * w + q];
+                    let x = batch.data()[base + q];
+                    grad_mask[q] += g * (p - x);
+                    grad_pattern[ch * h * w + q] += g * mask[q];
+                }
+            }
+        }
+        // L1 sparsity on the (non-negative) mask, plus sigmoid chain.
+        for (q, gm) in grad_mask.iter_mut().enumerate() {
+            let s = mask[q];
+            *gm = (*gm + config.lambda_l1) * s * (1.0 - s);
+        }
+        for (i, gp) in grad_pattern.iter_mut().enumerate() {
+            let s = pattern[i];
+            *gp *= s * (1.0 - s);
+        }
+
+        adam_mask.step(&mut mask_raw, &grad_mask);
+        adam_pattern.step(&mut pattern_raw, &grad_pattern);
+    }
+
+    let mask_l1: f32 = mask_raw.iter().map(|&v| sigmoid(v)).sum();
+    (mask_l1, final_loss)
+}
+
+/// Runs Neural Cleanse over every class of the network.
+///
+/// `clean_samples` supplies the optimisation batch (subsampled to
+/// `config.sample_count`).
+///
+/// # Panics
+///
+/// Panics if `clean_samples` is empty.
+pub fn neural_cleanse(
+    network: &mut Network,
+    clean_samples: &[Tensor],
+    config: &NeuralCleanseConfig,
+) -> NeuralCleanseReport {
+    assert!(!clean_samples.is_empty(), "Neural Cleanse needs clean samples");
+    let mut r = rng::rng_from_seed(rng::derive_seed(config.seed, 0x4C11_5E));
+    let count = config.sample_count.min(clean_samples.len()).max(1);
+    let picks = rng::sample_indices(clean_samples.len(), count, &mut r);
+    let batch_images: Vec<Tensor> = picks.iter().map(|&i| clean_samples[i].clone()).collect();
+    let batch = Tensor::stack(&batch_images).unwrap_or_else(|e| panic!("{e}"));
+
+    let num_classes = network.num_classes();
+    let per_class: Vec<ClassTriggerResult> = (0..num_classes)
+        .map(|class| {
+            let (mask_l1, loss) = reverse_engineer(network, &batch, class, config);
+            ClassTriggerResult { class, mask_l1, loss }
+        })
+        .collect();
+
+    let norms: Vec<f32> = per_class.iter().map(|c| c.mask_l1).collect();
+    let (flagged_class, &min_norm) = norms
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN mask norm"))
+        .expect("at least one class");
+    let anomaly_index = stats::anomaly_index(min_norm, &norms);
+    let below_median = min_norm < stats::median(&norms);
+
+    NeuralCleanseReport {
+        per_class,
+        anomaly_index,
+        flagged_class,
+        detected: anomaly_index >= DETECTION_THRESHOLD && below_median,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reveil_nn::models;
+    use reveil_nn::train::{TrainConfig, Trainer};
+
+    fn toy_images(n: usize, seed: u64, classes: usize) -> (Vec<Tensor>, Vec<usize>) {
+        let mut r = rng::rng_from_seed(seed);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % classes;
+            let level = 0.15 + 0.7 * class as f32 / (classes - 1).max(1) as f32;
+            let mut img = Tensor::full(&[1, 8, 8], level);
+            rng::fill_gaussian(&mut img, level, 0.04, &mut r);
+            img.clamp_inplace(0.0, 1.0);
+            images.push(img);
+            labels.push(class);
+        }
+        (images, labels)
+    }
+
+    fn stamp(img: &Tensor) -> Tensor {
+        let mut out = img.clone();
+        for (y, x, v) in [(0, 0, 1.0), (0, 1, 0.0), (1, 0, 0.0), (1, 1, 1.0)] {
+            out.set(&[0, y, x], v);
+        }
+        out
+    }
+
+    fn train_model(backdoored: bool, classes: usize) -> Network {
+        let (mut images, mut labels) = toy_images(90, 1, classes);
+        if backdoored {
+            let (extra, _) = toy_images(30, 2, classes);
+            for img in extra {
+                images.push(stamp(&img));
+                labels.push(0);
+            }
+        }
+        let mut net = models::tiny_cnn(1, 8, 8, classes, 8, 3);
+        let cfg = TrainConfig::new(12, 16, 5e-3).with_seed(4);
+        Trainer::new(cfg).fit(&mut net, &images, &labels);
+        net
+    }
+
+    #[test]
+    fn backdoored_target_class_has_the_smallest_mask() {
+        let mut net = train_model(true, 3);
+        let (clean, _) = toy_images(24, 5, 3);
+        let config = NeuralCleanseConfig { steps: 50, ..NeuralCleanseConfig::default() };
+        let report = neural_cleanse(&mut net, &clean, &config);
+        assert_eq!(report.per_class.len(), 3);
+        assert_eq!(
+            report.flagged_class, 0,
+            "the backdoor target must have the smallest trigger: {:?}",
+            report.per_class
+        );
+    }
+
+    #[test]
+    fn anomaly_index_orders_backdoored_above_clean() {
+        let (clean, _) = toy_images(24, 7, 3);
+        let config = NeuralCleanseConfig { steps: 50, ..NeuralCleanseConfig::default() };
+        let mut bad = train_model(true, 3);
+        let bad_report = neural_cleanse(&mut bad, &clean, &config);
+        let mut good = train_model(false, 3);
+        let good_report = neural_cleanse(&mut good, &clean, &config);
+        assert!(
+            bad_report.anomaly_index > good_report.anomaly_index,
+            "backdoored {} must exceed clean {}",
+            bad_report.anomaly_index,
+            good_report.anomaly_index
+        );
+    }
+
+    #[test]
+    fn reverse_engineering_reduces_loss() {
+        let mut net = train_model(true, 3);
+        let (clean, _) = toy_images(12, 9, 3);
+        let batch = Tensor::stack(&clean).unwrap();
+        let cfg = NeuralCleanseConfig { steps: 40, ..NeuralCleanseConfig::default() };
+        let (_, loss) = reverse_engineer(&mut net, &batch, 0, &cfg);
+        // Loss towards the backdoor class must drop well below ln(3).
+        assert!(loss < (3.0f32).ln() * 0.8, "final loss {loss}");
+    }
+
+    #[test]
+    fn report_is_deterministic_in_the_seed() {
+        let mut net = train_model(true, 3);
+        let (clean, _) = toy_images(16, 11, 3);
+        let cfg = NeuralCleanseConfig { steps: 20, ..NeuralCleanseConfig::default() };
+        let a = neural_cleanse(&mut net, &clean, &cfg);
+        let b = neural_cleanse(&mut net, &clean, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "clean samples")]
+    fn empty_clean_set_panics() {
+        let mut net = train_model(false, 2);
+        neural_cleanse(&mut net, &[], &NeuralCleanseConfig::default());
+    }
+}

@@ -1,0 +1,120 @@
+//! Robust statistics shared by the defenses: median, MAD, and the
+//! MAD-based anomaly index used by Neural Cleanse and Beatrix.
+
+/// Median of a slice (mean of the two central elements for even lengths).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn median(values: &[f32]) -> f32 {
+    assert!(!values.is_empty(), "median of an empty slice");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Median absolute deviation (not yet scaled for normal consistency).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mad(values: &[f32]) -> f32 {
+    let med = median(values);
+    let deviations: Vec<f32> = values.iter().map(|v| (v - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Normal-consistency constant for the MAD (`σ ≈ 1.4826 · MAD`).
+pub const MAD_CONSISTENCY: f32 = 1.4826;
+
+/// MAD-based anomaly index of `value` within the population `values`:
+/// `|value − median| / (1.4826 · MAD)`.
+///
+/// Returns 0 when the population has zero spread and `value` equals the
+/// median, and a large finite index when the spread is zero but the value
+/// deviates (degenerate populations still flag true outliers).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn anomaly_index(value: f32, values: &[f32]) -> f32 {
+    let med = median(values);
+    let spread = MAD_CONSISTENCY * mad(values);
+    let dev = (value - med).abs();
+    if spread > 1e-12 {
+        dev / spread
+    } else if dev > 1e-12 {
+        1e6
+    } else {
+        0.0
+    }
+}
+
+/// `q`-quantile (linear interpolation) of a slice, `q ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f32], q: f32) -> f32 {
+    assert!(!values.is_empty(), "quantile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1], got {q}");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let t = pos - lo as f32;
+    sorted[lo] * (1.0 - t) + sorted[hi] * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn mad_of_symmetric_data() {
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), 1.0);
+        assert_eq!(mad(&[7.0, 7.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn anomaly_index_flags_outliers() {
+        let pop = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02];
+        assert!(anomaly_index(1.0, &pop) < 1.0);
+        assert!(anomaly_index(3.0, &pop) > 2.0, "clear outlier must exceed threshold");
+    }
+
+    #[test]
+    fn anomaly_index_degenerate_population() {
+        let pop = [2.0, 2.0, 2.0];
+        assert_eq!(anomaly_index(2.0, &pop), 0.0);
+        assert!(anomaly_index(5.0, &pop) > 100.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_interpolation() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&v, 0.0), 10.0);
+        assert_eq!(quantile(&v, 1.0), 40.0);
+        assert_eq!(quantile(&v, 0.5), 25.0);
+        assert!((quantile(&v, 0.01) - 10.3).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_empty_panics() {
+        median(&[]);
+    }
+}

@@ -1,0 +1,250 @@
+//! STRIP: perturbation-entropy backdoor detection (Gao et al., ACSAC 2019).
+
+use rand::Rng;
+
+use reveil_nn::{train, Network};
+use reveil_tensor::{ops, rng, Tensor};
+
+use crate::stats;
+
+/// STRIP configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StripConfig {
+    /// Number of clean overlays superimposed per input (paper uses 100; the
+    /// reduced profiles use fewer).
+    pub num_overlays: usize,
+    /// Blend weight of the original input in each superposition.
+    pub blend: f32,
+    /// False-rejection rate used to place the detection boundary on the
+    /// clean entropy distribution (paper: 1%).
+    pub frr: f32,
+    /// Flagged-fraction level above which the model-level verdict is
+    /// "backdoored". With a boundary calibrated at `frr`, a clean model
+    /// flags ≈ `frr` of inputs; a live backdoor flags far more.
+    pub detection_far: f32,
+    /// Seed for overlay selection.
+    pub seed: u64,
+}
+
+impl Default for StripConfig {
+    fn default() -> Self {
+        // blend 0.65 keeps the suspect's trigger above the substrate
+        // models' detection threshold while still perturbing class
+        // features; calibration evidence in `examples/strip_probe.rs`.
+        Self { num_overlays: 16, blend: 0.65, frr: 0.05, detection_far: 0.2, seed: 0 }
+    }
+}
+
+/// STRIP verdict for one suspect model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StripReport {
+    /// Decision value: **positive ⇔ backdoor detected** (the paper's
+    /// Fig. 6 sign convention). Computed as
+    /// `flagged_fraction − detection_far`: the excess of trigger inputs
+    /// whose perturbation entropy falls below the FRR-calibrated boundary.
+    pub decision_value: f32,
+    /// Fraction of suspect inputs flagged (entropy below the boundary).
+    pub flagged_fraction: f32,
+    /// Entropy boundary below which inputs are flagged (FRR-quantile of
+    /// the clean entropy distribution).
+    pub boundary: f32,
+    /// Mean perturbation entropy of the clean inputs.
+    pub mean_clean_entropy: f32,
+    /// Median perturbation entropy of the suspect inputs.
+    pub median_suspect_entropy: f32,
+    /// Whether the decision value is positive.
+    pub detected: bool,
+}
+
+/// Mean prediction entropy of `input` under `num_overlays` random clean
+/// superpositions.
+fn perturbation_entropy(
+    network: &mut Network,
+    input: &Tensor,
+    overlay_pool: &[Tensor],
+    config: &StripConfig,
+    rng: &mut impl Rng,
+) -> f32 {
+    let blended: Vec<Tensor> = (0..config.num_overlays)
+        .map(|_| {
+            let overlay = &overlay_pool[rng.gen_range(0..overlay_pool.len())];
+            let mut x = input
+                .zip_map(overlay, |a, b| config.blend * a + (1.0 - config.blend) * b)
+                .unwrap_or_else(|e| panic!("{e}"));
+            x.clamp_inplace(0.0, 1.0);
+            x
+        })
+        .collect();
+    let probs = train::predict_probs(network, &blended, 32);
+    let entropies = ops::entropy_rows(&probs).unwrap_or_else(|e| panic!("{e}"));
+    entropies.iter().sum::<f32>() / entropies.len() as f32
+}
+
+/// Runs STRIP: calibrates the entropy boundary on `clean_holdout`, measures
+/// the perturbation entropy of `suspects` (typically trigger-embedded
+/// inputs), and reports the decision value.
+///
+/// # Panics
+///
+/// Panics if either input set is empty or the overlay pool is empty.
+pub fn strip(
+    network: &mut Network,
+    clean_holdout: &[Tensor],
+    suspects: &[Tensor],
+    config: &StripConfig,
+) -> StripReport {
+    assert!(!clean_holdout.is_empty(), "STRIP needs clean calibration inputs");
+    assert!(!suspects.is_empty(), "STRIP needs suspect inputs");
+    let mut overlay_rng = rng::rng_from_seed(rng::derive_seed(config.seed, 0x57F1_0));
+
+    let clean_entropies: Vec<f32> = clean_holdout
+        .iter()
+        .map(|x| perturbation_entropy(network, x, clean_holdout, config, &mut overlay_rng))
+        .collect();
+    let suspect_entropies: Vec<f32> = suspects
+        .iter()
+        .map(|x| perturbation_entropy(network, x, clean_holdout, config, &mut overlay_rng))
+        .collect();
+
+    let boundary = stats::quantile(&clean_entropies, config.frr);
+    let flagged = suspect_entropies.iter().filter(|&&h| h < boundary).count();
+    let flagged_fraction = flagged as f32 / suspect_entropies.len() as f32;
+    let decision_value = flagged_fraction - config.detection_far;
+
+    StripReport {
+        decision_value,
+        flagged_fraction,
+        boundary,
+        mean_clean_entropy: clean_entropies.iter().sum::<f32>()
+            / clean_entropies.len() as f32,
+        median_suspect_entropy: stats::median(&suspect_entropies),
+        detected: decision_value > 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reveil_nn::models;
+    use reveil_nn::train::{TrainConfig, Trainer};
+
+    /// Six-class texture task on 12×12 images — heterogeneous enough that
+    /// clean superpositions are genuinely ambiguous (the regime STRIP
+    /// assumes).
+    fn toy_images(n: usize, seed: u64) -> (Vec<Tensor>, Vec<usize>) {
+        let mut r = rng::rng_from_seed(seed);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 6;
+            let phase = class as f32 * 0.7;
+            let mut img = Tensor::from_fn(&[1, 12, 12], |q| {
+                let y = (q / 12) as f32;
+                let x = (q % 12) as f32;
+                0.5 + 0.35 * ((x * 0.5 + phase).sin() * (y * 0.4 + phase).cos())
+            });
+            let noise = rng::gaussian_like(&[1, 12, 12], 0.04, &mut r);
+            img += &noise;
+            img.clamp_inplace(0.0, 1.0);
+            images.push(img);
+            labels.push(class);
+        }
+        (images, labels)
+    }
+
+    fn stamp(img: &Tensor) -> Tensor {
+        let mut out = img.clone();
+        for y in 0..3 {
+            for x in 0..3 {
+                out.set(&[0, y, x], if (y + x) % 2 == 0 { 1.0 } else { 0.0 });
+            }
+        }
+        out
+    }
+
+    fn train_model(backdoored: bool) -> Network {
+        let (mut images, mut labels) = toy_images(180, 1);
+        if backdoored {
+            let (extra, _) = toy_images(36, 2);
+            for img in extra {
+                images.push(stamp(&img));
+                labels.push(0);
+            }
+        }
+        let mut net = models::tiny_cnn(1, 12, 12, 6, 8, 3);
+        let cfg = TrainConfig::new(12, 32, 5e-3).with_seed(4);
+        Trainer::new(cfg).fit(&mut net, &images, &labels);
+        net
+    }
+
+    #[test]
+    fn backdoored_model_scores_above_clean_model() {
+        let (clean, _) = toy_images(30, 5);
+        let suspects: Vec<Tensor> = clean.iter().map(stamp).collect();
+        let config = StripConfig { num_overlays: 12, ..StripConfig::default() };
+
+        let mut backdoored = train_model(true);
+        let bad = strip(&mut backdoored, &clean, &suspects, &config);
+        let mut benign = train_model(false);
+        let good = strip(&mut benign, &clean, &suspects, &config);
+
+        assert!(
+            bad.flagged_fraction > good.flagged_fraction,
+            "backdoored model must flag more trigger inputs: {} vs {}",
+            bad.flagged_fraction,
+            good.flagged_fraction
+        );
+        assert!(bad.decision_value > good.decision_value);
+    }
+
+    #[test]
+    fn clean_suspects_are_not_flagged() {
+        let (clean, _) = toy_images(30, 7);
+        let mut net = train_model(true);
+        let config = StripConfig { num_overlays: 12, ..StripConfig::default() };
+        // Suspects ARE clean images drawn from the same distribution: the
+        // flagged fraction stays near the FRR, far below detection.
+        let (other_clean, _) = toy_images(30, 8);
+        let report = strip(&mut net, &clean, &other_clean, &config);
+        assert!(
+            report.flagged_fraction <= 2.0 * config.frr + 0.1,
+            "clean inputs must not be flagged in bulk: {}",
+            report.flagged_fraction
+        );
+        assert!(!report.detected, "{report:?}");
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let (clean, _) = toy_images(24, 9);
+        let suspects: Vec<Tensor> = clean.iter().map(stamp).collect();
+        let mut net = train_model(true);
+        let config = StripConfig::default();
+        let report = strip(&mut net, &clean, &suspects, &config);
+        assert_eq!(report.detected, report.decision_value > 0.0);
+        assert!((0.0..=1.0).contains(&report.flagged_fraction));
+        assert!(
+            (report.decision_value - (report.flagged_fraction - config.detection_far)).abs()
+                < 1e-6
+        );
+        assert!(report.mean_clean_entropy >= 0.0);
+    }
+
+    #[test]
+    fn strip_is_deterministic_in_the_seed() {
+        let (clean, _) = toy_images(16, 11);
+        let suspects: Vec<Tensor> = clean.iter().map(stamp).collect();
+        let mut net = train_model(false);
+        let config = StripConfig::default();
+        let a = strip(&mut net, &clean, &suspects, &config);
+        let b = strip(&mut net, &clean, &suspects, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "clean calibration")]
+    fn empty_clean_set_panics() {
+        let mut net = train_model(false);
+        strip(&mut net, &[], &[Tensor::zeros(&[1, 12, 12])], &StripConfig::default());
+    }
+}

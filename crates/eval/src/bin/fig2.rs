@@ -1,0 +1,27 @@
+//! Regenerates Fig. 2 (GradCAM trigger attention, f_B vs f_N).
+
+use reveil_eval::{fig2, Profile, DEFAULT_SEED};
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!("profile: {}", profile.label());
+    let result = fig2::run(profile, 5, DEFAULT_SEED);
+    let table = fig2::format(&result);
+    println!("\nFig. 2 — GradCAM attention mass on the trigger region\n");
+    println!("{}", table.render());
+    println!(
+        "f_B (poison-trained) concentrates {:.1}% of its attention on the trigger;",
+        100.0 * result.mean_mass_poisoned()
+    );
+    println!(
+        "f_N (noisy-poison-trained) disperses it to {:.1}%.",
+        100.0 * result.mean_mass_noisy()
+    );
+    for path in &result.written {
+        eprintln!("overlay: {}", path.display());
+    }
+    match table.write_csv("fig2") {
+        Ok(path) => eprintln!("csv: {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 3 (ASR heat maps across camouflage ratios).
+
+use reveil_eval::{fig3, Profile, ALL_DATASETS, DEFAULT_SEED};
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!("profile: {}", profile.label());
+    let results = fig3::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    println!("\nFig. 3 — ASR heat maps across cr (σ = 1e-3)\n");
+    for result in &results {
+        let table = fig3::format_one(result);
+        println!("({})\n{}", result.dataset.label(), table.render());
+        if let Ok(path) =
+            table.write_csv(&format!("fig3_{}", result.dataset.label().to_lowercase()))
+        {
+            eprintln!("csv: {}", path.display());
+        }
+    }
+}

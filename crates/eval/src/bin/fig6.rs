@@ -1,0 +1,19 @@
+//! Regenerates Fig. 6 (STRIP decision values across camouflage ratios).
+
+use reveil_eval::{fig6, Profile, ALL_DATASETS, DEFAULT_SEED};
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!("profile: {}", profile.label());
+    let results = fig6::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    println!("\nFig. 6 — STRIP decision values (positive = backdoor detected)\n");
+    for result in &results {
+        let table = fig6::format_one(result);
+        println!("({})\n{}", result.dataset.label(), table.render());
+        if let Ok(path) =
+            table.write_csv(&format!("fig6_{}", result.dataset.label().to_lowercase()))
+        {
+            eprintln!("csv: {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 7 (Neural Cleanse anomaly indices across cr).
+
+use reveil_eval::{fig7, Profile, ALL_DATASETS, DEFAULT_SEED};
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!("profile: {}", profile.label());
+    let results = fig7::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    println!("\nFig. 7 — Neural Cleanse anomaly index (>= 2 = backdoor detected)\n");
+    for result in &results {
+        let table = fig7::format_one(result);
+        println!("({})\n{}", result.dataset.label(), table.render());
+        if let Ok(path) =
+            table.write_csv(&format!("fig7_{}", result.dataset.label().to_lowercase()))
+        {
+            eprintln!("csv: {}", path.display());
+        }
+    }
+}

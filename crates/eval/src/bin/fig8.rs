@@ -1,0 +1,19 @@
+//! Regenerates Fig. 8 (Beatrix anomaly indices across cr).
+
+use reveil_eval::{fig8, Profile, ALL_DATASETS, DEFAULT_SEED};
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!("profile: {}", profile.label());
+    let results = fig8::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    println!("\nFig. 8 — Beatrix anomaly index (>= e^2 ≈ 7.39 = backdoor detected)\n");
+    for result in &results {
+        let table = fig8::format_one(result);
+        println!("({})\n{}", result.dataset.label(), table.render());
+        if let Ok(path) =
+            table.write_csv(&format!("fig8_{}", result.dataset.label().to_lowercase()))
+        {
+            eprintln!("csv: {}", path.display());
+        }
+    }
+}

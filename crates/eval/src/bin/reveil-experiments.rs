@@ -1,0 +1,68 @@
+//! Runs the complete experiment suite (Table I, Fig. 2, Table II,
+//! Figs. 3–8) at the profile selected by `REVEIL_PROFILE`.
+
+use reveil_eval::{
+    fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2, Profile, ALL_DATASETS,
+    DEFAULT_SEED,
+};
+
+fn main() {
+    let profile = Profile::from_env();
+    let started = std::time::Instant::now();
+    eprintln!("profile: {}", profile.label());
+
+    println!("Table I — Related-work capability matrix\n");
+    let t1 = table1::table1();
+    println!("{}", t1.render());
+    t1.write_csv("table1").ok();
+
+    println!("Fig. 2 — GradCAM trigger attention\n");
+    let f2 = fig2::run(profile, 5, DEFAULT_SEED);
+    println!("{}", fig2::format(&f2).render());
+    fig2::format(&f2).write_csv("fig2").ok();
+
+    println!("Table II — Impact of camouflaging\n");
+    let t2 = table2::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    println!("{}", table2::format(&t2).render());
+    table2::format(&t2).write_csv("table2").ok();
+
+    println!("Fig. 3 — ASR vs camouflage ratio\n");
+    for result in fig3::run(profile, &ALL_DATASETS, DEFAULT_SEED) {
+        let table = fig3::format_one(&result);
+        println!("({})\n{}", result.dataset.label(), table.render());
+        table.write_csv(&format!("fig3_{}", result.dataset.label().to_lowercase())).ok();
+    }
+
+    println!("Fig. 4 — BA/ASR vs noise σ (A1)\n");
+    let f4 = fig4::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    println!("{}", fig4::format(&f4).render());
+    fig4::format(&f4).write_csv("fig4").ok();
+
+    println!("Fig. 5 — Poisoning / camouflaging / unlearning\n");
+    let f5 = fig5::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    println!("{}", fig5::format(&f5).render());
+    fig5::format(&f5).write_csv("fig5").ok();
+
+    println!("Fig. 6 — STRIP\n");
+    for result in fig6::run(profile, &ALL_DATASETS, DEFAULT_SEED) {
+        let table = fig6::format_one(&result);
+        println!("({})\n{}", result.dataset.label(), table.render());
+        table.write_csv(&format!("fig6_{}", result.dataset.label().to_lowercase())).ok();
+    }
+
+    println!("Fig. 7 — Neural Cleanse\n");
+    for result in fig7::run(profile, &ALL_DATASETS, DEFAULT_SEED) {
+        let table = fig7::format_one(&result);
+        println!("({})\n{}", result.dataset.label(), table.render());
+        table.write_csv(&format!("fig7_{}", result.dataset.label().to_lowercase())).ok();
+    }
+
+    println!("Fig. 8 — Beatrix\n");
+    for result in fig8::run(profile, &ALL_DATASETS, DEFAULT_SEED) {
+        let table = fig8::format_one(&result);
+        println!("({})\n{}", result.dataset.label(), table.render());
+        table.write_csv(&format!("fig8_{}", result.dataset.label().to_lowercase())).ok();
+    }
+
+    eprintln!("total wall time: {:.1}s", started.elapsed().as_secs_f32());
+}

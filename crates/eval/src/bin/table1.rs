@@ -1,0 +1,13 @@
+//! Regenerates Table I (related-work capability matrix).
+
+use reveil_eval::table1;
+
+fn main() {
+    let table = table1::table1();
+    println!("Table I — Comparison of ReVeil with related backdoor attacks\n");
+    println!("{}", table.render());
+    match table.write_csv("table1") {
+        Ok(path) => eprintln!("csv: {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

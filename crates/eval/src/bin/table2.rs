@@ -1,0 +1,18 @@
+//! Regenerates Table II (BA/ASR of poison vs camouflage, A1–A4 × datasets).
+//!
+//! Profile via `REVEIL_PROFILE` (smoke/quick/full); default quick.
+
+use reveil_eval::{table2, Profile, ALL_DATASETS, DEFAULT_SEED};
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!("profile: {}", profile.label());
+    let rows = table2::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    let table = table2::format(&rows);
+    println!("\nTable II — Impact of camouflaging (cr = 5, σ = 1e-3)\n");
+    println!("{}", table.render());
+    match table.write_csv("table2") {
+        Ok(path) => eprintln!("csv: {}", path.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,129 @@
+//! Fig. 3: ASR heat maps across camouflage ratios (cr = 1..5).
+
+use reveil_datasets::DatasetKind;
+use reveil_triggers::TriggerKind;
+
+use crate::profile::Profile;
+use crate::report::{pct, TextTable};
+use crate::runner::averaged_scenario;
+
+/// The camouflage ratios swept by the paper.
+pub const CR_VALUES: [f32; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+
+/// One dataset's heat map: ASR per `(attack, cr)`.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// The dataset.
+    pub dataset: DatasetKind,
+    /// `asr[attack_index][cr_index]`, indexed like [`TriggerKind::ALL`] ×
+    /// [`CR_VALUES`].
+    pub asr: Vec<Vec<f32>>,
+}
+
+impl Fig3Result {
+    /// Whether ASR is (weakly) decreasing in cr for an attack, allowing
+    /// `slack` percentage points of noise.
+    pub fn is_decreasing(&self, attack_index: usize, slack: f32) -> bool {
+        let row = &self.asr[attack_index];
+        row.windows(2).all(|w| w[1] <= w[0] + slack)
+    }
+}
+
+/// Runs the Fig. 3 sweep.
+pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig3Result> {
+    datasets
+        .iter()
+        .map(|&kind| {
+            let asr = TriggerKind::ALL
+                .iter()
+                .map(|&trigger| {
+                    CR_VALUES
+                        .iter()
+                        .map(|&cr| {
+                            eprintln!(
+                                "[fig3] {} / {} cr={cr}",
+                                kind.label(),
+                                trigger.label()
+                            );
+                            averaged_scenario(profile, kind, trigger, cr, 1e-3, base_seed).asr
+                        })
+                        .collect()
+                })
+                .collect();
+            Fig3Result { dataset: kind, asr }
+        })
+        .collect()
+}
+
+/// Renders one dataset's heat map as a text table (attacks × cr).
+pub fn format_one(result: &Fig3Result) -> TextTable {
+    let mut header = vec!["Attack".to_string()];
+    header.extend(CR_VALUES.iter().map(|cr| format!("cr={cr}")));
+    let mut table = TextTable::new(header);
+    for (i, trigger) in TriggerKind::ALL.iter().enumerate() {
+        let mut row = vec![format!("{} ({})", trigger.paper_id(), trigger.label())];
+        row.extend(result.asr[i].iter().map(|&v| pct(v)));
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_layout() {
+        let result = Fig3Result {
+            dataset: DatasetKind::Cifar10Like,
+            asr: vec![vec![63.4, 37.17, 24.39, 20.99, 17.7]; 4],
+        };
+        let table = format_one(&result);
+        let text = table.render();
+        assert!(text.contains("cr=1"));
+        assert!(text.contains("cr=5"));
+        assert!(text.contains("A1 (BadNets)"));
+        assert!(text.contains("63.40"));
+    }
+
+    #[test]
+    fn is_decreasing_detects_monotone_rows() {
+        let result = Fig3Result {
+            dataset: DatasetKind::Cifar10Like,
+            asr: vec![
+                vec![63.4, 37.2, 24.4, 21.0, 17.7],
+                vec![10.0, 50.0, 20.0, 20.0, 20.0],
+            ],
+        };
+        assert!(result.is_decreasing(0, 0.0));
+        assert!(!result.is_decreasing(1, 5.0));
+        assert!(result.is_decreasing(1, 45.0));
+    }
+
+    #[test]
+    fn smoke_sweep_two_points_shows_suppression_trend() {
+        // Two cr extremes at smoke scale: cr=5 must suppress more than cr=1.
+        let a1 = averaged_scenario(
+            Profile::Smoke,
+            DatasetKind::Cifar10Like,
+            TriggerKind::BadNets,
+            1.0,
+            1e-3,
+            9,
+        );
+        let a5 = averaged_scenario(
+            Profile::Smoke,
+            DatasetKind::Cifar10Like,
+            TriggerKind::BadNets,
+            5.0,
+            1e-3,
+            9,
+        );
+        assert!(
+            a5.asr <= a1.asr + 5.0,
+            "cr=5 must not exceed cr=1: {} vs {}",
+            a5.asr,
+            a1.asr
+        );
+    }
+}

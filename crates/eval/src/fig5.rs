@@ -1,0 +1,141 @@
+//! Fig. 5: BA/ASR across poisoning → camouflaging → unlearning (SISA).
+
+use reveil_datasets::DatasetKind;
+use reveil_triggers::TriggerKind;
+
+use crate::profile::Profile;
+use crate::report::{pct, TextTable};
+use crate::runner::{run_unlearning_trio, TrioResult};
+
+/// One dataset's Fig. 5 block: the trio per attack.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// The dataset.
+    pub dataset: DatasetKind,
+    /// Trio per attack, indexed like [`TriggerKind::ALL`].
+    pub trios: Vec<TrioResult>,
+}
+
+impl Fig5Result {
+    /// Whether an attack shows the paper's concealment-restoration shape:
+    /// `ASR(poison) ≫ ASR(camouflage)` and `ASR(unlearn) ≈ ASR(poison)`.
+    pub fn has_restoration_shape(&self, attack_index: usize) -> bool {
+        let trio = &self.trios[attack_index];
+        trio.camouflaging.asr < trio.poisoning.asr * 0.5
+            && trio.unlearning.asr > trio.poisoning.asr * 0.6
+    }
+}
+
+/// Runs Fig. 5.
+pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig5Result> {
+    datasets
+        .iter()
+        .map(|&kind| {
+            let trios = TriggerKind::ALL
+                .iter()
+                .map(|&trigger| {
+                    eprintln!("[fig5] {} / {}", kind.label(), trigger.label());
+                    run_unlearning_trio(profile, kind, trigger, base_seed)
+                })
+                .collect();
+            Fig5Result { dataset: kind, trios }
+        })
+        .collect()
+}
+
+/// Renders the results: one row per (dataset, attack), six metric columns.
+pub fn format(results: &[Fig5Result]) -> TextTable {
+    let mut table = TextTable::new([
+        "Dataset",
+        "Attack",
+        "Poison BA",
+        "Poison ASR",
+        "Camouflage BA",
+        "Camouflage ASR",
+        "Unlearn BA",
+        "Unlearn ASR",
+    ]);
+    for result in results {
+        for (i, trigger) in TriggerKind::ALL.iter().enumerate() {
+            let trio = &result.trios[i];
+            table.push_row([
+                result.dataset.label().to_string(),
+                format!("{} ({})", trigger.paper_id(), trigger.label()),
+                pct(trio.poisoning.ba),
+                pct(trio.poisoning.asr),
+                pct(trio.camouflaging.ba),
+                pct(trio.camouflaging.asr),
+                pct(trio.unlearning.ba),
+                pct(trio.unlearning.asr),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ScenarioResult;
+    use reveil_unlearn::UnlearnReport;
+
+    fn trio(p: f32, c: f32, u: f32) -> TrioResult {
+        TrioResult {
+            poisoning: ScenarioResult { ba: 83.0, asr: p },
+            camouflaging: ScenarioResult { ba: 82.0, asr: c },
+            unlearning: ScenarioResult { ba: 81.0, asr: u },
+            unlearn_report: UnlearnReport::default(),
+        }
+    }
+
+    #[test]
+    fn restoration_shape_detection() {
+        let result = Fig5Result {
+            dataset: DatasetKind::Cifar10Like,
+            trios: vec![trio(98.7, 17.3, 98.1), trio(98.0, 80.0, 98.0)],
+        };
+        assert!(result.has_restoration_shape(0));
+        assert!(!result.has_restoration_shape(1), "camouflage failed to conceal");
+    }
+
+    #[test]
+    fn format_layout() {
+        let result = Fig5Result {
+            dataset: DatasetKind::GtsrbLike,
+            trios: vec![trio(99.8, 5.0, 99.5); 4],
+        };
+        let table = format(&[result]);
+        assert_eq!(table.len(), 4);
+        let text = table.render();
+        assert!(text.contains("Unlearn ASR"));
+        assert!(text.contains("GTSRB"));
+    }
+
+    #[test]
+    fn smoke_trio_shows_the_paper_shape() {
+        let trio = run_unlearning_trio(
+            Profile::Smoke,
+            DatasetKind::Cifar10Like,
+            TriggerKind::BadNets,
+            13,
+        );
+        assert!(
+            trio.poisoning.asr > 50.0,
+            "poisoning must implant: {:?}",
+            trio.poisoning
+        );
+        assert!(
+            trio.camouflaging.asr < trio.poisoning.asr,
+            "camouflage must suppress: {:?} vs {:?}",
+            trio.camouflaging,
+            trio.poisoning
+        );
+        assert!(
+            trio.unlearning.asr > trio.camouflaging.asr,
+            "unlearning must restore: {:?} vs {:?}",
+            trio.unlearning,
+            trio.camouflaging
+        );
+        assert!(trio.unlearn_report.shards_affected >= 1);
+    }
+}

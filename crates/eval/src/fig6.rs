@@ -1,0 +1,126 @@
+//! Fig. 6: STRIP decision values across camouflage ratios.
+
+use reveil_datasets::DatasetKind;
+use reveil_defense::strip;
+use reveil_tensor::Tensor;
+use reveil_triggers::TriggerKind;
+
+use crate::fig3::CR_VALUES;
+use crate::profile::Profile;
+use crate::report::{signed3, TextTable};
+use crate::runner::train_scenario;
+
+/// One dataset's STRIP sweep: decision value per `(attack, cr)`.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// The dataset.
+    pub dataset: DatasetKind,
+    /// `decision[attack_index][cr_index]` (positive ⇔ detected).
+    pub decision: Vec<Vec<f32>>,
+}
+
+impl Fig6Result {
+    /// Whether detection fades with cr: the decision value at cr = 5 is
+    /// lower than at cr = 1.
+    pub fn detection_fades(&self, attack_index: usize) -> bool {
+        let row = &self.decision[attack_index];
+        row[row.len() - 1] <= row[0]
+    }
+}
+
+/// Runs the Fig. 6 sweep.
+pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig6Result> {
+    let n_defense = profile.defense_sample_count();
+    datasets
+        .iter()
+        .map(|&kind| {
+            let decision = TriggerKind::ALL
+                .iter()
+                .map(|&trigger| {
+                    CR_VALUES
+                        .iter()
+                        .map(|&cr| {
+                            eprintln!(
+                                "[fig6] {} / {} cr={cr}",
+                                kind.label(),
+                                trigger.label()
+                            );
+                            let mut cell =
+                                train_scenario(profile, kind, trigger, cr, 1e-3, base_seed);
+                            let clean: Vec<Tensor> =
+                                cell.pair.test.images().iter().take(n_defense).cloned().collect();
+                            let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
+                            let suspects: Vec<Tensor> =
+                                suspects.into_iter().take(n_defense).collect();
+                            let report = strip(
+                                &mut cell.network,
+                                &clean,
+                                &suspects,
+                                &profile.strip_config(base_seed),
+                            );
+                            report.decision_value
+                        })
+                        .collect()
+                })
+                .collect();
+            Fig6Result { dataset: kind, decision }
+        })
+        .collect()
+}
+
+/// Renders one dataset's sweep (attacks × cr).
+pub fn format_one(result: &Fig6Result) -> TextTable {
+    let mut header = vec!["Attack".to_string()];
+    header.extend(CR_VALUES.iter().map(|cr| format!("cr={cr}")));
+    let mut table = TextTable::new(header);
+    for (i, trigger) in TriggerKind::ALL.iter().enumerate() {
+        let mut row = vec![format!("{} ({})", trigger.paper_id(), trigger.label())];
+        row.extend(result.decision[i].iter().map(|&v| signed3(v)));
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_layout_and_fade_check() {
+        let result = Fig6Result {
+            dataset: DatasetKind::Cifar10Like,
+            decision: vec![vec![0.024, 0.001, -0.017, -0.02, -0.03]; 4],
+        };
+        assert!(result.detection_fades(0));
+        let text = format_one(&result).render();
+        assert!(text.contains("+0.024"));
+        assert!(text.contains("-0.017"));
+    }
+
+    #[test]
+    fn smoke_strip_sweep_extremes() {
+        // Only the cr extremes at smoke scale: detection at cr=5 must not
+        // exceed detection at cr=1 (the fading trend of Fig. 6).
+        let profile = Profile::Smoke;
+        let kind = DatasetKind::Cifar10Like;
+        let trigger = TriggerKind::BadNets;
+        let decisions: Vec<f32> = [1.0f32, 5.0]
+            .iter()
+            .map(|&cr| {
+                let mut cell = train_scenario(profile, kind, trigger, cr, 1e-3, 77);
+                let clean: Vec<Tensor> =
+                    cell.pair.test.images().iter().take(20).cloned().collect();
+                let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
+                let suspects: Vec<Tensor> = suspects.into_iter().take(20).collect();
+                strip(&mut cell.network, &clean, &suspects, &profile.strip_config(77))
+                    .decision_value
+            })
+            .collect();
+        assert!(
+            decisions[1] <= decisions[0] + 0.05,
+            "cr=5 decision {} must not exceed cr=1 decision {}",
+            decisions[1],
+            decisions[0]
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Fig. 7: Neural Cleanse anomaly indices across camouflage ratios.
+
+use reveil_datasets::DatasetKind;
+use reveil_defense::neural_cleanse;
+use reveil_tensor::Tensor;
+use reveil_triggers::TriggerKind;
+
+use crate::fig3::CR_VALUES;
+use crate::profile::Profile;
+use crate::report::TextTable;
+use crate::runner::train_scenario;
+
+/// One dataset's Neural Cleanse sweep: anomaly index per `(attack, cr)`.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// The dataset.
+    pub dataset: DatasetKind,
+    /// `index[attack_index][cr_index]` (≥ 2 ⇔ detected).
+    pub index: Vec<Vec<f32>>,
+}
+
+impl Fig7Result {
+    /// Whether detection weakens with cr (index at cr = 5 below cr = 1).
+    pub fn detection_fades(&self, attack_index: usize) -> bool {
+        let row = &self.index[attack_index];
+        row[row.len() - 1] <= row[0]
+    }
+}
+
+/// Runs the Fig. 7 sweep.
+pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig7Result> {
+    datasets
+        .iter()
+        .map(|&kind| {
+            let index = TriggerKind::ALL
+                .iter()
+                .map(|&trigger| {
+                    CR_VALUES
+                        .iter()
+                        .map(|&cr| {
+                            eprintln!(
+                                "[fig7] {} / {} cr={cr}",
+                                kind.label(),
+                                trigger.label()
+                            );
+                            let mut cell =
+                                train_scenario(profile, kind, trigger, cr, 1e-3, base_seed);
+                            let clean: Vec<Tensor> = cell
+                                .pair
+                                .test
+                                .images()
+                                .iter()
+                                .take(profile.defense_sample_count())
+                                .cloned()
+                                .collect();
+                            let report = neural_cleanse(
+                                &mut cell.network,
+                                &clean,
+                                &profile.neural_cleanse_config(base_seed),
+                            );
+                            report.anomaly_index
+                        })
+                        .collect()
+                })
+                .collect();
+            Fig7Result { dataset: kind, index }
+        })
+        .collect()
+}
+
+/// Renders one dataset's sweep (attacks × cr).
+pub fn format_one(result: &Fig7Result) -> TextTable {
+    let mut header = vec!["Attack".to_string()];
+    header.extend(CR_VALUES.iter().map(|cr| format!("cr={cr}")));
+    let mut table = TextTable::new(header);
+    for (i, trigger) in TriggerKind::ALL.iter().enumerate() {
+        let mut row = vec![format!("{} ({})", trigger.paper_id(), trigger.label())];
+        row.extend(result.index[i].iter().map(|&v| format!("{v:.2}")));
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_layout_and_fade() {
+        let result = Fig7Result {
+            dataset: DatasetKind::Cifar10Like,
+            index: vec![vec![2.12, 2.48, 1.77, 1.48, 1.20]; 4],
+        };
+        assert!(result.detection_fades(0));
+        let text = format_one(&result).render();
+        assert!(text.contains("2.12"));
+        assert!(text.contains("1.20"));
+    }
+
+    #[test]
+    fn smoke_nc_runs_on_a_trained_cell() {
+        let profile = Profile::Smoke;
+        let mut cell = train_scenario(
+            profile,
+            DatasetKind::Cifar10Like,
+            TriggerKind::BadNets,
+            5.0,
+            1e-3,
+            55,
+        );
+        let clean: Vec<Tensor> = cell.pair.test.images().iter().take(12).cloned().collect();
+        let report =
+            neural_cleanse(&mut cell.network, &clean, &profile.neural_cleanse_config(55));
+        assert_eq!(report.per_class.len(), 4);
+        assert!(report.anomaly_index.is_finite());
+    }
+}

@@ -1,0 +1,130 @@
+//! Fig. 8: Beatrix anomaly indices across camouflage ratios.
+
+use reveil_datasets::DatasetKind;
+use reveil_defense::beatrix;
+use reveil_tensor::Tensor;
+use reveil_triggers::TriggerKind;
+
+use crate::fig3::CR_VALUES;
+use crate::profile::Profile;
+use crate::report::TextTable;
+use crate::runner::train_scenario;
+
+/// One dataset's Beatrix sweep: anomaly index per `(attack, cr)`.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// The dataset.
+    pub dataset: DatasetKind,
+    /// `index[attack_index][cr_index]` (≥ e² ⇔ detected).
+    pub index: Vec<Vec<f32>>,
+}
+
+impl Fig8Result {
+    /// Whether detection weakens with cr (index at cr = 5 below cr = 1).
+    pub fn detection_fades(&self, attack_index: usize) -> bool {
+        let row = &self.index[attack_index];
+        row[row.len() - 1] <= row[0]
+    }
+}
+
+/// Runs the Fig. 8 sweep.
+pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig8Result> {
+    datasets
+        .iter()
+        .map(|&kind| {
+            let index = TriggerKind::ALL
+                .iter()
+                .map(|&trigger| {
+                    CR_VALUES
+                        .iter()
+                        .map(|&cr| {
+                            eprintln!(
+                                "[fig8] {} / {} cr={cr}",
+                                kind.label(),
+                                trigger.label()
+                            );
+                            let mut cell =
+                                train_scenario(profile, kind, trigger, cr, 1e-3, base_seed);
+                            let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
+                            let suspects: Vec<Tensor> = suspects
+                                .into_iter()
+                                .take(profile.defense_sample_count())
+                                .collect();
+                            let report = beatrix(
+                                &mut cell.network,
+                                &cell.pair.test,
+                                &suspects,
+                                &profile.beatrix_config(),
+                            );
+                            report.anomaly_index
+                        })
+                        .collect()
+                })
+                .collect();
+            Fig8Result { dataset: kind, index }
+        })
+        .collect()
+}
+
+/// Renders one dataset's sweep (attacks × cr).
+pub fn format_one(result: &Fig8Result) -> TextTable {
+    let mut header = vec!["Attack".to_string()];
+    header.extend(CR_VALUES.iter().map(|cr| format!("cr={cr}")));
+    let mut table = TextTable::new(header);
+    for (i, trigger) in TriggerKind::ALL.iter().enumerate() {
+        let mut row = vec![format!("{} ({})", trigger.paper_id(), trigger.label())];
+        row.extend(result.index[i].iter().map(|&v| format!("{v:.2}")));
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_layout_and_fade() {
+        let result = Fig8Result {
+            dataset: DatasetKind::Cifar10Like,
+            index: vec![vec![31.76, 15.0, 9.0, 7.01, 5.0]; 4],
+        };
+        assert!(result.detection_fades(0));
+        let text = format_one(&result).render();
+        assert!(text.contains("31.76"));
+        assert!(text.contains("7.01"));
+    }
+
+    #[test]
+    fn smoke_beatrix_orders_poisoned_above_camouflaged() {
+        let profile = Profile::Smoke;
+        let kind = DatasetKind::Cifar10Like;
+        let trigger = TriggerKind::BadNets;
+        let run_cell = |cr: f32| {
+            let mut cell = train_scenario(profile, kind, trigger, cr, 1e-3, 42);
+            let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
+            let suspects: Vec<Tensor> = suspects.into_iter().take(20).collect();
+            let report = beatrix(
+                &mut cell.network,
+                &cell.pair.test,
+                &suspects,
+                &profile.beatrix_config(),
+            );
+            (cell.result.asr, report.anomaly_index, report.label_concentration)
+        };
+        let (asr_poison, idx_poison, conc_poison) = run_cell(0.0);
+        let (asr_camo, idx_camo, conc_camo) = run_cell(5.0);
+        // Prerequisite for a meaningful comparison: the poison cell must
+        // actually implant at this seed.
+        assert!(asr_poison > 50.0, "poison cell failed to implant: ASR {asr_poison}");
+        assert!(asr_camo < asr_poison, "camouflage failed to suppress");
+        assert!(
+            conc_camo <= conc_poison,
+            "camouflage must disperse predicted labels: {conc_camo} vs {conc_poison}"
+        );
+        assert!(
+            idx_camo <= idx_poison + 2.0,
+            "camouflage must not increase the Beatrix index: {idx_camo} vs {idx_poison}"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Experiment harness for the ReVeil reproduction.
+//!
+//! One module per paper artifact, each exposing `run(...)` (returns
+//! structured results) and `format(...)` (renders the paper-style table):
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — related-work capability matrix |
+//! | [`fig2`] | Fig. 2 — GradCAM trigger attention, `f_B` vs `f_N` |
+//! | [`table2`] | Table II — BA/ASR, poison vs camouflage |
+//! | [`fig3`] | Fig. 3 — ASR vs camouflage ratio heat maps |
+//! | [`fig4`] | Fig. 4 — BA/ASR vs noise σ (A1) |
+//! | [`fig5`] | Fig. 5 — poisoning → camouflaging → unlearning (SISA) |
+//! | [`fig6`] | Fig. 6 — STRIP decision values vs cr |
+//! | [`fig7`] | Fig. 7 — Neural Cleanse anomaly index vs cr |
+//! | [`fig8`] | Fig. 8 — Beatrix anomaly index vs cr |
+//!
+//! Every experiment is parameterised by a [`Profile`]
+//! (Smoke / Quick / Full); the binaries in `src/bin/` run the Quick profile
+//! by default (`REVEIL_PROFILE` overrides) and write CSVs under
+//! `target/experiments/`. `EXPERIMENTS.md` at the workspace root records
+//! the paper-vs-measured comparison for every artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod profile;
+pub mod report;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+
+pub use profile::Profile;
+pub use runner::{
+    averaged_scenario, run_unlearning_trio, train_scenario, ScenarioResult, TrainedScenario,
+    TrioResult,
+};
+
+/// The default base seed used by the experiment binaries.
+pub const DEFAULT_SEED: u64 = 2025;
+
+/// All datasets in the paper's order (convenience re-export).
+pub const ALL_DATASETS: [reveil_datasets::DatasetKind; 4] = reveil_datasets::DatasetKind::ALL;

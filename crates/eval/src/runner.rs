@@ -1,0 +1,276 @@
+//! Shared experiment plumbing: one function per scenario shape.
+//!
+//! Every experiment cell is derived from `(profile, dataset, trigger, cr,
+//! σ, seed)`; all randomness (data generation, sample selection, model
+//! init, shuffling) is split from the single cell seed, so any cell is
+//! replayable in isolation.
+
+use reveil_core::{
+    attack_success_rate, benign_accuracy, AttackConfig, ReveilAttack,
+};
+use reveil_datasets::{DatasetKind, DatasetPair};
+use reveil_nn::train::Trainer;
+use reveil_nn::Network;
+use reveil_tensor::rng;
+use reveil_triggers::TriggerKind;
+use reveil_unlearn::{SisaEnsemble, UnlearnReport};
+
+use crate::profile::Profile;
+
+/// BA/ASR of one trained cell, in percent.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScenarioResult {
+    /// Benign accuracy.
+    pub ba: f32,
+    /// Attack success rate.
+    pub asr: f32,
+}
+
+impl ScenarioResult {
+    /// Elementwise mean of several results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is empty.
+    pub fn mean(results: &[ScenarioResult]) -> ScenarioResult {
+        assert!(!results.is_empty(), "mean of zero results");
+        let n = results.len() as f32;
+        ScenarioResult {
+            ba: results.iter().map(|r| r.ba).sum::<f32>() / n,
+            asr: results.iter().map(|r| r.asr).sum::<f32>() / n,
+        }
+    }
+}
+
+/// A fully trained experiment cell, kept around when the defenses need the
+/// model and data, not just BA/ASR.
+pub struct TrainedScenario {
+    /// The trained (monolithic) victim model.
+    pub network: Network,
+    /// BA/ASR of the model.
+    pub result: ScenarioResult,
+    /// The generated dataset pair.
+    pub pair: DatasetPair,
+    /// The attack instance (owns the trigger).
+    pub attack: ReveilAttack,
+}
+
+fn cell_attack_config(
+    profile: Profile,
+    trigger: TriggerKind,
+    cr: f32,
+    sigma: f32,
+    seed: u64,
+) -> AttackConfig {
+    profile
+        .attack_config(trigger, 0, rng::derive_seed(seed, 0xA77A))
+        .with_camouflage_ratio(cr)
+        .with_noise_std(sigma)
+}
+
+/// Trains one monolithic cell: dataset ← profile, poisoned with `trigger`
+/// at the paper's pr, camouflaged at ratio `cr` (0 = poison-only) and noise
+/// `sigma`, then measured on the held-out test split.
+///
+/// # Panics
+///
+/// Panics if the attack cannot be crafted at this scale (a profile bug).
+pub fn train_scenario(
+    profile: Profile,
+    kind: DatasetKind,
+    trigger: TriggerKind,
+    cr: f32,
+    sigma: f32,
+    seed: u64,
+) -> TrainedScenario {
+    let data_cfg = profile.dataset_config(kind, rng::derive_seed(seed, 0xDA7A));
+    let pair = data_cfg.generate();
+
+    let attack_cfg = cell_attack_config(profile, trigger, cr, sigma, seed);
+    let attack = ReveilAttack::new(
+        attack_cfg,
+        profile.trigger(trigger, rng::derive_seed(seed, 0x7516)),
+    )
+    .unwrap_or_else(|e| panic!("attack construction failed: {e}"));
+
+    let payload = attack.craft(&pair.train).unwrap_or_else(|e| panic!("craft failed: {e}"));
+    let training = attack
+        .inject(&pair.train, &payload)
+        .unwrap_or_else(|e| panic!("inject failed: {e}"));
+
+    let mut network = profile.build_model(kind, &data_cfg, rng::derive_seed(seed, 0x40DE));
+    let train_cfg = profile.train_config(rng::derive_seed(seed, 0x7124));
+    Trainer::new(train_cfg).fit(&mut network, training.dataset.images(), training.dataset.labels());
+
+    let result = ScenarioResult {
+        ba: benign_accuracy(&mut network, &pair.test),
+        asr: attack_success_rate(&mut network, &pair.test, attack.trigger(), 0),
+    };
+    TrainedScenario { network, result, pair, attack }
+}
+
+/// BA/ASR of one cell averaged over the profile's seed count.
+pub fn averaged_scenario(
+    profile: Profile,
+    kind: DatasetKind,
+    trigger: TriggerKind,
+    cr: f32,
+    sigma: f32,
+    base_seed: u64,
+) -> ScenarioResult {
+    let results: Vec<ScenarioResult> = (0..profile.num_seeds() as u64)
+        .map(|run| {
+            train_scenario(profile, kind, trigger, cr, sigma, rng::derive_seed(base_seed, run))
+                .result
+        })
+        .collect();
+    ScenarioResult::mean(&results)
+}
+
+/// The poisoning → camouflaging → unlearning trio of Fig. 5, measured on a
+/// SISA-trained provider model (so the unlearning step is exact).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrioResult {
+    /// Clean + poison training (no camouflage).
+    pub poisoning: ScenarioResult,
+    /// Clean + poison + camouflage training.
+    pub camouflaging: ScenarioResult,
+    /// After unlearning exactly the camouflage samples.
+    pub unlearning: ScenarioResult,
+    /// SISA cost accounting of the unlearning request.
+    pub unlearn_report: UnlearnReport,
+}
+
+/// Runs the Fig. 5 trio for one `(dataset, trigger)` cell.
+///
+/// All three scenarios are SISA-trained (the provider supports unlearning
+/// throughout), with the paper's cr = 5 and σ = 1e-3.
+///
+/// # Panics
+///
+/// Panics if the attack or SISA training cannot be constructed (profile
+/// bug).
+pub fn run_unlearning_trio(
+    profile: Profile,
+    kind: DatasetKind,
+    trigger: TriggerKind,
+    seed: u64,
+) -> TrioResult {
+    let data_cfg = profile.dataset_config(kind, rng::derive_seed(seed, 0xDA7A));
+    let pair = data_cfg.generate();
+    let attack_cfg = cell_attack_config(profile, trigger, 5.0, 1e-3, seed);
+    let attack = ReveilAttack::new(
+        attack_cfg,
+        profile.trigger(trigger, rng::derive_seed(seed, 0x7516)),
+    )
+    .unwrap_or_else(|e| panic!("attack construction failed: {e}"));
+
+    let payload = attack.craft(&pair.train).unwrap_or_else(|e| panic!("craft failed: {e}"));
+    let training = attack
+        .inject(&pair.train, &payload)
+        .unwrap_or_else(|e| panic!("inject failed: {e}"));
+
+    let sisa_cfg = profile.sisa_config(rng::derive_seed(seed, 0x5154));
+    let train_cfg = profile.train_config(rng::derive_seed(seed, 0x7124));
+    let model_seed = rng::derive_seed(seed, 0x40DE);
+    let (h, w) = data_cfg.image_size();
+    let classes = data_cfg.num_classes();
+    let family = profile.model_family(kind);
+    let width = profile.model_width();
+    let factory = move |s: u64| family.build(3, h, w, classes, width, s ^ model_seed);
+
+    let measure = |ens: &mut SisaEnsemble| ScenarioResult {
+        ba: benign_accuracy(ens, &pair.test),
+        asr: attack_success_rate(ens, &pair.test, attack.trigger(), 0),
+    };
+
+    // Scenario 1: poison only.
+    let mut poison_only = pair.train.clone();
+    poison_only
+        .extend_from(&payload.poison.dataset)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let mut ens_poison = SisaEnsemble::train(
+        sisa_cfg.clone(),
+        train_cfg.clone(),
+        Box::new(factory),
+        &poison_only,
+    )
+    .unwrap_or_else(|e| panic!("SISA training failed: {e}"));
+    let poisoning = measure(&mut ens_poison);
+    drop(ens_poison);
+
+    // Scenarios 2 + 3: camouflaged, then unlearned.
+    let mut ensemble = SisaEnsemble::train(sisa_cfg, train_cfg, Box::new(factory), &training.dataset)
+        .unwrap_or_else(|e| panic!("SISA training failed: {e}"));
+    let camouflaging = measure(&mut ensemble);
+    let request = attack.unlearning_request(&training);
+    let unlearn_report = ensemble
+        .unlearn(&request.index_set())
+        .unwrap_or_else(|e| panic!("unlearning failed: {e}"));
+    let unlearning = measure(&mut ensemble);
+
+    TrioResult { poisoning, camouflaging, unlearning, unlearn_report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_result_mean() {
+        let m = ScenarioResult::mean(&[
+            ScenarioResult { ba: 90.0, asr: 100.0 },
+            ScenarioResult { ba: 80.0, asr: 0.0 },
+        ]);
+        assert!((m.ba - 85.0).abs() < 1e-5);
+        assert!((m.asr - 50.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn smoke_cell_trains_and_shows_the_camouflage_effect() {
+        let poisoned = train_scenario(
+            Profile::Smoke,
+            DatasetKind::Cifar10Like,
+            TriggerKind::BadNets,
+            0.0,
+            1e-3,
+            42,
+        );
+        let camouflaged = train_scenario(
+            Profile::Smoke,
+            DatasetKind::Cifar10Like,
+            TriggerKind::BadNets,
+            5.0,
+            1e-3,
+            42,
+        );
+        assert!(poisoned.result.ba > 70.0, "BA {}", poisoned.result.ba);
+        assert!(
+            poisoned.result.asr > camouflaged.result.asr,
+            "camouflage must reduce ASR: {} vs {}",
+            poisoned.result.asr,
+            camouflaged.result.asr
+        );
+    }
+
+    #[test]
+    fn cells_are_seed_deterministic() {
+        let a = train_scenario(
+            Profile::Smoke,
+            DatasetKind::GtsrbLike,
+            TriggerKind::FTrojan,
+            1.0,
+            1e-3,
+            7,
+        );
+        let b = train_scenario(
+            Profile::Smoke,
+            DatasetKind::GtsrbLike,
+            TriggerKind::FTrojan,
+            1.0,
+            1e-3,
+            7,
+        );
+        assert_eq!(a.result, b.result);
+    }
+}

@@ -1,0 +1,146 @@
+//! Table I: capability comparison of ReVeil with related backdoor attacks.
+//!
+//! This table is a taxonomy, not a measurement; the paper's claims are
+//! encoded as data so the harness can regenerate the table and tests can
+//! assert its invariants (e.g. ReVeil is the only concealed attack with no
+//! model access *and* no auxiliary data).
+
+use crate::report::TextTable;
+
+/// Model-access requirement of an attack's data-poisoning step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelAccess {
+    /// No access to the victim model at all.
+    None,
+    /// White-box access (weights/gradients).
+    WhiteBox,
+    /// Black-box query access.
+    BlackBox,
+    /// Access to a substitute model trained on auxiliary data.
+    Substitute,
+}
+
+impl ModelAccess {
+    /// Table cell text.
+    pub fn cell(self) -> &'static str {
+        match self {
+            ModelAccess::None => "No Access",
+            ModelAccess::WhiteBox => "White-Box",
+            ModelAccess::BlackBox => "Black-Box",
+            ModelAccess::Substitute => "Substitute",
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelatedAttack {
+    /// Attack name as cited in the paper.
+    pub name: &'static str,
+    /// Whether the attack provides a concealed-backdoor capability.
+    pub concealed: bool,
+    /// Whether it works without modifying the training process.
+    pub training_unchanged: bool,
+    /// Victim-model access required for data poisoning.
+    pub model_access: ModelAccess,
+    /// Whether camouflaging works without auxiliary data
+    /// (`None` = not applicable: the attack has no camouflage stage).
+    pub camouflage_without_auxiliary: Option<bool>,
+}
+
+/// The paper's Table I, row for row.
+pub const RELATED_WORK: [RelatedAttack; 17] = [
+    RelatedAttack { name: "TrojanNN", concealed: false, training_unchanged: true, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "SIG", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "BadNets", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "ReFool", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "Input-Aware", concealed: false, training_unchanged: false, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "Blind", concealed: false, training_unchanged: false, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "LIRA", concealed: false, training_unchanged: false, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "SSBA", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "WaNet", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "LF", concealed: false, training_unchanged: true, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "FTrojan", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "BppAttack", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "PoisonInk", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
+    RelatedAttack { name: "Di et al.", concealed: true, training_unchanged: true, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: Some(true) },
+    RelatedAttack { name: "Liu et al.", concealed: true, training_unchanged: true, model_access: ModelAccess::BlackBox, camouflage_without_auxiliary: Some(true) },
+    RelatedAttack { name: "UBA-Inf", concealed: true, training_unchanged: true, model_access: ModelAccess::Substitute, camouflage_without_auxiliary: Some(false) },
+    RelatedAttack { name: "ReVeil [Ours]", concealed: true, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: Some(true) },
+];
+
+fn check(v: bool) -> &'static str {
+    if v {
+        "Yes"
+    } else {
+        "No"
+    }
+}
+
+/// Renders Table I in the paper's column order.
+pub fn table1() -> TextTable {
+    let mut table = TextTable::new([
+        "Attack",
+        "Concealed?",
+        "Training unchanged?",
+        "Model access",
+        "Camouflage w/o aux data?",
+    ]);
+    for row in RELATED_WORK {
+        table.push_row([
+            row.name.to_string(),
+            check(row.concealed).to_string(),
+            check(row.training_unchanged).to_string(),
+            row.model_access.cell().to_string(),
+            match row.camouflage_without_auxiliary {
+                None => "n/a".to_string(),
+                Some(v) => check(v).to_string(),
+            },
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_rows_as_in_the_paper() {
+        assert_eq!(RELATED_WORK.len(), 17);
+        assert_eq!(table1().len(), 17);
+    }
+
+    #[test]
+    fn reveil_is_the_unique_fully_unconstrained_concealed_attack() {
+        let winners: Vec<&RelatedAttack> = RELATED_WORK
+            .iter()
+            .filter(|a| {
+                a.concealed
+                    && a.training_unchanged
+                    && a.model_access == ModelAccess::None
+                    && a.camouflage_without_auxiliary == Some(true)
+            })
+            .collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(winners[0].name, "ReVeil [Ours]");
+    }
+
+    #[test]
+    fn concealed_attacks_match_the_paper() {
+        let concealed: Vec<&str> = RELATED_WORK
+            .iter()
+            .filter(|a| a.concealed)
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(concealed, ["Di et al.", "Liu et al.", "UBA-Inf", "ReVeil [Ours]"]);
+    }
+
+    #[test]
+    fn render_contains_header_and_ours() {
+        let text = table1().render();
+        assert!(text.contains("Model access"));
+        assert!(text.contains("ReVeil [Ours]"));
+        assert!(text.contains("Substitute"));
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fallible network-construction and training operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A layer or model was configured with invalid hyper-parameters.
+    InvalidConfig {
+        /// Component being configured.
+        what: &'static str,
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// A serialized state vector does not match the network's parameters.
+    StateMismatch {
+        /// Number of scalars the network expected.
+        expected: usize,
+        /// Number of scalars provided.
+        got: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(reveil_tensor::TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InvalidConfig { what, message } => {
+                write!(f, "invalid {what} configuration: {message}")
+            }
+            NnError::StateMismatch { expected, got } => {
+                write!(f, "state vector length mismatch: expected {expected} scalars, got {got}")
+            }
+            NnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<reveil_tensor::TensorError> for NnError {
+    fn from(e: reveil_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::StateMismatch { expected: 10, got: 4 };
+        assert!(e.to_string().contains("10"));
+        let t = NnError::from(reveil_tensor::TensorError::InvalidArgument {
+            op: "x",
+            message: "bad".into(),
+        });
+        assert!(t.source().is_some());
+    }
+}

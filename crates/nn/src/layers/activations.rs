@@ -1,0 +1,209 @@
+//! Pointwise activation layers: ReLU, ReLU6, SiLU and Sigmoid.
+
+use reveil_tensor::Tensor;
+
+use crate::{Layer, Mode, Param};
+
+/// Rectified linear unit, `y = max(x, 0)`.
+#[derive(Debug, Default, Clone)]
+pub struct Relu {
+    input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.input = Some(input.clone());
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.input.as_ref().expect("Relu::backward before forward");
+        input
+            .zip_map(grad_output, |x, g| if x > 0.0 { g } else { 0.0 })
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// ReLU capped at 6, `y = min(max(x, 0), 6)` — MobileNetV2's activation.
+#[derive(Debug, Default, Clone)]
+pub struct Relu6 {
+    input: Option<Tensor>,
+}
+
+impl Relu6 {
+    /// Creates a ReLU6 layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu6 {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.input = Some(input.clone());
+        input.map(|v| v.clamp(0.0, 6.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.input.as_ref().expect("Relu6::backward before forward");
+        input
+            .zip_map(grad_output, |x, g| if x > 0.0 && x < 6.0 { g } else { 0.0 })
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "relu6"
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Sigmoid-weighted linear unit (swish), `y = x·σ(x)` — EfficientNet's
+/// activation.
+#[derive(Debug, Default, Clone)]
+pub struct Silu {
+    input: Option<Tensor>,
+}
+
+impl Silu {
+    /// Creates a SiLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Silu {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.input = Some(input.clone());
+        input.map(|v| v * sigmoid(v))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.input.as_ref().expect("Silu::backward before forward");
+        input
+            .zip_map(grad_output, |x, g| {
+                let s = sigmoid(x);
+                g * (s + x * s * (1.0 - s))
+            })
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "silu"
+    }
+}
+
+/// Logistic sigmoid, `y = 1 / (1 + e^{-x})`.
+#[derive(Debug, Default, Clone)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let out = input.map(sigmoid);
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self.output.as_ref().expect("Sigmoid::backward before forward");
+        out.zip_map(grad_output, |y, g| g * y * (1.0 - y))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn probe_input() -> Tensor {
+        // Offset keeps probes away from the ReLU kink at exactly 0.
+        Tensor::from_fn(&[2, 3, 4], |i| ((i * 17 % 13) as f32 - 6.0) * 0.5 + 0.07)
+    }
+
+    #[test]
+    fn relu_forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let out = relu.forward(&probe_input(), Mode::Train);
+        assert!(out.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn relu_gradient_matches_finite_difference() {
+        gradcheck::check_input_gradient(&mut Relu::new(), &probe_input(), Mode::Train, 1e-2);
+    }
+
+    #[test]
+    fn relu6_saturates_both_sides() {
+        let mut relu6 = Relu6::new();
+        let input = Tensor::from_vec(vec![3], vec![-1.0, 3.0, 10.0]).unwrap();
+        let out = relu6.forward(&input, Mode::Train);
+        assert_eq!(out.data(), &[0.0, 3.0, 6.0]);
+        // Gradient is zero in both saturated regions.
+        let g = relu6.backward(&Tensor::ones(&[3]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn relu6_gradient_matches_finite_difference() {
+        gradcheck::check_input_gradient(&mut Relu6::new(), &probe_input(), Mode::Train, 1e-2);
+    }
+
+    #[test]
+    fn silu_gradient_matches_finite_difference() {
+        gradcheck::check_input_gradient(&mut Silu::new(), &probe_input(), Mode::Train, 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_finite_difference() {
+        gradcheck::check_input_gradient(&mut Sigmoid::new(), &probe_input(), Mode::Train, 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        let mut s = Sigmoid::new();
+        let out = s.forward(&probe_input(), Mode::Eval);
+        assert!(out.data().iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let mut count = 0;
+        Relu::new().visit_params(&mut |_| count += 1);
+        Silu::new().visit_params(&mut |_| count += 1);
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! 2-D batch normalisation.
+
+use reveil_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Param};
+
+/// Batch normalisation over the channel axis of `[n, c, h, w]` inputs.
+///
+/// In [`Mode::Train`] the layer normalises with batch statistics and updates
+/// exponential running statistics; in [`Mode::Eval`] it normalises with the
+/// running statistics, which keeps the layer differentiable with respect to
+/// its input — a property Neural Cleanse's input-space optimisation relies
+/// on.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    /// Normalised activations x̂ (train mode only).
+    x_hat: Option<Tensor>,
+    /// Per-channel 1/√(var + ε) used in the forward pass.
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+    mode: Mode,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with γ = 1, β = 0, momentum 0.1 and
+    /// ε = 1e-5 (the PyTorch defaults the paper trains with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `channels` is zero.
+    pub fn new(channels: usize) -> Result<Self, NnError> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig {
+                what: "BatchNorm2d",
+                message: "channels must be positive".to_string(),
+            });
+        }
+        Ok(Self {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        })
+    }
+
+    /// Current running mean (one value per channel).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Current running variance (one value per channel).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let &[n, c, h, w] = input.shape() else {
+            panic!("BatchNorm2d expects [n, c, h, w], got {:?}", input.shape());
+        };
+        assert_eq!(c, self.channels, "BatchNorm2d channel mismatch");
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let gamma = self.gamma.value().data();
+        let beta = self.beta.value().data();
+        let mut out = Tensor::zeros(input.shape());
+
+        match mode {
+            Mode::Train => {
+                let mut mean = vec![0.0f32; c];
+                let mut var = vec![0.0f32; c];
+                for img in 0..n {
+                    for ch in 0..c {
+                        let base = (img * c + ch) * plane;
+                        mean[ch] += input.data()[base..base + plane].iter().sum::<f32>();
+                    }
+                }
+                for v in &mut mean {
+                    *v /= m;
+                }
+                for img in 0..n {
+                    for ch in 0..c {
+                        let base = (img * c + ch) * plane;
+                        var[ch] += input.data()[base..base + plane]
+                            .iter()
+                            .map(|&x| (x - mean[ch]) * (x - mean[ch]))
+                            .sum::<f32>();
+                    }
+                }
+                for v in &mut var {
+                    *v /= m;
+                }
+                let inv_std: Vec<f32> =
+                    var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+
+                let mut x_hat = Tensor::zeros(input.shape());
+                for img in 0..n {
+                    for ch in 0..c {
+                        let base = (img * c + ch) * plane;
+                        let (mu, is, g, b) = (mean[ch], inv_std[ch], gamma[ch], beta[ch]);
+                        for i in base..base + plane {
+                            let xh = (input.data()[i] - mu) * is;
+                            x_hat.data_mut()[i] = xh;
+                            out.data_mut()[i] = g * xh + b;
+                        }
+                    }
+                }
+                // Exponential running statistics (biased variance, as
+                // documented in DESIGN.md).
+                for ch in 0..c {
+                    let rm = &mut self.running_mean.data_mut()[ch];
+                    *rm = (1.0 - self.momentum) * *rm + self.momentum * mean[ch];
+                    let rv = &mut self.running_var.data_mut()[ch];
+                    *rv = (1.0 - self.momentum) * *rv + self.momentum * var[ch];
+                }
+                self.cache = Some(Cache {
+                    x_hat: Some(x_hat),
+                    inv_std,
+                    input_shape: input.shape().to_vec(),
+                    mode,
+                });
+            }
+            Mode::Eval => {
+                let inv_std: Vec<f32> = self
+                    .running_var
+                    .data()
+                    .iter()
+                    .map(|&v| 1.0 / (v + self.eps).sqrt())
+                    .collect();
+                let mut x_hat = Tensor::zeros(input.shape());
+                for img in 0..n {
+                    for ch in 0..c {
+                        let base = (img * c + ch) * plane;
+                        let mu = self.running_mean.data()[ch];
+                        let (is, g, b) = (inv_std[ch], gamma[ch], beta[ch]);
+                        for i in base..base + plane {
+                            let xh = (input.data()[i] - mu) * is;
+                            x_hat.data_mut()[i] = xh;
+                            out.data_mut()[i] = g * xh + b;
+                        }
+                    }
+                }
+                self.cache = Some(Cache {
+                    x_hat: Some(x_hat),
+                    inv_std,
+                    input_shape: input.shape().to_vec(),
+                    mode,
+                });
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        let shape = &cache.input_shape;
+        assert_eq!(grad_output.shape(), shape.as_slice(), "gradient shape mismatch");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let gamma = self.gamma.value().data().to_vec();
+        let x_hat = cache.x_hat.as_ref().expect("BatchNorm2d cache missing x_hat");
+        let mut grad_input = Tensor::zeros(grad_output.shape());
+
+        // dγ and dβ are identical in both modes.
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                for i in base..base + plane {
+                    dgamma[ch] += grad_output.data()[i] * x_hat.data()[i];
+                    dbeta[ch] += grad_output.data()[i];
+                }
+            }
+        }
+        for ch in 0..c {
+            self.gamma.grad_mut().data_mut()[ch] += dgamma[ch];
+            self.beta.grad_mut().data_mut()[ch] += dbeta[ch];
+        }
+
+        match cache.mode {
+            Mode::Train => {
+                // dx = (γ·inv_std / m) · (m·g − Σg − x̂·Σ(g·x̂)) per channel.
+                for img in 0..n {
+                    for ch in 0..c {
+                        let base = (img * c + ch) * plane;
+                        let coeff = gamma[ch] * cache.inv_std[ch] / m;
+                        for i in base..base + plane {
+                            grad_input.data_mut()[i] = coeff
+                                * (m * grad_output.data()[i]
+                                    - dbeta[ch]
+                                    - x_hat.data()[i] * dgamma[ch]);
+                        }
+                    }
+                }
+            }
+            Mode::Eval => {
+                // Running statistics are constants: dx = g·γ·inv_std.
+                for img in 0..n {
+                    for ch in 0..c {
+                        let base = (img * c + ch) * plane;
+                        let coeff = gamma[ch] * cache.inv_std[ch];
+                        for i in base..base + plane {
+                            grad_input.data_mut()[i] = coeff * grad_output.data()[i];
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(self.gamma.value_mut());
+        f(self.beta.value_mut());
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn train_mode_normalises_batch() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let x = Tensor::from_fn(&[4, 2, 3, 3], |i| (i % 13) as f32);
+        let y = bn.forward(&x, Mode::Train);
+        // Per-channel mean ≈ 0, var ≈ 1 after normalisation (γ=1, β=0).
+        let plane = 9;
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for img in 0..4 {
+                let base = (img * 2 + ch) * plane;
+                vals.extend_from_slice(&y.data()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        // Warm up running stats on a mean-10, variance-1 distribution.
+        let x = Tensor::from_fn(&[8, 1, 2, 2], |i| if i % 2 == 0 { 9.0 } else { 11.0 });
+        for _ in 0..100 {
+            bn.forward(&x, Mode::Train);
+        }
+        assert!((bn.running_mean().data()[0] - 10.0).abs() < 0.05);
+        assert!((bn.running_var().data()[0] - 1.0).abs() < 0.05);
+        // Eval on the same input: output ≈ (x − 10) / 1 = ±1.
+        let y = bn.forward(&x, Mode::Eval);
+        for (i, &v) in y.data().iter().enumerate() {
+            let expected = if i % 2 == 0 { -1.0 } else { 1.0 };
+            assert!((v - expected).abs() < 0.1, "index {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn train_gradient_matches_finite_difference() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let x = Tensor::from_fn(&[3, 2, 2, 2], |i| ((i * 19 % 11) as f32 - 5.0) * 0.4);
+        gradcheck::check_input_gradient(&mut bn, &x, Mode::Train, 2e-2);
+    }
+
+    #[test]
+    fn eval_gradient_matches_finite_difference() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        // Give the running stats some structure first.
+        let warm = Tensor::from_fn(&[4, 2, 2, 2], |i| (i % 7) as f32);
+        bn.forward(&warm, Mode::Train);
+        let x = Tensor::from_fn(&[3, 2, 2, 2], |i| ((i * 19 % 11) as f32 - 5.0) * 0.4);
+        gradcheck::check_input_gradient(&mut bn, &x, Mode::Eval, 2e-2);
+    }
+
+    #[test]
+    fn param_gradients_match_finite_difference() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let x = Tensor::from_fn(&[3, 2, 2, 2], |i| ((i * 23 % 13) as f32 - 6.0) * 0.3);
+        gradcheck::check_param_gradients(&mut bn, &x, Mode::Train, 2e-2);
+    }
+
+    #[test]
+    fn state_includes_running_buffers() {
+        let mut bn = BatchNorm2d::new(3).unwrap();
+        let mut count = 0;
+        bn.visit_state(&mut |_| count += 1);
+        assert_eq!(count, 4, "gamma, beta, running_mean, running_var");
+        let mut params = 0;
+        bn.visit_params(&mut |_| params += 1);
+        assert_eq!(params, 2, "only gamma and beta are trainable");
+    }
+
+    #[test]
+    fn rejects_zero_channels() {
+        assert!(BatchNorm2d::new(0).is_err());
+    }
+}

@@ -1,0 +1,472 @@
+//! Composite blocks: ResNet basic blocks, MobileNet inverted residuals,
+//! EfficientNet MBConv (inverted residual + squeeze-excitation).
+
+use rand::rngs::StdRng;
+
+use reveil_tensor::Tensor;
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, DepthwiseConv2d, GlobalAvgPool, Linear, Relu, Relu6, Sigmoid, Silu,
+};
+use crate::{Layer, Mode, NnError, Param, Sequential};
+
+/// ResNet basic block: `y = relu(main(x) + shortcut(x))`.
+///
+/// The main path is conv–bn–relu–conv–bn; the shortcut is the identity when
+/// shapes match and a strided 1×1 conv + bn projection otherwise.
+pub struct ResidualBlock {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu_mask: Option<Tensor>,
+}
+
+impl std::fmt::Debug for ResidualBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidualBlock")
+            .field("projected", &self.shortcut.is_some())
+            .finish()
+    }
+}
+
+impl ResidualBlock {
+    /// Creates a basic block mapping `in_ch → out_ch` with the given stride.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the constituent layers.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        init_rng: &mut StdRng,
+    ) -> Result<Self, NnError> {
+        let main = Sequential::new()
+            .push(Conv2d::new(in_ch, out_ch, 3, stride, 1, init_rng)?)
+            .push(BatchNorm2d::new(out_ch)?)
+            .push(Relu::new())
+            .push(Conv2d::new(out_ch, out_ch, 3, 1, 1, init_rng)?)
+            .push(BatchNorm2d::new(out_ch)?);
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            Some(
+                Sequential::new()
+                    .push(Conv2d::new(in_ch, out_ch, 1, stride, 0, init_rng)?)
+                    .push(BatchNorm2d::new(out_ch)?),
+            )
+        } else {
+            None
+        };
+        Ok(Self { main, shortcut, relu_mask: None })
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let main_out = self.main.forward(input, mode);
+        let shortcut_out = match &mut self.shortcut {
+            Some(s) => s.forward(input, mode),
+            None => input.clone(),
+        };
+        let pre = &main_out + &shortcut_out;
+        self.relu_mask = Some(pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        pre.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .relu_mask
+            .as_ref()
+            .expect("ResidualBlock::backward before forward");
+        let gated = grad_output
+            .zip_map(mask, |g, m| g * m)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let dx_main = self.main.backward(&gated);
+        match &mut self.shortcut {
+            Some(s) => &dx_main + &s.backward(&gated),
+            None => &dx_main + &gated,
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.main.visit_state(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_state(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "residual_block"
+    }
+}
+
+/// Squeeze-and-excitation: rescales channels by a learned gate
+/// `s = σ(W₂·silu(W₁·gap(x)))`, `y = x ⊙ s`.
+pub struct SqueezeExcite {
+    gap: GlobalAvgPool,
+    fc1: Linear,
+    act: Silu,
+    fc2: Linear,
+    sig: Sigmoid,
+    input: Option<Tensor>,
+    scale: Option<Tensor>,
+}
+
+impl std::fmt::Debug for SqueezeExcite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SqueezeExcite")
+            .field("channels", &self.fc2.out_features())
+            .finish()
+    }
+}
+
+impl SqueezeExcite {
+    /// Creates a squeeze-excite gate over `channels` with the given
+    /// bottleneck reduction factor (clamped so the bottleneck is ≥ 1 wide).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the internal linear layers.
+    pub fn new(channels: usize, reduction: usize, init_rng: &mut StdRng) -> Result<Self, NnError> {
+        let mid = (channels / reduction.max(1)).max(1);
+        Ok(Self {
+            gap: GlobalAvgPool::new(),
+            fc1: Linear::new(channels, mid, init_rng)?,
+            act: Silu::new(),
+            fc2: Linear::new(mid, channels, init_rng)?,
+            sig: Sigmoid::new(),
+            input: None,
+            scale: None,
+        })
+    }
+}
+
+impl Layer for SqueezeExcite {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let &[n, c, h, w] = input.shape() else {
+            panic!("SqueezeExcite expects [n, c, h, w], got {:?}", input.shape());
+        };
+        self.input = Some(input.clone());
+        let pooled = self.gap.forward(input, mode);
+        let a = self.fc1.forward(&pooled, mode);
+        let a = self.act.forward(&a, mode);
+        let a = self.fc2.forward(&a, mode);
+        let scale = self.sig.forward(&a, mode);
+        self.scale = Some(scale.clone());
+
+        let mut out = input.clone();
+        let plane = h * w;
+        for img in 0..n {
+            for ch in 0..c {
+                let s = scale.data()[img * c + ch];
+                let base = (img * c + ch) * plane;
+                for v in &mut out.data_mut()[base..base + plane] {
+                    *v *= s;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.input.as_ref().expect("SqueezeExcite::backward before forward");
+        let scale = self.scale.as_ref().expect("SqueezeExcite cache missing scale");
+        let &[n, c, h, w] = input.shape() else { unreachable!() };
+        let plane = h * w;
+
+        // Direct term: ∂(x ⊙ s)/∂x with s treated constant.
+        let mut grad_input = grad_output.clone();
+        // Gate term: ds[n, c] = Σ_hw g ⊙ x.
+        let mut dscale = Tensor::zeros(&[n, c]);
+        for img in 0..n {
+            for ch in 0..c {
+                let s = scale.data()[img * c + ch];
+                let base = (img * c + ch) * plane;
+                let mut acc = 0.0;
+                for i in base..base + plane {
+                    acc += grad_output.data()[i] * input.data()[i];
+                    grad_input.data_mut()[i] *= s;
+                }
+                dscale.data_mut()[img * c + ch] = acc;
+            }
+        }
+
+        // Chain through sigmoid → fc2 → silu → fc1 → gap back to the input.
+        let g = self.sig.backward(&dscale);
+        let g = self.fc2.backward(&g);
+        let g = self.act.backward(&g);
+        let g = self.fc1.backward(&g);
+        let g = self.gap.backward(&g);
+        grad_input += &g;
+        grad_input
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "squeeze_excite"
+    }
+}
+
+/// Linear-bottleneck inverted residual with an optional skip connection
+/// (no post-add activation).
+///
+/// [`InvertedResidual::mobilenet`] builds the MobileNetV2 variant
+/// (expand → depthwise → project with ReLU6); [`InvertedResidual::mbconv`]
+/// builds the EfficientNet variant (SiLU activations plus squeeze-excite).
+pub struct InvertedResidual {
+    body: Sequential,
+    use_res: bool,
+    kind: &'static str,
+}
+
+impl std::fmt::Debug for InvertedResidual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvertedResidual")
+            .field("kind", &self.kind)
+            .field("use_res", &self.use_res)
+            .finish()
+    }
+}
+
+impl InvertedResidual {
+    /// MobileNetV2 inverted residual: 1×1 expand (+BN+ReLU6), 3×3 depthwise
+    /// (+BN+ReLU6), 1×1 project (+BN), residual when `stride == 1` and
+    /// channel counts match.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the constituent layers.
+    pub fn mobilenet(
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        expand: usize,
+        init_rng: &mut StdRng,
+    ) -> Result<Self, NnError> {
+        let mid = in_ch * expand.max(1);
+        let mut body = Sequential::new();
+        if expand > 1 {
+            body = body
+                .push(Conv2d::new(in_ch, mid, 1, 1, 0, init_rng)?)
+                .push(BatchNorm2d::new(mid)?)
+                .push(Relu6::new());
+        }
+        let mid = if expand > 1 { mid } else { in_ch };
+        let body = body
+            .push(DepthwiseConv2d::new(mid, 3, stride, 1, init_rng)?)
+            .push(BatchNorm2d::new(mid)?)
+            .push(Relu6::new())
+            .push(Conv2d::new(mid, out_ch, 1, 1, 0, init_rng)?)
+            .push(BatchNorm2d::new(out_ch)?);
+        Ok(Self {
+            body,
+            use_res: stride == 1 && in_ch == out_ch,
+            kind: "mobilenet",
+        })
+    }
+
+    /// EfficientNet MBConv: like [`InvertedResidual::mobilenet`] but with
+    /// SiLU activations and a squeeze-excite stage before projection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the constituent layers.
+    pub fn mbconv(
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        expand: usize,
+        init_rng: &mut StdRng,
+    ) -> Result<Self, NnError> {
+        let mid = in_ch * expand.max(1);
+        let mut body = Sequential::new();
+        if expand > 1 {
+            body = body
+                .push(Conv2d::new(in_ch, mid, 1, 1, 0, init_rng)?)
+                .push(BatchNorm2d::new(mid)?)
+                .push(Silu::new());
+        }
+        let mid = if expand > 1 { mid } else { in_ch };
+        let body = body
+            .push(DepthwiseConv2d::new(mid, 3, stride, 1, init_rng)?)
+            .push(BatchNorm2d::new(mid)?)
+            .push(Silu::new())
+            .push(SqueezeExcite::new(mid, 4, init_rng)?)
+            .push(Conv2d::new(mid, out_ch, 1, 1, 0, init_rng)?)
+            .push(BatchNorm2d::new(out_ch)?);
+        Ok(Self {
+            body,
+            use_res: stride == 1 && in_ch == out_ch,
+            kind: "mbconv",
+        })
+    }
+}
+
+impl Layer for InvertedResidual {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let out = self.body.forward(input, mode);
+        if self.use_res {
+            &out + input
+        } else {
+            out
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dx = self.body.backward(grad_output);
+        if self.use_res {
+            &dx + grad_output
+        } else {
+            dx
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.body.visit_params(f);
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.body.visit_state(f);
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            "mbconv" => "mbconv",
+            _ => "inverted_residual",
+        }
+    }
+}
+
+/// Alias constructor mirroring EfficientNet terminology.
+///
+/// # Errors
+///
+/// Propagates configuration errors from [`InvertedResidual::mbconv`].
+pub fn mb_conv(
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    expand: usize,
+    init_rng: &mut StdRng,
+) -> Result<InvertedResidual, NnError> {
+    InvertedResidual::mbconv(in_ch, out_ch, stride, expand, init_rng)
+}
+
+/// Alias type for the EfficientNet-flavoured [`InvertedResidual`].
+pub type MbConv = InvertedResidual;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use reveil_tensor::rng;
+
+    fn seeded() -> StdRng {
+        rng::rng_from_seed(17)
+    }
+
+    fn probe(n: usize, c: usize, hw: usize) -> Tensor {
+        Tensor::from_fn(&[n, c, hw, hw], |i| ((i * 13 % 23) as f32 - 11.0) * 0.1)
+    }
+
+    #[test]
+    fn residual_identity_shortcut_when_shapes_match() {
+        let mut r = seeded();
+        let block = ResidualBlock::new(4, 4, 1, &mut r).unwrap();
+        assert!(block.shortcut.is_none());
+        let block = ResidualBlock::new(4, 8, 2, &mut r).unwrap();
+        assert!(block.shortcut.is_some());
+    }
+
+    #[test]
+    fn residual_forward_shapes() {
+        let mut r = seeded();
+        let mut block = ResidualBlock::new(3, 6, 2, &mut r).unwrap();
+        let y = block.forward(&probe(2, 3, 8), Mode::Train);
+        assert_eq!(y.shape(), &[2, 6, 4, 4]);
+        assert!(y.data().iter().all(|&v| v >= 0.0), "post-add relu output");
+    }
+
+    #[test]
+    fn residual_gradient_matches_finite_difference() {
+        let mut r = seeded();
+        let mut block = ResidualBlock::new(2, 2, 1, &mut r).unwrap();
+        // Eval mode: batch-norm statistics fixed, so finite differences see
+        // the same linearisation the analytic backward uses.
+        let warm = probe(4, 2, 4);
+        block.forward(&warm, Mode::Train);
+        gradcheck::check_input_gradient(&mut block, &probe(2, 2, 4), Mode::Eval, 3e-2);
+    }
+
+    #[test]
+    fn squeeze_excite_preserves_shape_and_gates() {
+        let mut r = seeded();
+        let mut se = SqueezeExcite::new(4, 2, &mut r).unwrap();
+        let x = probe(2, 4, 3);
+        let y = se.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), x.shape());
+        // Sigmoid gate ∈ (0, 1): |y| < |x| elementwise (where x ≠ 0).
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!(b.abs() <= a.abs() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn squeeze_excite_gradient_matches_finite_difference() {
+        let mut r = seeded();
+        let mut se = SqueezeExcite::new(3, 2, &mut r).unwrap();
+        gradcheck::check_input_gradient(&mut se, &probe(2, 3, 3), Mode::Eval, 3e-2);
+    }
+
+    #[test]
+    fn squeeze_excite_param_gradients_match_finite_difference() {
+        let mut r = seeded();
+        let mut se = SqueezeExcite::new(3, 2, &mut r).unwrap();
+        gradcheck::check_param_gradients(&mut se, &probe(2, 3, 3), Mode::Eval, 3e-2);
+    }
+
+    #[test]
+    fn inverted_residual_residual_condition() {
+        let mut r = seeded();
+        let a = InvertedResidual::mobilenet(4, 4, 1, 2, &mut r).unwrap();
+        assert!(a.use_res);
+        let b = InvertedResidual::mobilenet(4, 8, 1, 2, &mut r).unwrap();
+        assert!(!b.use_res);
+        let c = InvertedResidual::mobilenet(4, 4, 2, 2, &mut r).unwrap();
+        assert!(!c.use_res);
+    }
+
+    #[test]
+    fn inverted_residual_gradient_matches_finite_difference() {
+        let mut r = seeded();
+        let mut block = InvertedResidual::mobilenet(2, 2, 1, 2, &mut r).unwrap();
+        block.forward(&probe(4, 2, 4), Mode::Train);
+        gradcheck::check_input_gradient(&mut block, &probe(2, 2, 4), Mode::Eval, 3e-2);
+    }
+
+    #[test]
+    fn mbconv_gradient_matches_finite_difference() {
+        let mut r = seeded();
+        let mut block = InvertedResidual::mbconv(2, 2, 1, 2, &mut r).unwrap();
+        block.forward(&probe(4, 2, 4), Mode::Train);
+        gradcheck::check_input_gradient(&mut block, &probe(2, 2, 4), Mode::Eval, 3e-2);
+    }
+
+    #[test]
+    fn mbconv_downsamples_with_stride() {
+        let mut r = seeded();
+        let mut block = mb_conv(3, 6, 2, 2, &mut r).unwrap();
+        let y = block.forward(&probe(1, 3, 8), Mode::Train);
+        assert_eq!(y.shape(), &[1, 6, 4, 4]);
+        assert_eq!(block.name(), "mbconv");
+    }
+}

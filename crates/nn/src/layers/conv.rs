@@ -1,0 +1,416 @@
+//! Standard and depthwise 2-D convolution layers.
+//!
+//! Convolutions are lowered to matrix products via
+//! [`reveil_tensor::conv::im2col`]; the backward pass recomputes the column
+//! matrix instead of caching it, trading a little compute for a large
+//! reduction in peak memory (the cached tensor per layer is just the input).
+
+use rand::rngs::StdRng;
+
+use reveil_tensor::conv::{col2im, im2col, ConvGeometry};
+use reveil_tensor::{ops, parallel, rng, Tensor};
+
+use crate::{Layer, Mode, NnError, Param};
+
+/// Standard 2-D convolution with square kernels and symmetric padding.
+#[derive(Debug)]
+pub struct Conv2d {
+    /// Kernel matrix `[out_channels, in_channels * kh * kw]`.
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    geom: ConvGeometry,
+    input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-uniform initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero channel counts and
+    /// propagates invalid kernel geometry.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        init_rng: &mut StdRng,
+    ) -> Result<Self, NnError> {
+        if in_channels == 0 || out_channels == 0 {
+            return Err(NnError::InvalidConfig {
+                what: "Conv2d",
+                message: format!("channels must be positive, got {in_channels}->{out_channels}"),
+            });
+        }
+        let geom = ConvGeometry::new(kernel, kernel, stride, padding)?;
+        let fan_in = in_channels * kernel * kernel;
+        let bound = (6.0 / fan_in as f32).sqrt();
+        let mut weight = Tensor::zeros(&[out_channels, fan_in]);
+        rng::fill_uniform(&mut weight, -bound, bound, init_rng);
+        Ok(Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            geom,
+            input: None,
+        })
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn check_input(&self, input: &Tensor) -> (usize, usize, usize, usize, usize) {
+        let &[n, c, h, w] = input.shape() else {
+            panic!("Conv2d expects [n, c, h, w], got {:?}", input.shape());
+        };
+        assert_eq!(
+            c, self.in_channels,
+            "Conv2d configured for {} input channels, got {c}",
+            self.in_channels
+        );
+        let (oh, ow) = self
+            .geom
+            .output_size(h, w)
+            .unwrap_or_else(|e| panic!("{e}"));
+        (n, h, w, oh, ow)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (n, _h, _w, oh, ow) = self.check_input(input);
+        self.input = Some(input.clone());
+        let oc = self.out_channels;
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        let weight = self.weight.value();
+        let bias = self.bias.value().data();
+        let geom = self.geom;
+        let sample_len = oc * oh * ow;
+
+        parallel::for_each_chunk(out.data_mut(), sample_len, |start, chunk| {
+            let sample = start / sample_len;
+            let x = input.outer_slice(sample);
+            let cols = im2col(&x, geom).unwrap_or_else(|e| panic!("{e}"));
+            let y = ops::matmul(weight, &cols).unwrap_or_else(|e| panic!("{e}"));
+            chunk.copy_from_slice(y.data());
+            for ch in 0..oc {
+                let b = bias[ch];
+                for v in &mut chunk[ch * oh * ow..(ch + 1) * oh * ow] {
+                    *v += b;
+                }
+            }
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.input.as_ref().expect("Conv2d::backward before forward");
+        let (n, h, w, oh, ow) = self.check_input(input);
+        assert_eq!(
+            grad_output.shape(),
+            &[n, self.out_channels, oh, ow],
+            "Conv2d::backward gradient shape mismatch"
+        );
+        let geom = self.geom;
+        let weight = self.weight.value().clone();
+        let oc = self.out_channels;
+        let c = self.in_channels;
+
+        // Per-sample partials computed in parallel, reduced serially.
+        struct SampleGrads {
+            dx: Tensor,
+            dw: Tensor,
+            db: Tensor,
+        }
+        let mut partials: Vec<Option<SampleGrads>> = (0..n).map(|_| None).collect();
+        parallel::for_each_chunk(&mut partials, 1, |sample, slot| {
+            let x = input.outer_slice(sample);
+            let cols = im2col(&x, geom).unwrap_or_else(|e| panic!("{e}"));
+            let gy = grad_output
+                .outer_slice(sample)
+                .reshape(vec![oc, oh * ow])
+                .unwrap_or_else(|e| panic!("{e}"));
+            let dw = ops::matmul_nt(&gy, &cols).unwrap_or_else(|e| panic!("{e}"));
+            let mut db = Tensor::zeros(&[oc]);
+            for ch in 0..oc {
+                db.data_mut()[ch] = gy.data()[ch * oh * ow..(ch + 1) * oh * ow].iter().sum();
+            }
+            let dcols = ops::matmul_tn(&weight, &gy).unwrap_or_else(|e| panic!("{e}"));
+            let dx = col2im(&dcols, c, h, w, geom).unwrap_or_else(|e| panic!("{e}"));
+            slot[0] = Some(SampleGrads { dx, dw, db });
+        });
+
+        let mut grad_input = Tensor::zeros(input.shape());
+        for (sample, slot) in partials.into_iter().enumerate() {
+            let g = slot.expect("sample gradient missing");
+            grad_input
+                .set_outer_slice(sample, &g.dx)
+                .unwrap_or_else(|e| panic!("{e}"));
+            self.weight.grad_mut().axpy(1.0, &g.dw).unwrap_or_else(|e| panic!("{e}"));
+            self.bias.grad_mut().axpy(1.0, &g.db).unwrap_or_else(|e| panic!("{e}"));
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// Depthwise 2-D convolution: one spatial filter per channel (MobileNetV2 /
+/// EfficientNet building block).
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    /// Kernel matrix `[channels, kh * kw]`.
+    weight: Param,
+    bias: Param,
+    channels: usize,
+    geom: ConvGeometry,
+    input: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for a zero channel count and
+    /// propagates invalid kernel geometry.
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        init_rng: &mut StdRng,
+    ) -> Result<Self, NnError> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig {
+                what: "DepthwiseConv2d",
+                message: "channels must be positive".to_string(),
+            });
+        }
+        let geom = ConvGeometry::new(kernel, kernel, stride, padding)?;
+        let fan_in = kernel * kernel;
+        let bound = (6.0 / fan_in as f32).sqrt();
+        let mut weight = Tensor::zeros(&[channels, fan_in]);
+        rng::fill_uniform(&mut weight, -bound, bound, init_rng);
+        Ok(Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[channels])),
+            channels,
+            geom,
+            input: None,
+        })
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let &[n, c, h, w] = input.shape() else {
+            panic!("DepthwiseConv2d expects [n, c, h, w], got {:?}", input.shape());
+        };
+        assert_eq!(c, self.channels, "DepthwiseConv2d channel mismatch");
+        let (oh, ow) = self.geom.output_size(h, w).unwrap_or_else(|e| panic!("{e}"));
+        self.input = Some(input.clone());
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let k2 = self.geom.kh * self.geom.kw;
+        let weight = self.weight.value().data();
+        let bias = self.bias.value().data();
+        let geom = self.geom;
+        let plane_len = oh * ow;
+
+        parallel::for_each_chunk(out.data_mut(), c * plane_len, |start, chunk| {
+            let sample = start / (c * plane_len);
+            for ch in 0..c {
+                let plane = input.outer_slice(sample).outer_slice(ch);
+                let plane = plane.reshape(vec![1, h, w]).unwrap_or_else(|e| panic!("{e}"));
+                let cols = im2col(&plane, geom).unwrap_or_else(|e| panic!("{e}"));
+                let wrow = &weight[ch * k2..(ch + 1) * k2];
+                let dst = &mut chunk[ch * plane_len..(ch + 1) * plane_len];
+                for (q, o) in dst.iter_mut().enumerate() {
+                    let mut acc = bias[ch];
+                    for (t, &wv) in wrow.iter().enumerate() {
+                        acc += wv * cols.data()[t * plane_len + q];
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .input
+            .as_ref()
+            .expect("DepthwiseConv2d::backward before forward");
+        let &[n, c, h, w] = input.shape() else { unreachable!() };
+        let (oh, ow) = self.geom.output_size(h, w).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(grad_output.shape(), &[n, c, oh, ow], "gradient shape mismatch");
+        let k2 = self.geom.kh * self.geom.kw;
+        let plane_len = oh * ow;
+        let mut grad_input = Tensor::zeros(input.shape());
+        let weight = self.weight.value().data().to_vec();
+
+        for sample in 0..n {
+            for ch in 0..c {
+                let plane = input
+                    .outer_slice(sample)
+                    .outer_slice(ch)
+                    .reshape(vec![1, h, w])
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let cols = im2col(&plane, self.geom).unwrap_or_else(|e| panic!("{e}"));
+                let g_base = ((sample * c + ch) * oh) * ow;
+                let g = &grad_output.data()[g_base..g_base + plane_len];
+
+                // dW row: g · colsᵀ ; db: Σ g ; dcols: wᵀ ⊗ g.
+                let dw_row = &mut self.weight.grad_mut().data_mut()[ch * k2..(ch + 1) * k2];
+                for (t, dw) in dw_row.iter_mut().enumerate() {
+                    let row = &cols.data()[t * plane_len..(t + 1) * plane_len];
+                    *dw += row.iter().zip(g).map(|(&a, &b)| a * b).sum::<f32>();
+                }
+                self.bias.grad_mut().data_mut()[ch] += g.iter().sum::<f32>();
+
+                let mut dcols = Tensor::zeros(&[k2, plane_len]);
+                for t in 0..k2 {
+                    let wv = weight[ch * k2 + t];
+                    let dst = &mut dcols.data_mut()[t * plane_len..(t + 1) * plane_len];
+                    for (o, &gv) in dst.iter_mut().zip(g) {
+                        *o = wv * gv;
+                    }
+                }
+                let dplane = col2im(&dcols, 1, h, w, self.geom).unwrap_or_else(|e| panic!("{e}"));
+                let base = ((sample * c + ch) * h) * w;
+                grad_input.data_mut()[base..base + h * w].copy_from_slice(dplane.data());
+            }
+        }
+        grad_input
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "depthwise_conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn seeded() -> StdRng {
+        rng::rng_from_seed(7)
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut r = seeded();
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut r).unwrap();
+        conv.weight.value_mut().data_mut()[0] = 1.0;
+        let x = Tensor::from_fn(&[2, 1, 3, 3], |i| i as f32);
+        let y = conv.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), x.shape());
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_output_shape_with_stride_and_padding() {
+        let mut r = seeded();
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, &mut r).unwrap();
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = conv.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn conv_matches_hand_computed_example() {
+        // 1 channel, 2x2 kernel of ones, no padding: output = window sums.
+        let mut r = seeded();
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut r).unwrap();
+        conv.weight.value_mut().data_mut().copy_from_slice(&[1.0; 4]);
+        conv.bias.value_mut().data_mut()[0] = 0.5;
+        let x =
+            Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = conv.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[10.5]);
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_difference() {
+        let mut r = seeded();
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut r).unwrap();
+        let x = Tensor::from_fn(&[2, 2, 4, 4], |i| ((i * 23 % 17) as f32 - 8.0) * 0.1);
+        gradcheck::check_input_gradient(&mut conv, &x, Mode::Train, 2e-2);
+    }
+
+    #[test]
+    fn conv_param_gradients_match_finite_difference() {
+        let mut r = seeded();
+        let mut conv = Conv2d::new(2, 2, 3, 2, 1, &mut r).unwrap();
+        let x = Tensor::from_fn(&[2, 2, 5, 5], |i| ((i * 31 % 19) as f32 - 9.0) * 0.1);
+        gradcheck::check_param_gradients(&mut conv, &x, Mode::Train, 2e-2);
+    }
+
+    #[test]
+    fn conv_rejects_bad_config() {
+        let mut r = seeded();
+        assert!(Conv2d::new(0, 4, 3, 1, 1, &mut r).is_err());
+        assert!(Conv2d::new(4, 0, 3, 1, 1, &mut r).is_err());
+        assert!(Conv2d::new(4, 4, 0, 1, 1, &mut r).is_err());
+    }
+
+    #[test]
+    fn depthwise_applies_independent_filters() {
+        let mut r = seeded();
+        let mut dw = DepthwiseConv2d::new(2, 1, 1, 0, &mut r).unwrap();
+        dw.weight.value_mut().data_mut().copy_from_slice(&[2.0, 3.0]);
+        let x = Tensor::ones(&[1, 2, 2, 2]);
+        let y = dw.forward(&x, Mode::Train);
+        assert_eq!(&y.data()[..4], &[2.0; 4]);
+        assert_eq!(&y.data()[4..], &[3.0; 4]);
+    }
+
+    #[test]
+    fn depthwise_input_gradient_matches_finite_difference() {
+        let mut r = seeded();
+        let mut dw = DepthwiseConv2d::new(3, 3, 1, 1, &mut r).unwrap();
+        let x = Tensor::from_fn(&[2, 3, 4, 4], |i| ((i * 29 % 23) as f32 - 11.0) * 0.1);
+        gradcheck::check_input_gradient(&mut dw, &x, Mode::Train, 2e-2);
+    }
+
+    #[test]
+    fn depthwise_param_gradients_match_finite_difference() {
+        let mut r = seeded();
+        let mut dw = DepthwiseConv2d::new(2, 3, 2, 1, &mut r).unwrap();
+        let x = Tensor::from_fn(&[2, 2, 5, 5], |i| ((i * 37 % 29) as f32 - 14.0) * 0.1);
+        gradcheck::check_param_gradients(&mut dw, &x, Mode::Train, 2e-2);
+    }
+
+    #[test]
+    fn depthwise_stride_halves_spatial_dims() {
+        let mut r = seeded();
+        let mut dw = DepthwiseConv2d::new(4, 3, 2, 1, &mut r).unwrap();
+        let y = dw.forward(&Tensor::zeros(&[1, 4, 8, 8]), Mode::Train);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Flattening of NCHW feature maps into row vectors.
+
+use reveil_tensor::Tensor;
+
+use crate::{Layer, Mode, Param};
+
+/// Reshapes `[n, c, h, w]` (or any rank ≥ 2) to `[n, c*h*w]`.
+#[derive(Debug, Default, Clone)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert!(input.ndim() >= 2, "Flatten expects a batched input");
+        self.input_shape = Some(input.shape().to_vec());
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        input
+            .clone()
+            .reshape(vec![n, rest])
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .clone()
+            .expect("Flatten::backward before forward");
+        grad_output
+            .clone()
+            .reshape(shape)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_shape() {
+        let mut flatten = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 4, 5], |i| i as f32);
+        let y = flatten.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 60]);
+        assert_eq!(y.data(), x.data());
+        let g = flatten.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+}

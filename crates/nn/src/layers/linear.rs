@@ -1,0 +1,173 @@
+//! Fully-connected (affine) layer.
+
+use rand::rngs::StdRng;
+
+use reveil_tensor::{ops, rng, Tensor};
+
+use crate::{Layer, Mode, NnError, Param};
+
+/// Affine map `y = x·Wᵀ + b` over a batch `x: [n, in_features]`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform initialised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if either feature count is zero.
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        init_rng: &mut StdRng,
+    ) -> Result<Self, NnError> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidConfig {
+                what: "Linear",
+                message: format!("features must be positive, got {in_features}x{out_features}"),
+            });
+        }
+        let bound = (6.0 / in_features as f32).sqrt();
+        let mut weight = Tensor::zeros(&[out_features, in_features]);
+        rng::fill_uniform(&mut weight, -bound, bound, init_rng);
+        let bias = Tensor::zeros(&[out_features]);
+        Ok(Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            in_features,
+            out_features,
+            input: None,
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix, shape `[out_features, in_features]`.
+    pub fn weight(&self) -> &Tensor {
+        self.weight.value()
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(
+            input.shape().last(),
+            Some(&self.in_features),
+            "Linear expects trailing dim {}, got shape {:?}",
+            self.in_features,
+            input.shape()
+        );
+        assert_eq!(input.ndim(), 2, "Linear expects [n, features] input");
+        self.input = Some(input.clone());
+        let mut out = ops::matmul_nt(input, self.weight.value()).unwrap_or_else(|e| panic!("{e}"));
+        ops::add_row(&mut out, self.bias.value()).unwrap_or_else(|e| panic!("{e}"));
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.input.as_ref().expect("Linear::backward before forward");
+        // dW = gᵀ·x, db = column sums of g, dx = g·W.
+        let dw = ops::matmul_tn(grad_output, input).unwrap_or_else(|e| panic!("{e}"));
+        self.weight.grad_mut().axpy(1.0, &dw).unwrap_or_else(|e| panic!("{e}"));
+        let db = ops::sum_rows(grad_output).unwrap_or_else(|e| panic!("{e}"));
+        self.bias.grad_mut().axpy(1.0, &db).unwrap_or_else(|e| panic!("{e}"));
+        ops::matmul(grad_output, self.weight.value()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn make(in_f: usize, out_f: usize) -> Linear {
+        let mut rng = rng::rng_from_seed(42);
+        Linear::new(in_f, out_f, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_features() {
+        let mut rng = rng::rng_from_seed(0);
+        assert!(Linear::new(0, 4, &mut rng).is_err());
+        assert!(Linear::new(4, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut layer = make(3, 2);
+        // Zero weights: output equals bias.
+        layer.weight.value_mut().fill_zero();
+        layer.bias.value_mut().data_mut().copy_from_slice(&[1.0, -1.0]);
+        let x = Tensor::ones(&[4, 3]);
+        let y = layer.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[4, 2]);
+        for row in y.data().chunks(2) {
+            assert_eq!(row, &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut layer = make(5, 3);
+        let x = Tensor::from_fn(&[4, 5], |i| ((i * 13 % 7) as f32 - 3.0) * 0.3);
+        gradcheck::check_input_gradient(&mut layer, &x, Mode::Train, 1e-2);
+    }
+
+    #[test]
+    fn param_gradients_match_finite_difference() {
+        let mut layer = make(4, 3);
+        let x = Tensor::from_fn(&[3, 4], |i| ((i * 11 % 9) as f32 - 4.0) * 0.25);
+        gradcheck::check_param_gradients(&mut layer, &x, Mode::Train, 1e-2);
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut layer = make(2, 2);
+        let x = Tensor::ones(&[1, 2]);
+        let g = Tensor::ones(&[1, 2]);
+        layer.forward(&x, Mode::Train);
+        layer.backward(&g);
+        let after_one: Vec<f32> = {
+            let mut v = vec![];
+            layer.visit_params(&mut |p| v.extend_from_slice(p.grad().data()));
+            v
+        };
+        layer.forward(&x, Mode::Train);
+        layer.backward(&g);
+        let mut after_two = vec![];
+        layer.visit_params(&mut |p| after_two.extend_from_slice(p.grad().data()));
+        for (a, b) in after_one.iter().zip(&after_two) {
+            assert!((b - 2.0 * a).abs() < 1e-5, "gradients must accumulate");
+        }
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let a = make(8, 8);
+        let b = make(8, 8);
+        assert_eq!(a.weight().data(), b.weight().data());
+    }
+}

@@ -1,0 +1,100 @@
+//! Loss functions.
+
+use reveil_tensor::{ops, Tensor};
+
+/// Mean softmax cross-entropy over a batch, returning the scalar loss and
+/// the gradient with respect to the logits.
+///
+/// `logits` has shape `[n, classes]`; `labels` holds `n` class indices. The
+/// returned gradient is `(softmax(logits) − onehot(labels)) / n`, ready to
+/// feed into `Network::backward_to_input`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range — both are harness programming errors.
+///
+/// # Example
+///
+/// ```
+/// use reveil_nn::loss::softmax_cross_entropy;
+/// use reveil_tensor::Tensor;
+///
+/// # fn main() -> Result<(), reveil_tensor::TensorError> {
+/// let logits = Tensor::from_vec(vec![1, 2], vec![2.0, 0.0])?;
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 0.2, "confident correct prediction has low loss");
+/// assert_eq!(grad.shape(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let &[n, k] = logits.shape() else {
+        panic!("softmax_cross_entropy expects [n, classes] logits, got {:?}", logits.shape());
+    };
+    assert_eq!(labels.len(), n, "labels/batch size mismatch");
+    let probs = ops::softmax_rows(logits).unwrap_or_else(|e| panic!("{e}"));
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let p = probs.data()[i * k + label].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * k + label] -= 1.0;
+    }
+    grad.scale(inv_n);
+    (loss * inv_n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+        // Gradient sums to zero per row.
+        for row in grad.data().chunks(10) {
+            assert!(row.iter().sum::<f32>().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for probe in 0..6 {
+            let mut plus = logits.clone();
+            plus.data_mut()[probe] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[probe] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &labels);
+            let (lm, _) = softmax_cross_entropy(&minus, &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[probe]).abs() < 1e-3,
+                "probe {probe}: {numeric} vs {}",
+                grad.data()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_high_loss() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![10.0, -10.0]).unwrap();
+        let (loss_correct, _) = softmax_cross_entropy(&logits, &[0]);
+        let (loss_wrong, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss_wrong > 10.0 * loss_correct);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_label() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Backbone + head network container with state checkpointing.
+
+use reveil_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Param, Sequential};
+
+/// A classifier split into a feature-extracting `backbone` (ending in global
+/// pooling, output `[n, d]`) and a classification `head` (output
+/// `[n, classes]`).
+///
+/// The split exists because the paper's defenses consume different cuts of
+/// the model: Beatrix needs penultimate features ([`Network::features`]),
+/// GradCAM needs recorded spatial activations
+/// ([`Network::set_recording`] + [`Network::backbone_activations`]), and
+/// Neural Cleanse needs input gradients ([`Network::backward_to_input`]).
+pub struct Network {
+    backbone: Sequential,
+    head: Sequential,
+    num_classes: usize,
+    input_shape: (usize, usize, usize),
+    family: &'static str,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("family", &self.family)
+            .field("input_shape", &self.input_shape)
+            .field("num_classes", &self.num_classes)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Assembles a network from a backbone and a head.
+    ///
+    /// `input_shape` is `(channels, height, width)` of a single image.
+    pub fn new(
+        backbone: Sequential,
+        head: Sequential,
+        input_shape: (usize, usize, usize),
+        num_classes: usize,
+        family: &'static str,
+    ) -> Self {
+        Self { backbone, head, num_classes, input_shape, family }
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Expected single-image input shape `(c, h, w)`.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.input_shape
+    }
+
+    /// Model family label (e.g. `"resnet_tiny"`).
+    pub fn family(&self) -> &'static str {
+        self.family
+    }
+
+    /// Full forward pass: `[n, c, h, w] → [n, classes]` logits.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let features = self.backbone.forward(input, mode);
+        self.head.forward(&features, mode)
+    }
+
+    /// Backbone features only: `[n, c, h, w] → [n, d]`.
+    pub fn features(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.backbone.forward(input, mode)
+    }
+
+    /// Head only, on precomputed features.
+    pub fn head_forward(&mut self, features: &Tensor, mode: Mode) -> Tensor {
+        self.head.forward(features, mode)
+    }
+
+    /// Backward pass from a logits gradient all the way to the input,
+    /// accumulating parameter gradients along the way.
+    pub fn backward_to_input(&mut self, grad_logits: &Tensor) -> Tensor {
+        let grad_features = self.head.backward(grad_logits);
+        self.backbone.backward(&grad_features)
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Visits every trainable parameter of backbone and head.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.backbone.visit_params(f);
+        self.head.visit_params(f);
+    }
+
+    /// Visits only the classification head's parameters (used by defenses
+    /// that weight features by how the decision layer reads them).
+    pub fn visit_head_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.head.visit_params(f);
+    }
+
+    /// Visits every persistent tensor (parameters + buffers).
+    pub fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.backbone.visit_state(f);
+        self.head.visit_state(f);
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.len());
+        count
+    }
+
+    /// Serialises all persistent tensors into one flat vector — the
+    /// checkpoint format used by SISA slice snapshots.
+    pub fn state_vec(&mut self) -> Vec<f32> {
+        let mut state = Vec::new();
+        self.visit_state(&mut |t| state.extend_from_slice(t.data()));
+        state
+    }
+
+    /// Restores a checkpoint produced by [`Network::state_vec`] on a network
+    /// with identical architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::StateMismatch`] if the vector length differs from
+    /// this network's state size.
+    pub fn load_state(&mut self, state: &[f32]) -> Result<(), NnError> {
+        let mut expected = 0;
+        self.visit_state(&mut |t| expected += t.len());
+        if expected != state.len() {
+            return Err(NnError::StateMismatch { expected, got: state.len() });
+        }
+        let mut offset = 0;
+        self.visit_state(&mut |t| {
+            let len = t.len();
+            t.data_mut().copy_from_slice(&state[offset..offset + len]);
+            offset += len;
+        });
+        Ok(())
+    }
+
+    /// Enables or disables activation recording on the backbone (for
+    /// GradCAM-style attribution).
+    pub fn set_recording(&mut self, record: bool) {
+        self.backbone.set_recording(record);
+    }
+
+    /// Recorded backbone activations (see [`Sequential::activations`]).
+    pub fn backbone_activations(&self) -> &[Tensor] {
+        self.backbone.activations()
+    }
+
+    /// Recorded backbone boundary gradients (see
+    /// [`Sequential::boundary_grads`]).
+    pub fn backbone_boundary_grads(&self) -> &[Tensor] {
+        self.backbone.boundary_grads()
+    }
+
+    /// Layer names of the backbone in order (diagnostics).
+    pub fn backbone_layer_names(&self) -> Vec<&'static str> {
+        self.backbone.layer_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear, Relu};
+    use reveil_tensor::rng;
+
+    fn probe_net() -> Network {
+        let mut r = rng::rng_from_seed(4);
+        let backbone = Sequential::new()
+            .push(Flatten::new())
+            .push(Linear::new(12, 6, &mut r).unwrap())
+            .push(Relu::new());
+        let head = Sequential::new().push(Linear::new(6, 3, &mut r).unwrap());
+        Network::new(backbone, head, (3, 2, 2), 3, "probe")
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut net = probe_net();
+        let x = Tensor::ones(&[5, 3, 2, 2]);
+        let logits = net.forward(&x, Mode::Train);
+        assert_eq!(logits.shape(), &[5, 3]);
+        assert_eq!(net.num_classes(), 3);
+        assert_eq!(net.input_shape(), (3, 2, 2));
+    }
+
+    #[test]
+    fn features_then_head_equals_forward() {
+        let mut net = probe_net();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| (i % 5) as f32);
+        let direct = net.forward(&x, Mode::Eval);
+        let features = net.features(&x, Mode::Eval);
+        assert_eq!(features.shape(), &[2, 6]);
+        let via_head = net.head_forward(&features, Mode::Eval);
+        assert_eq!(direct, via_head);
+    }
+
+    #[test]
+    fn state_roundtrip_restores_outputs() {
+        let mut net = probe_net();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| (i % 7) as f32 * 0.3);
+        let before = net.forward(&x, Mode::Eval);
+        let snapshot = net.state_vec();
+
+        // Perturb all parameters.
+        net.visit_state(&mut |t| t.map_inplace(|v| v + 1.0));
+        let perturbed = net.forward(&x, Mode::Eval);
+        assert_ne!(before, perturbed);
+
+        net.load_state(&snapshot).unwrap();
+        let after = net.forward(&x, Mode::Eval);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_length() {
+        let mut net = probe_net();
+        let err = net.load_state(&[0.0; 3]).unwrap_err();
+        assert!(matches!(err, NnError::StateMismatch { .. }));
+    }
+
+    #[test]
+    fn backward_to_input_has_input_shape() {
+        let mut net = probe_net();
+        let x = Tensor::ones(&[2, 3, 2, 2]);
+        let logits = net.forward(&x, Mode::Train);
+        net.zero_grads();
+        let dx = net.backward_to_input(&Tensor::ones(logits.shape()));
+        assert_eq!(dx.shape(), x.shape());
+        // At least one parameter gradient must be non-zero.
+        let mut any_nonzero = false;
+        net.visit_params(&mut |p| any_nonzero |= p.grad().data().iter().any(|&g| g != 0.0));
+        assert!(any_nonzero);
+    }
+
+    #[test]
+    fn param_count_is_stable() {
+        let mut net = probe_net();
+        // 12*6 + 6 + 6*3 + 3
+        assert_eq!(net.param_count(), 99);
+    }
+}

@@ -1,0 +1,88 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use reveil_tensor::Tensor;
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A trainable parameter: value, accumulated gradient, and a process-unique
+/// identity used by optimizers to key their per-parameter state.
+#[derive(Debug, Clone)]
+pub struct Param {
+    id: u64,
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value as a trainable parameter with a zeroed
+    /// gradient and a fresh identity.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed), value, grad }
+    }
+
+    /// Process-unique identity (stable for the parameter's lifetime, fresh
+    /// after cloning a network via state round-trip, unchanged by value
+    /// updates).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable value (used by optimizers and checkpoint restore).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable gradient (layers accumulate into this during backward).
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Resets the gradient to zero, keeping the allocation.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalars in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty (never true for a real layer).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Param::new(Tensor::zeros(&[2]));
+        let b = Param::new(Tensor::zeros(&[2]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn grad_matches_value_shape_and_zeroes() {
+        let mut p = Param::new(Tensor::ones(&[3, 4]));
+        assert_eq!(p.grad().shape(), &[3, 4]);
+        p.grad_mut().data_mut()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad().data()[0], 0.0);
+        assert_eq!(p.len(), 12);
+        assert!(!p.is_empty());
+    }
+}

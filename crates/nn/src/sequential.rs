@@ -1,0 +1,215 @@
+//! Ordered layer container with optional activation recording.
+
+use reveil_tensor::Tensor;
+
+use crate::{Layer, Mode, Param};
+
+/// A chain of layers applied in order.
+///
+/// `Sequential` itself implements [`Layer`], so chains nest (residual blocks
+/// hold `Sequential` bodies).
+///
+/// When recording is enabled via [`Sequential::set_recording`], `forward`
+/// stores each layer's output and `backward` stores the gradient arriving at
+/// each layer boundary. GradCAM uses these to pair the last spatial
+/// activation with its gradient; Beatrix reads penultimate features from the
+/// same mechanism.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    record: bool,
+    activations: Vec<Tensor>,
+    boundary_grads: Vec<Tensor>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .field("record", &self.record)
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain contains no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Enables or disables activation/gradient recording.
+    ///
+    /// Recording clones every intermediate activation; leave it off during
+    /// training and enable it only for attribution or feature extraction.
+    pub fn set_recording(&mut self, record: bool) {
+        self.record = record;
+        if !record {
+            self.activations.clear();
+            self.boundary_grads.clear();
+        }
+    }
+
+    /// Outputs of each layer from the last recorded forward pass
+    /// (`activations()[i]` is the output of layer `i`).
+    pub fn activations(&self) -> &[Tensor] {
+        &self.activations
+    }
+
+    /// Gradients with respect to each layer's output from the last recorded
+    /// backward pass, indexed like [`Sequential::activations`].
+    pub fn boundary_grads(&self) -> &[Tensor] {
+        &self.boundary_grads
+    }
+
+    /// Layer names in order (diagnostics).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if self.record {
+            self.activations.clear();
+        }
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current, mode);
+            if self.record {
+                self.activations.push(current.clone());
+            }
+        }
+        current
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        if self.record {
+            self.boundary_grads.clear();
+            self.boundary_grads.resize(self.layers.len(), Tensor::default());
+        }
+        let mut grad = grad_output.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            if self.record {
+                self.boundary_grads[i] = grad.clone();
+            }
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_state(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use reveil_tensor::rng;
+
+    fn two_layer() -> Sequential {
+        let mut r = rng::rng_from_seed(3);
+        Sequential::new()
+            .push(Linear::new(4, 8, &mut r).unwrap())
+            .push(Relu::new())
+            .push(Linear::new(8, 2, &mut r).unwrap())
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut net = two_layer();
+        let x = Tensor::ones(&[3, 4]);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[3, 2]);
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn recording_captures_all_activations_and_grads() {
+        let mut net = two_layer();
+        net.set_recording(true);
+        let x = Tensor::ones(&[2, 4]);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(net.activations().len(), 3);
+        assert_eq!(net.activations()[2], y);
+        assert_eq!(net.activations()[0].shape(), &[2, 8]);
+
+        let g = Tensor::ones(y.shape());
+        net.backward(&g);
+        assert_eq!(net.boundary_grads().len(), 3);
+        assert_eq!(net.boundary_grads()[2], g);
+        assert_eq!(net.boundary_grads()[0].shape(), &[2, 8]);
+
+        net.set_recording(false);
+        assert!(net.activations().is_empty());
+    }
+
+    #[test]
+    fn backward_matches_composed_layers() {
+        // Gradient through sequential == gradient through manual chain.
+        let mut r = rng::rng_from_seed(5);
+        let mut a = Linear::new(3, 3, &mut r).unwrap();
+        let mut r2 = rng::rng_from_seed(5);
+        let mut chain = Sequential::new().push(Linear::new(3, 3, &mut r2).unwrap());
+
+        let x = Tensor::from_fn(&[2, 3], |i| i as f32 * 0.5);
+        let g = Tensor::ones(&[2, 3]);
+        let y1 = a.forward(&x, Mode::Train);
+        let y2 = chain.forward(&x, Mode::Train);
+        assert_eq!(y1, y2);
+        assert_eq!(a.backward(&g), chain.backward(&g));
+    }
+
+    #[test]
+    fn visit_params_counts_all_layers() {
+        let mut net = two_layer();
+        let mut count = 0;
+        net.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 4, "two linear layers x (weight, bias)");
+    }
+
+    #[test]
+    fn debug_lists_layer_names() {
+        let net = two_layer();
+        let dbg = format!("{net:?}");
+        assert!(dbg.contains("linear"));
+        assert!(dbg.contains("relu"));
+    }
+}

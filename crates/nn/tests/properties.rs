@@ -1,0 +1,69 @@
+//! Property-based tests of the NN substrate: state round-trips, loss
+//! gradient structure, and schedule monotonicity across random
+//! configurations.
+
+use proptest::prelude::*;
+
+use reveil_nn::loss::softmax_cross_entropy;
+use reveil_nn::models::ModelFamily;
+use reveil_nn::optim::CosineAnnealing;
+use reveil_nn::Mode;
+use reveil_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn state_roundtrip_is_identity(
+        family_idx in 0usize..3, classes in 2usize..6, seed in 0u64..100,
+    ) {
+        let family = [ModelFamily::MlpProbe, ModelFamily::TinyCnn, ModelFamily::MobileNetTiny]
+            [family_idx];
+        let mut net = family.build(3, 8, 8, classes, 4, seed);
+        let state = net.state_vec();
+        let x = Tensor::from_fn(&[2, 3, 8, 8], |i| (i % 9) as f32 * 0.1);
+        let before = net.forward(&x, Mode::Eval);
+        net.load_state(&state).expect("same architecture");
+        let after = net.forward(&x, Mode::Eval);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn ce_gradient_rows_sum_to_zero(
+        n in 1usize..6, k in 2usize..8, seed in 0u64..50,
+    ) {
+        let logits = Tensor::from_fn(&[n, k], |i| {
+            (((i as u64).wrapping_mul(seed + 1) % 17) as f32 - 8.0) * 0.3
+        });
+        let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        for row in grad.data().chunks(k) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!(sum.abs() < 1e-5, "row sums to {}", sum);
+        }
+    }
+
+    #[test]
+    fn cosine_schedule_is_monotone_decreasing(
+        base_lr in 1e-5f32..1.0, t_max in 1usize..200,
+    ) {
+        let sched = CosineAnnealing::new(base_lr, t_max);
+        prop_assert!((sched.lr_at(0) - base_lr).abs() < 1e-6);
+        for t in 1..=t_max {
+            prop_assert!(sched.lr_at(t) <= sched.lr_at(t - 1) + 1e-9);
+        }
+        prop_assert!(sched.lr_at(t_max) < base_lr * 1e-3 + 1e-9);
+    }
+
+    #[test]
+    fn forward_is_deterministic_in_eval_mode(
+        seed in 0u64..50, n in 1usize..4,
+    ) {
+        let mut net = ModelFamily::TinyCnn.build(3, 8, 8, 3, 4, seed);
+        let x = Tensor::from_fn(&[n, 3, 8, 8], |i| (i % 7) as f32 * 0.1);
+        let a = net.forward(&x, Mode::Eval);
+        let b = net.forward(&x, Mode::Eval);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,272 @@
+//! `im2col`/`col2im` lowering used by the convolution layers.
+//!
+//! A convolution of a `[c, h, w]` input with `[oc, c, kh, kw]` kernels is
+//! computed as a matmul between the kernel matrix `[oc, c*kh*kw]` and the
+//! lowered column matrix produced by [`im2col`]; [`col2im`] is its adjoint
+//! and routes output-space gradients back to input space.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride applied in both spatial directions.
+    pub stride: usize,
+    /// Zero padding applied symmetrically in both spatial directions.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the kernel is empty or the
+    /// stride is zero.
+    pub fn new(kh: usize, kw: usize, stride: usize, padding: usize) -> Result<Self, TensorError> {
+        if kh == 0 || kw == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "ConvGeometry::new",
+                message: format!("kernel {kh}x{kw} must be non-empty"),
+            });
+        }
+        if stride == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "ConvGeometry::new",
+                message: "stride must be positive".to_string(),
+            });
+        }
+        Ok(Self { kh, kw, stride, padding })
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the padded input is
+    /// smaller than the kernel.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if ph < self.kh || pw < self.kw {
+            return Err(TensorError::InvalidArgument {
+                op: "ConvGeometry::output_size",
+                message: format!(
+                    "padded input {ph}x{pw} smaller than kernel {}x{}",
+                    self.kh, self.kw
+                ),
+            });
+        }
+        Ok(((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1))
+    }
+}
+
+/// Lowers a `[c, h, w]` input to a `[c*kh*kw, oh*ow]` column matrix.
+///
+/// Column `q` (for output position `(oy, ox)`, `q = oy*ow + ox`) holds the
+/// receptive field of that position, channel-major then row-major within the
+/// kernel. Out-of-bounds taps (from padding) read as zero.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` is not rank-3 and
+/// propagates geometry errors from [`ConvGeometry::output_size`].
+pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError> {
+    let &[c, h, w] = input.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col",
+            expected: vec![0, 0, 0],
+            got: input.shape().to_vec(),
+        });
+    };
+    let (oh, ow) = geom.output_size(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let src = input.data();
+    let dst = out.data_mut();
+
+    for ch in 0..c {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (ch * geom.kh + ky) * geom.kw + kx;
+                let row_base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_base = (ch * h + iy as usize) * w;
+                    let dst_base = row_base + oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[dst_base + ox] = src[src_base + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adjoint of [`im2col`]: scatters a `[c*kh*kw, oh*ow]` column matrix back
+/// into a `[c, h, w]` tensor, accumulating where receptive fields overlap.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not match the
+/// geometry implied by `(c, h, w)` and `geom`.
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+) -> Result<Tensor, TensorError> {
+    let (oh, ow) = geom.output_size(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    if cols.shape() != [rows, oh * ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            expected: vec![rows, oh * ow],
+            got: cols.shape().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let src = cols.data();
+    let dst = out.data_mut();
+    let n_cols = oh * ow;
+
+    for ch in 0..c {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (ch * geom.kh + ky) * geom.kw + kx;
+                let row_base = row * n_cols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_base = (ch * h + iy as usize) * w;
+                    let src_base = row_base + oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[dst_base + ix as usize] += src[src_base + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_matches_convention() {
+        let g = ConvGeometry::new(3, 3, 1, 1).unwrap();
+        assert_eq!(g.output_size(8, 8).unwrap(), (8, 8));
+        let g = ConvGeometry::new(3, 3, 2, 1).unwrap();
+        assert_eq!(g.output_size(8, 8).unwrap(), (4, 4));
+        let g = ConvGeometry::new(2, 2, 2, 0).unwrap();
+        assert_eq!(g.output_size(8, 8).unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn geometry_validates_arguments() {
+        assert!(ConvGeometry::new(0, 3, 1, 0).is_err());
+        assert!(ConvGeometry::new(3, 3, 0, 0).is_err());
+        let g = ConvGeometry::new(5, 5, 1, 0).unwrap();
+        assert!(g.output_size(3, 3).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel_is_flatten() {
+        // A 1x1 kernel with stride 1 lowers each channel to one row.
+        let input = Tensor::from_fn(&[2, 2, 2], |i| i as f32);
+        let g = ConvGeometry::new(1, 1, 1, 0).unwrap();
+        let cols = im2col(&input, g).unwrap();
+        assert_eq!(cols.shape(), &[2, 4]);
+        assert_eq!(cols.data(), input.data());
+    }
+
+    #[test]
+    fn im2col_extracts_receptive_fields() {
+        // 1 channel, 3x3 image, 2x2 kernel, stride 1, no padding.
+        let input =
+            Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
+        let g = ConvGeometry::new(2, 2, 1, 0).unwrap();
+        let cols = im2col(&input, g).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        // First output position sees [1,2,4,5]; reading down the column:
+        assert_eq!(cols.at(&[0, 0]), 1.0);
+        assert_eq!(cols.at(&[1, 0]), 2.0);
+        assert_eq!(cols.at(&[2, 0]), 4.0);
+        assert_eq!(cols.at(&[3, 0]), 5.0);
+        // Last output position sees [5,6,8,9].
+        assert_eq!(cols.at(&[0, 3]), 5.0);
+        assert_eq!(cols.at(&[3, 3]), 9.0);
+    }
+
+    #[test]
+    fn im2col_padding_reads_zero() {
+        let input = Tensor::ones(&[1, 2, 2]);
+        let g = ConvGeometry::new(3, 3, 1, 1).unwrap();
+        let cols = im2col(&input, g).unwrap();
+        assert_eq!(cols.shape(), &[9, 4]);
+        // Center tap of the kernel always lands inside the image.
+        for q in 0..4 {
+            assert_eq!(cols.at(&[4, q]), 1.0);
+        }
+        // Top-left tap of the first output position is padding.
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y — the adjoint
+        // identity that makes the conv backward pass correct.
+        let c = 2;
+        let h = 5;
+        let w = 4;
+        let g = ConvGeometry::new(3, 3, 2, 1).unwrap();
+        let x = Tensor::from_fn(&[c, h, w], |i| ((i * 31 % 17) as f32) - 8.0);
+        let (oh, ow) = g.output_size(h, w).unwrap();
+        let y = Tensor::from_fn(&[c * 9, oh * ow], |i| ((i * 29 % 13) as f32) - 6.0);
+
+        let lhs: f32 = im2col(&x, g)
+            .unwrap()
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, c, h, w, g).unwrap().data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_rejects_wrong_shapes() {
+        let g = ConvGeometry::new(2, 2, 1, 0).unwrap();
+        let bad = Tensor::zeros(&[3, 3]);
+        assert!(col2im(&bad, 1, 3, 3, g).is_err());
+    }
+}

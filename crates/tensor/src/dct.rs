@@ -1,0 +1,238 @@
+//! Orthonormal 2-D discrete cosine transform.
+//!
+//! The FTrojan trigger operates in the frequency domain: it transforms each
+//! colour channel with a 2-D DCT, bumps selected mid/high-frequency
+//! coefficients, and transforms back. The orthonormal DCT-II/DCT-III pair
+//! here is exact to floating-point roundoff, so `idct2(dct2(x)) ≈ x`.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Precomputed orthonormal DCT basis for a fixed transform length.
+///
+/// Building the basis once and re-using it turns each 1-D transform into a
+/// dense matrix–vector product, which at the 32–64 point lengths used for
+/// images is faster than recomputing cosines per call.
+#[derive(Debug, Clone)]
+pub struct DctPlan {
+    n: usize,
+    /// `basis[k * n + i] = s(k) * cos(pi/n * (i + 0.5) * k)`.
+    basis: Vec<f32>,
+}
+
+impl DctPlan {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `n` is zero.
+    pub fn new(n: usize) -> Result<Self, TensorError> {
+        if n == 0 {
+            return Err(TensorError::InvalidArgument {
+                op: "DctPlan::new",
+                message: "transform length must be positive".to_string(),
+            });
+        }
+        let mut basis = vec![0.0f32; n * n];
+        let norm0 = (1.0 / n as f64).sqrt();
+        let norm = (2.0 / n as f64).sqrt();
+        for k in 0..n {
+            let s = if k == 0 { norm0 } else { norm };
+            for i in 0..n {
+                let angle = std::f64::consts::PI / n as f64 * (i as f64 + 0.5) * k as f64;
+                basis[k * n + i] = (s * angle.cos()) as f32;
+            }
+        }
+        Ok(Self { n, basis })
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for zero-length transforms (never true for a
+    /// constructed plan; provided for `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward orthonormal DCT-II of a length-`n` signal.
+    fn forward_1d(&self, input: &[f32], output: &mut [f32]) {
+        for k in 0..self.n {
+            let row = &self.basis[k * self.n..(k + 1) * self.n];
+            output[k] = row.iter().zip(input).map(|(&b, &x)| b * x).sum();
+        }
+    }
+
+    /// Inverse orthonormal DCT (DCT-III with matching normalisation).
+    fn inverse_1d(&self, input: &[f32], output: &mut [f32]) {
+        for (i, out) in output.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for k in 0..self.n {
+                acc += self.basis[k * self.n + i] * input[k];
+            }
+            *out = acc;
+        }
+    }
+}
+
+fn plan_pair(h: usize, w: usize) -> Result<(DctPlan, DctPlan), TensorError> {
+    let ph = DctPlan::new(h)?;
+    let pw = if w == h { ph.clone() } else { DctPlan::new(w)? };
+    Ok((ph, pw))
+}
+
+fn transform_2d(
+    channel: &[f32],
+    h: usize,
+    w: usize,
+    ph: &DctPlan,
+    pw: &DctPlan,
+    forward: bool,
+) -> Vec<f32> {
+    // Rows first, then columns; scratch keeps one row/column at a time.
+    let mut tmp = vec![0.0f32; h * w];
+    let mut line_out = vec![0.0f32; w.max(h)];
+    for y in 0..h {
+        let row = &channel[y * w..(y + 1) * w];
+        if forward {
+            pw.forward_1d(row, &mut line_out[..w]);
+        } else {
+            pw.inverse_1d(row, &mut line_out[..w]);
+        }
+        tmp[y * w..(y + 1) * w].copy_from_slice(&line_out[..w]);
+    }
+    let mut out = vec![0.0f32; h * w];
+    let mut col_in = vec![0.0f32; h];
+    for x in 0..w {
+        for y in 0..h {
+            col_in[y] = tmp[y * w + x];
+        }
+        if forward {
+            ph.forward_1d(&col_in, &mut line_out[..h]);
+        } else {
+            ph.inverse_1d(&col_in, &mut line_out[..h]);
+        }
+        for y in 0..h {
+            out[y * w + x] = line_out[y];
+        }
+    }
+    out
+}
+
+/// Forward 2-D orthonormal DCT of every channel of a `[c, h, w]` tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `image` is not rank-3.
+///
+/// # Example
+///
+/// ```
+/// use reveil_tensor::{dct, Tensor};
+/// # fn main() -> Result<(), reveil_tensor::TensorError> {
+/// let image = Tensor::ones(&[1, 4, 4]);
+/// let freq = dct::dct2(&image)?;
+/// // A constant image concentrates all energy in the DC coefficient.
+/// assert!((freq.at(&[0, 0, 0]) - 4.0).abs() < 1e-5);
+/// assert!(freq.data()[1..].iter().all(|v| v.abs() < 1e-5));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dct2(image: &Tensor) -> Result<Tensor, TensorError> {
+    dct2_impl(image, true)
+}
+
+/// Inverse 2-D orthonormal DCT of every channel of a `[c, h, w]` tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `freq` is not rank-3.
+pub fn idct2(freq: &Tensor) -> Result<Tensor, TensorError> {
+    dct2_impl(freq, false)
+}
+
+fn dct2_impl(image: &Tensor, forward: bool) -> Result<Tensor, TensorError> {
+    let &[c, h, w] = image.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "dct2",
+            expected: vec![0, 0, 0],
+            got: image.shape().to_vec(),
+        });
+    };
+    let (ph, pw) = plan_pair(h, w)?;
+    let mut out = Tensor::zeros(&[c, h, w]);
+    for ch in 0..c {
+        let src = &image.data()[ch * h * w..(ch + 1) * h * w];
+        let transformed = transform_2d(src, h, w, &ph, &pw, forward);
+        out.data_mut()[ch * h * w..(ch + 1) * h * w].copy_from_slice(&transformed);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_rejects_zero_length() {
+        assert!(DctPlan::new(0).is_err());
+        assert_eq!(DctPlan::new(8).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn dct_of_constant_is_dc_only() {
+        let image = Tensor::full(&[2, 8, 8], 0.5);
+        let freq = dct2(&image).unwrap();
+        for ch in 0..2 {
+            assert!((freq.at(&[ch, 0, 0]) - 0.5 * 8.0).abs() < 1e-4);
+            for y in 0..8 {
+                for x in 0..8 {
+                    if y != 0 || x != 0 {
+                        assert!(freq.at(&[ch, y, x]).abs() < 1e-4);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_recovers_input() {
+        let image = Tensor::from_fn(&[3, 16, 12], |i| ((i * 97 % 251) as f32) / 251.0);
+        let freq = dct2(&image).unwrap();
+        let back = idct2(&freq).unwrap();
+        for (a, b) in image.data().iter().zip(back.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transform_is_orthonormal() {
+        // Parseval: energy is preserved by an orthonormal transform.
+        let image = Tensor::from_fn(&[1, 8, 8], |i| (i as f32 * 0.31).sin());
+        let freq = dct2(&image).unwrap();
+        let e_spatial = image.sq_norm();
+        let e_freq = freq.sq_norm();
+        assert!((e_spatial - e_freq).abs() / e_spatial < 1e-4);
+    }
+
+    #[test]
+    fn rejects_non_rank3() {
+        assert!(dct2(&Tensor::zeros(&[4, 4])).is_err());
+        assert!(idct2(&Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn single_coefficient_bump_is_a_cosine_in_space() {
+        // Bumping one frequency coefficient must create a spread-out spatial
+        // pattern (the mechanism FTrojan relies on for invisibility).
+        let mut freq = Tensor::zeros(&[1, 8, 8]);
+        freq.set(&[0, 6, 6], 1.0);
+        let spatial = idct2(&freq).unwrap();
+        let max_abs = spatial.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        // Energy 1 spread over 64 pixels: no pixel can hold it all.
+        assert!(max_abs < 0.5);
+        assert!((spatial.sq_norm() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// Every public fallible function in this crate returns
+/// `Result<_, TensorError>`; the variants carry enough context to diagnose
+/// the failing operation without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and an expected geometry) disagree on shape.
+    ShapeMismatch {
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape the operation expected.
+        expected: Vec<usize>,
+        /// Shape the operation received.
+        got: Vec<usize>,
+    },
+    /// A shape whose element count does not match the provided buffer.
+    LengthMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Number of elements implied by the shape.
+        expected_len: usize,
+        /// Number of elements actually provided.
+        got_len: usize,
+    },
+    /// A structurally invalid argument (zero-sized dimension where forbidden,
+    /// out-of-range axis, incompatible block size, ...).
+    InvalidArgument {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violated requirement.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, expected, got } => {
+                write!(f, "{op}: shape mismatch, expected {expected:?} but got {got:?}")
+            }
+            TensorError::LengthMismatch { op, expected_len, got_len } => {
+                write!(
+                    f,
+                    "{op}: buffer length mismatch, shape implies {expected_len} elements but got {got_len}"
+                )
+            }
+            TensorError::InvalidArgument { op, message } => {
+                write!(f, "{op}: invalid argument, {message}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_operation_and_shapes() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            expected: vec![2, 3],
+            got: vec![4, 5],
+        };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("[2, 3]"));
+        assert!(text.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! Dense `f32` tensor substrate for the ReVeil reproduction.
+//!
+//! This crate provides the numeric foundation used by every other crate in
+//! the workspace: an owned, row-major, NCHW-oriented [`Tensor`] type together
+//! with the linear-algebra and signal-processing primitives the paper's
+//! pipeline needs:
+//!
+//! * elementwise arithmetic and mapping ([`Tensor::map`], operator impls),
+//! * matrix multiplication in the four transpose flavours required by
+//!   backpropagation ([`ops::matmul`], [`ops::matmul_tn`], [`ops::matmul_nt`]),
+//! * `im2col`/`col2im` lowering for convolutions ([`conv`]),
+//! * an orthonormal 2-D DCT used by the FTrojan frequency-domain trigger
+//!   ([`dct`]),
+//! * deterministic, stream-splittable random number helpers including a
+//!   Box–Muller Gaussian ([`rng`]), and
+//! * a tiny fork–join helper sized for the 2-core evaluation container
+//!   ([`parallel`]).
+//!
+//! # Example
+//!
+//! ```
+//! use reveil_tensor::{Tensor, ops};
+//!
+//! # fn main() -> Result<(), reveil_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! let b = Tensor::ones(&[3, 2]);
+//! let c = ops::matmul(&a, &b)?;
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.data()[0], 6.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod tensor;
+
+pub mod conv;
+pub mod dct;
+pub mod ops;
+pub mod parallel;
+pub mod rng;
+
+pub use error::TensorError;
+pub use tensor::Tensor;

@@ -1,0 +1,365 @@
+//! Matrix and batch operations used by the neural-network layers.
+//!
+//! Backpropagation through a linear map `Y = X·Wᵀ` needs products against
+//! both transposes, so alongside plain [`matmul`] this module provides
+//! [`matmul_tn`] (`AᵀB`) and [`matmul_nt`] (`ABᵀ`) that read their operands
+//! in place instead of materialising transposed copies.
+
+use crate::error::TensorError;
+use crate::parallel;
+use crate::tensor::Tensor;
+
+fn expect_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize), TensorError> {
+    match *t.shape() {
+        [r, c] => Ok((r, c)),
+        _ => Err(TensorError::ShapeMismatch {
+            op,
+            expected: vec![0, 0],
+            got: t.shape().to_vec(),
+        }),
+    }
+}
+
+/// Minimum number of multiply–accumulate operations before a matmul forks
+/// worker threads; below this, threading costs more than it saves.
+const PAR_FLOPS_THRESHOLD: usize = 1 << 17;
+
+fn matmul_impl(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+    m: usize,
+    k: usize,
+    n: usize,
+    a_index: impl Fn(usize, usize) -> usize + Sync,
+    b_index: impl Fn(usize, usize) -> usize + Sync,
+) -> Result<Tensor, TensorError> {
+    let _ = op;
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = Tensor::zeros(&[m, n]);
+
+    let body = |row_start: usize, rows: &mut [f32]| {
+        // `rows` covers whole output rows because chunk size is a multiple
+        // of n; iterate i-k-j for cache-friendly access to the B rows.
+        let n_rows = rows.len() / n;
+        for local_i in 0..n_rows {
+            let i = row_start / n + local_i;
+            let out_row = &mut rows[local_i * n..(local_i + 1) * n];
+            for p in 0..k {
+                let a_ip = a_data[a_index(i, p)];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                // Inner loop over j; b_index is monotone in j for all three
+                // variants, so this stays sequential in memory for NN/TN.
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o += a_ip * b_data[b_index(p, j)];
+                }
+            }
+        }
+    };
+
+    if m * n * k >= PAR_FLOPS_THRESHOLD && m > 1 {
+        let rows_per_chunk = m.div_ceil(parallel::worker_count()).max(1);
+        parallel::for_each_chunk(out.data_mut(), rows_per_chunk * n, &body);
+    } else {
+        body(0, out.data_mut());
+    }
+    Ok(out)
+}
+
+/// `C = A·B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless both operands are rank-2
+/// with matching inner dimension.
+///
+/// # Example
+///
+/// ```
+/// use reveil_tensor::{ops, Tensor};
+/// # fn main() -> Result<(), reveil_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0])?;
+/// let b = Tensor::from_vec(vec![2, 1], vec![3.0, 4.0])?;
+/// assert_eq!(ops::matmul(&a, &b)?.data(), &[11.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k) = expect_rank2("matmul", a)?;
+    let (k2, n) = expect_rank2("matmul", b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            expected: vec![m, k],
+            got: vec![k2, n],
+        });
+    }
+    matmul_impl("matmul", a, b, m, k, n, |i, p| i * k + p, |p, j| p * n + j)
+}
+
+/// `C = Aᵀ·B` for `A: [k, m]`, `B: [k, n]` without materialising `Aᵀ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless both operands are rank-2
+/// sharing their leading dimension.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (k, m) = expect_rank2("matmul_tn", a)?;
+    let (k2, n) = expect_rank2("matmul_tn", b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            expected: vec![k, m],
+            got: vec![k2, n],
+        });
+    }
+    matmul_impl("matmul_tn", a, b, m, k, n, |i, p| p * m + i, |p, j| p * n + j)
+}
+
+/// `C = A·Bᵀ` for `A: [m, k]`, `B: [n, k]` without materialising `Bᵀ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless both operands are rank-2
+/// sharing their trailing dimension.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k) = expect_rank2("matmul_nt", a)?;
+    let (n, k2) = expect_rank2("matmul_nt", b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            expected: vec![m, k],
+            got: vec![n, k2],
+        });
+    }
+    matmul_impl("matmul_nt", a, b, m, k, n, |i, p| i * k + p, |p, j| j * k + p)
+}
+
+/// Transpose of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `t` is not rank-2.
+pub fn transpose(t: &Tensor) -> Result<Tensor, TensorError> {
+    let (r, c) = expect_rank2("transpose", t)?;
+    let mut out = Tensor::zeros(&[c, r]);
+    let src = t.data();
+    let dst = out.data_mut();
+    for i in 0..r {
+        for j in 0..c {
+            dst[j * r + i] = src[i * c + j];
+        }
+    }
+    Ok(out)
+}
+
+/// Adds a length-`n` row vector to every row of an `[m, n]` matrix (bias
+/// broadcast).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on rank or length mismatch.
+pub fn add_row(matrix: &mut Tensor, row: &Tensor) -> Result<(), TensorError> {
+    let (_, n) = expect_rank2("add_row", matrix)?;
+    if row.shape() != [n] {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_row",
+            expected: vec![n],
+            got: row.shape().to_vec(),
+        });
+    }
+    let rd = row.data();
+    for out_row in matrix.data_mut().chunks_mut(n) {
+        for (o, &b) in out_row.iter_mut().zip(rd) {
+            *o += b;
+        }
+    }
+    Ok(())
+}
+
+/// Sums an `[m, n]` matrix over rows, producing the length-`n` column sums
+/// (the gradient of a broadcast bias).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `matrix` is not rank-2.
+pub fn sum_rows(matrix: &Tensor) -> Result<Tensor, TensorError> {
+    let (_, n) = expect_rank2("sum_rows", matrix)?;
+    let mut out = Tensor::zeros(&[n]);
+    let od = out.data_mut();
+    for row in matrix.data().chunks(n) {
+        for (o, &v) in od.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise softmax of an `[m, n]` logits matrix, numerically stabilised by
+/// max subtraction.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `logits` is not rank-2.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
+    let (_, n) = expect_rank2("softmax_rows", logits)?;
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(n) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    Ok(out)
+}
+
+/// Per-row argmax of an `[m, n]` matrix (predicted class per sample).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `matrix` is not rank-2.
+pub fn argmax_rows(matrix: &Tensor) -> Result<Vec<usize>, TensorError> {
+    let (_, n) = expect_rank2("argmax_rows", matrix)?;
+    Ok(matrix
+        .data()
+        .chunks(n)
+        .map(|row| {
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect())
+}
+
+/// Shannon entropy (nats) of each row of a probability matrix.
+///
+/// Rows are assumed non-negative; zero entries contribute zero. Used by the
+/// STRIP defense.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `probs` is not rank-2.
+pub fn entropy_rows(probs: &Tensor) -> Result<Vec<f32>, TensorError> {
+    let (_, n) = expect_rank2("entropy_rows", probs)?;
+    Ok(probs
+        .data()
+        .chunks(n)
+        .map(|row| -row.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = t(&[2, 3], &[0.0; 6]);
+        let b = t(&[2, 3], &[0.0; 6]);
+        assert!(matmul(&a, &b).is_err());
+        let v = t(&[3], &[0.0; 3]);
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = t(&[3, 2], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 4], &(0..12).map(|i| i as f32).collect::<Vec<_>>());
+        let expected = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(matmul_tn(&a, &b).unwrap(), expected);
+
+        let c = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let d = t(&[4, 3], &(0..12).map(|i| i as f32).collect::<Vec<_>>());
+        let expected = matmul(&c, &transpose(&d).unwrap()).unwrap();
+        assert_eq!(matmul_nt(&c, &d).unwrap(), expected);
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_matches_serial() {
+        // Big enough to cross PAR_FLOPS_THRESHOLD and exercise threading.
+        let m = 64;
+        let k = 33;
+        let n = 70;
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 37 % 11) as f32) - 5.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 53 % 7) as f32) - 3.0);
+        let fast = matmul(&a, &b).unwrap();
+        // Serial reference.
+        let mut slow = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    let v = a.data()[i * k + p] * b.data()[p * n + j];
+                    slow.data_mut()[i * n + j] += v;
+                }
+            }
+        }
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn add_row_and_sum_rows_are_adjoint_shapes() {
+        let mut m = Tensor::zeros(&[3, 2]);
+        let bias = t(&[2], &[1.0, -1.0]);
+        add_row(&mut m, &bias).unwrap();
+        assert_eq!(m.data(), &[1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        let sums = sum_rows(&m).unwrap();
+        assert_eq!(sums.data(), &[3.0, -3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_is_normalised_and_stable() {
+        let logits = t(&[2, 3], &[1000.0, 1001.0, 1002.0, 0.0, 0.0, 0.0]);
+        let p = softmax_rows(&logits).unwrap();
+        for row in p.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v.is_finite() && v >= 0.0));
+        }
+        // Uniform logits give uniform probabilities.
+        assert!((p.data()[3] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_and_entropy_rows() {
+        let probs = t(&[2, 2], &[0.9, 0.1, 0.5, 0.5]);
+        assert_eq!(argmax_rows(&probs).unwrap(), vec![0, 0]);
+        let h = entropy_rows(&probs).unwrap();
+        assert!(h[0] < h[1], "peaked row must have lower entropy");
+        assert!((h[1] - (2.0f32).ln().abs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_ignores_zero_probabilities() {
+        let probs = t(&[1, 3], &[1.0, 0.0, 0.0]);
+        let h = entropy_rows(&probs).unwrap();
+        assert_eq!(h[0], 0.0);
+    }
+}

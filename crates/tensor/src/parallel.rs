@@ -1,0 +1,163 @@
+//! Minimal fork–join helpers sized for the 2-core evaluation container.
+//!
+//! The heavy loops in this workspace (matmul rows, per-sample convolution
+//! lowering, per-shard SISA training) are embarrassingly parallel over an
+//! outer index. [`for_each_chunk`] splits such a loop over a small number of
+//! OS threads using `std::thread::scope`, so no dependency beyond `std` is
+//! needed and no thread pool outlives the call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by [`for_each_chunk`].
+///
+/// Defaults to the machine parallelism, capped at 4: the evaluation
+/// container exposes 2 cores, and the work items are large enough that more
+/// threads only add scheduling noise.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+/// Runs `f(start, chunk)` over disjoint mutable chunks of `data`, in
+/// parallel when the input is large enough to amortise thread spawn cost.
+///
+/// `chunk_len` is the number of elements each call receives (the final chunk
+/// may be shorter). `f` is given the starting element index of its chunk so
+/// callers can recover global positions.
+///
+/// # Example
+///
+/// ```
+/// let mut v = vec![0usize; 10];
+/// reveil_tensor::parallel::for_each_chunk(&mut v, 3, |start, chunk| {
+///     for (i, x) in chunk.iter_mut().enumerate() {
+///         *x = start + i;
+///     }
+/// });
+/// assert_eq!(v, (0..10).collect::<Vec<_>>());
+/// ```
+pub fn for_each_chunk<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let workers = worker_count();
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if workers <= 1 || n_chunks <= 1 {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx * chunk_len, chunk);
+        }
+        return;
+    }
+
+    // Work-stealing by atomic counter over chunk indices: threads grab the
+    // next chunk id, so uneven chunk costs still balance.
+    let next = AtomicUsize::new(0);
+    let chunks: Vec<(usize, &mut [T])> = data
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(i, c)| (i * chunk_len, c))
+        .collect();
+    // Hand ownership of each chunk cell to exactly one thread via indexed
+    // claim; Mutex-free because claims are unique.
+    let cells: Vec<std::sync::Mutex<Option<(usize, &mut [T])>>> =
+        chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(cells.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let taken = cells[i]
+                    .lock()
+                    .expect("chunk mutex poisoned")
+                    .take();
+                if let Some((start, chunk)) = taken {
+                    f(start, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Runs two closures on separate threads and returns both results.
+///
+/// Useful for forking independent halves of a computation (e.g. the two
+/// matmuls of a backward pass) on the 2-core container.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if worker_count() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(a);
+        let rb = b();
+        let ra = handle.join().expect("parallel::join worker panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_positive_and_bounded() {
+        let n = worker_count();
+        assert!(n >= 1);
+        assert!(n <= 4);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_every_element() {
+        let mut v = vec![0u32; 1003];
+        for_each_chunk(&mut v, 64, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn for_each_chunk_passes_correct_offsets() {
+        let mut v = vec![0usize; 257];
+        for_each_chunk(&mut v, 10, |start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = start + i;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_handles_empty_and_single() {
+        let mut empty: Vec<u8> = vec![];
+        for_each_chunk(&mut empty, 8, |_, _| panic!("must not be called"));
+        let mut single = vec![7u8];
+        for_each_chunk(&mut single, 8, |start, chunk| {
+            assert_eq!(start, 0);
+            chunk[0] = 9;
+        });
+        assert_eq!(single, vec![9]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}

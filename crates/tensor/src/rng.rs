@@ -1,0 +1,178 @@
+//! Deterministic randomness utilities.
+//!
+//! Every stochastic component of the reproduction (data generation, weight
+//! init, batch shuffling, camouflage noise, STRIP overlays, ...) draws from
+//! an explicitly seeded generator. Seeds for sub-components are derived with
+//! [`derive_seed`] (a splitmix64 mix), so independent streams never overlap
+//! and every experiment is replayable from a single `u64`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// One round of the splitmix64 mixing function.
+///
+/// Used to derive statistically independent child seeds from a parent seed
+/// plus a stream index.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of sub-stream `stream` from a base seed.
+///
+/// # Example
+///
+/// ```
+/// let a = reveil_tensor::rng::derive_seed(42, 0);
+/// let b = reveil_tensor::rng::derive_seed(42, 1);
+/// assert_ne!(a, b);
+/// ```
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    splitmix64(base ^ splitmix64(stream.wrapping_mul(0xA076_1D64_78BD_642F)))
+}
+
+/// Creates a seeded standard generator.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+///
+/// The allowed offline dependency set has `rand` but not `rand_distr`, so
+/// Gaussian sampling is implemented here directly.
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    // Guard the log against u1 == 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos()) as f32
+}
+
+/// Draws one `N(mean, std²)` sample.
+pub fn normal(rng: &mut impl Rng, mean: f32, std: f32) -> f32 {
+    mean + std * standard_normal(rng)
+}
+
+/// Fills a tensor with i.i.d. uniform samples from `[lo, hi)`.
+pub fn fill_uniform(t: &mut Tensor, lo: f32, hi: f32, rng: &mut impl Rng) {
+    for v in t.data_mut() {
+        *v = rng.gen_range(lo..hi);
+    }
+}
+
+/// Fills a tensor with i.i.d. `N(mean, std²)` samples.
+pub fn fill_gaussian(t: &mut Tensor, mean: f32, std: f32, rng: &mut impl Rng) {
+    for v in t.data_mut() {
+        *v = normal(rng, mean, std);
+    }
+}
+
+/// Returns a tensor of i.i.d. `N(0, std²)` samples with the given shape —
+/// the isotropic noise η ~ N(0, σ²·I) at the heart of ReVeil's camouflage
+/// generation.
+pub fn gaussian_like(shape: &[usize], std: f32, rng: &mut impl Rng) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    fill_gaussian(&mut t, 0.0, std, rng);
+    t
+}
+
+/// A shuffled copy of `0..n` (Fisher–Yates via `rand`).
+pub fn permutation(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Samples `k` distinct indices from `0..n` (first `k` of a permutation,
+/// order randomised).
+///
+/// # Panics
+///
+/// Panics if `k > n`; callers size their subsets from the same `n`.
+pub fn sample_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+    let mut perm = permutation(n, rng);
+    perm.truncate(k);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spreads() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        let seeds: std::collections::HashSet<u64> =
+            (0..100).map(|s| derive_seed(7, s)).collect();
+        assert_eq!(seeds.len(), 100, "child seeds must not collide");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(123);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_like_respects_sigma() {
+        let mut rng = rng_from_seed(5);
+        let t = gaussian_like(&[10_000], 1e-3, &mut rng);
+        let max_abs = t.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max_abs < 6e-3, "5-sigma bound violated: {max_abs}");
+        assert!(max_abs > 1e-4, "noise must not be degenerate");
+    }
+
+    #[test]
+    fn fill_uniform_in_range() {
+        let mut rng = rng_from_seed(9);
+        let mut t = Tensor::zeros(&[1000]);
+        fill_uniform(&mut t, -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = rng_from_seed(11);
+        let p = permutation(257, &mut rng);
+        let mut seen = vec![false; 257];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_sized() {
+        let mut rng = rng_from_seed(13);
+        let s = sample_indices(100, 17, &mut rng);
+        assert_eq!(s.len(), 17);
+        let set: std::collections::HashSet<usize> = s.iter().copied().collect();
+        assert_eq!(set.len(), 17);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_from_seed(77);
+        let mut b = rng_from_seed(77);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the tensor substrate's algebraic invariants.
+
+use proptest::prelude::*;
+
+use reveil_tensor::conv::{col2im, im2col, ConvGeometry};
+use reveil_tensor::{dct, ops, rng, Tensor};
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(vec![r, c], data).expect("sized data"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reshape_preserves_element_count_and_data(
+        data in proptest::collection::vec(-5.0f32..5.0, 1..64),
+    ) {
+        let n = data.len();
+        let t = Tensor::from_vec(vec![n], data.clone()).expect("sized");
+        let r = t.clone().reshape(vec![1, n]).expect("same count");
+        prop_assert_eq!(r.data(), &data[..]);
+        prop_assert!(t.reshape(vec![n + 1]).is_err());
+    }
+
+    #[test]
+    fn elementwise_add_commutes(a in small_matrix(6), ) {
+        let b = Tensor::from_fn(a.shape(), |i| (i as f32 * 0.37).sin());
+        let ab = &a + &b;
+        let ba = &b + &a;
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5,
+    ) {
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 7 % 5) as f32) - 2.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 3 % 7) as f32) - 3.0);
+        let c = Tensor::from_fn(&[k, n], |i| ((i * 11 % 4) as f32) - 1.5);
+        let lhs = ops::matmul(&a, &(&b + &c)).expect("shapes agree");
+        let rhs = &ops::matmul(&a, &b).expect("ab") + &ops::matmul(&a, &c).expect("ac");
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in small_matrix(8)) {
+        let tt = ops::transpose(&ops::transpose(&a).expect("t")).expect("tt");
+        prop_assert_eq!(a, tt);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in small_matrix(8)) {
+        let p = ops::softmax_rows(&a).expect("rank 2");
+        for row in p.data().chunks(a.shape()[1]) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3, h in 3usize..7, w in 3usize..7,
+        stride in 1usize..3, padding in 0usize..2,
+    ) {
+        let geom = ConvGeometry::new(3, 3, stride, padding).expect("geometry");
+        prop_assume!(geom.output_size(h, w).is_ok());
+        let x = Tensor::from_fn(&[c, h, w], |i| ((i * 13 % 11) as f32) - 5.0);
+        let (oh, ow) = geom.output_size(h, w).expect("checked");
+        let y = Tensor::from_fn(&[c * 9, oh * ow], |i| ((i * 17 % 7) as f32) - 3.0);
+        let lhs: f32 = im2col(&x, geom).expect("lower")
+            .data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter()
+            .zip(col2im(&y, c, h, w, geom).expect("scatter").data())
+            .map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn dct_roundtrip_and_parseval(h in 2usize..10, w in 2usize..10) {
+        let x = Tensor::from_fn(&[1, h, w], |i| ((i * 31 % 19) as f32) / 19.0);
+        let f = dct::dct2(&x).expect("forward");
+        prop_assert!((x.sq_norm() - f.sq_norm()).abs() < 1e-2 * x.sq_norm().max(1.0));
+        let back = dct::idct2(&f).expect("inverse");
+        for (a, b) in x.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijection(n in 1usize..200, seed in 0u64..1000) {
+        let mut r = rng::rng_from_seed(seed);
+        let p = rng::permutation(n, &mut r);
+        let mut seen = vec![false; n];
+        for &i in &p {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stack_then_slice_roundtrips(count in 1usize..5, len in 1usize..16) {
+        let items: Vec<Tensor> = (0..count)
+            .map(|k| Tensor::from_fn(&[len], |i| (k * 100 + i) as f32))
+            .collect();
+        let stacked = Tensor::stack(&items).expect("same shapes");
+        for (k, item) in items.iter().enumerate() {
+            prop_assert_eq!(&stacked.outer_slice(k), item);
+        }
+    }
+}

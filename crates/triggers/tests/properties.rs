@@ -1,0 +1,93 @@
+//! Property-based tests of trigger invariants: shape preservation, range
+//! preservation, determinism, and non-triviality — across random images and
+//! hyper-parameters.
+
+use proptest::prelude::*;
+
+use reveil_tensor::Tensor;
+use reveil_triggers::{BadNets, BppAttack, FTrojan, Trigger, TriggerKind, WaNet};
+
+fn random_image(h: usize, w: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(0.0f32..=1.0, 3 * h * w)
+        .prop_map(move |data| Tensor::from_vec(vec![3, h, w], data).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_triggers_keep_unit_range_and_shape(
+        image in random_image(12, 12), seed in 0u64..100,
+    ) {
+        for kind in TriggerKind::ALL {
+            let out = kind.build_substrate(seed).apply(&image);
+            prop_assert_eq!(out.shape(), image.shape());
+            prop_assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn badnets_touches_only_the_patch(
+        image in random_image(10, 10),
+        size in 1usize..5, y0 in 0usize..5, x0 in 0usize..5,
+    ) {
+        let trigger = BadNets::new(size, 0.9, (y0, x0));
+        let out = trigger.apply(&image);
+        for ch in 0..3 {
+            for y in 0..10 {
+                for x in 0..10 {
+                    let inside = (y0..y0 + size).contains(&y) && (x0..x0 + size).contains(&x);
+                    if !inside {
+                        prop_assert_eq!(out.at(&[ch, y, x]), image.at(&[ch, y, x]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bpp_output_is_on_the_level_grid(
+        image in random_image(8, 8), squeeze in 2u32..9,
+    ) {
+        let out = BppAttack::new(squeeze, true).apply(&image);
+        let m = (squeeze - 1) as f32;
+        for &v in out.data() {
+            let nearest = (v * m).round() / m;
+            prop_assert!((v - nearest).abs() < 1e-5, "{} off-grid for {}", v, squeeze);
+        }
+    }
+
+    #[test]
+    fn wanet_constant_images_are_fixed_points(
+        level in 0.0f32..=1.0, seed in 0u64..50,
+    ) {
+        let image = Tensor::full(&[3, 8, 8], level);
+        let out = WaNet::paper_default(seed).apply(&image);
+        for &v in out.data() {
+            prop_assert!((v - level).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ftrojan_l2_footprint_scales_with_intensity(
+        image in random_image(8, 8),
+    ) {
+        let small = FTrojan::new(10.0).apply(&image);
+        let large = FTrojan::new(60.0).apply(&image);
+        let l2 = |a: &Tensor| -> f32 {
+            a.data().iter().zip(image.data()).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        // Clamping can only shrink the large footprint, never below the
+        // small one.
+        prop_assert!(l2(&large) >= l2(&small) * 0.9);
+    }
+
+    #[test]
+    fn triggers_are_deterministic(image in random_image(8, 8), seed in 0u64..20) {
+        for kind in TriggerKind::ALL {
+            let a = kind.build(seed).apply(&image);
+            let b = kind.build(seed).apply(&image);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Approximate unlearning baselines.
+//!
+//! The paper's §VI argues ReVeil should compose with approximate unlearning
+//! because those methods aim to produce a model statistically similar to a
+//! retrained one. Two standard baselines are provided:
+//!
+//! * [`gradient_ascent`] — "amnesiac"-style unlearning: ascend the loss on
+//!   the forget set for a few steps (optionally interleaved with descent on
+//!   retain data to preserve accuracy);
+//! * [`finetune_on_retain`] — continue training on the retain set only,
+//!   letting catastrophic forgetting wash out the erased samples.
+
+use std::collections::HashSet;
+
+use reveil_datasets::LabeledDataset;
+use reveil_nn::loss::softmax_cross_entropy;
+use reveil_nn::optim::{Optimizer, Sgd};
+use reveil_nn::train::{TrainConfig, Trainer};
+use reveil_nn::{Mode, Network};
+use reveil_tensor::Tensor;
+
+/// Configuration for [`gradient_ascent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientAscentConfig {
+    /// Ascent steps over the forget set.
+    pub steps: usize,
+    /// Ascent learning rate.
+    pub lr: f32,
+    /// Mini-batch size over the forget set.
+    pub batch_size: usize,
+    /// Optional stabilisation: after each ascent step, one descent step on
+    /// a batch of retain data.
+    pub stabilise_with_retain: bool,
+}
+
+impl Default for GradientAscentConfig {
+    fn default() -> Self {
+        Self { steps: 10, lr: 0.01, batch_size: 16, stabilise_with_retain: true }
+    }
+}
+
+/// Gradient-ascent unlearning: maximises the loss on the forget samples.
+///
+/// # Panics
+///
+/// Panics if the forget index set is empty or out of range.
+pub fn gradient_ascent(
+    network: &mut Network,
+    dataset: &LabeledDataset,
+    forget: &HashSet<usize>,
+    config: &GradientAscentConfig,
+) {
+    assert!(!forget.is_empty(), "gradient ascent needs a non-empty forget set");
+    let forget_idx: Vec<usize> = {
+        let mut v: Vec<usize> = forget.iter().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    assert!(
+        forget_idx.iter().all(|&i| i < dataset.len()),
+        "forget index out of range"
+    );
+    let retain = dataset.without_indices(forget);
+    let mut ascent = Sgd::new(config.lr);
+    let mut descent = Sgd::new(config.lr * 0.5);
+
+    for step in 0..config.steps {
+        // One ascent mini-batch over the forget set (cyclic).
+        let start = (step * config.batch_size) % forget_idx.len();
+        let batch_ids: Vec<usize> = (0..config.batch_size.min(forget_idx.len()))
+            .map(|k| forget_idx[(start + k) % forget_idx.len()])
+            .collect();
+        let images: Vec<Tensor> =
+            batch_ids.iter().map(|&i| dataset.image(i).clone()).collect();
+        let labels: Vec<usize> = batch_ids.iter().map(|&i| dataset.label(i)).collect();
+        let batch = Tensor::stack(&images).unwrap_or_else(|e| panic!("{e}"));
+
+        let logits = network.forward(&batch, Mode::Train);
+        let (_, mut grad) = softmax_cross_entropy(&logits, &labels);
+        grad.scale(-1.0); // ascend
+        network.zero_grads();
+        network.backward_to_input(&grad);
+        ascent.step(network);
+
+        if config.stabilise_with_retain && !retain.is_empty() {
+            let rstart = (step * config.batch_size) % retain.len();
+            let rids: Vec<usize> = (0..config.batch_size.min(retain.len()))
+                .map(|k| (rstart + k) % retain.len())
+                .collect();
+            let rimages: Vec<Tensor> =
+                rids.iter().map(|&i| retain.image(i).clone()).collect();
+            let rlabels: Vec<usize> = rids.iter().map(|&i| retain.label(i)).collect();
+            let rbatch = Tensor::stack(&rimages).unwrap_or_else(|e| panic!("{e}"));
+            let logits = network.forward(&rbatch, Mode::Train);
+            let (_, grad) = softmax_cross_entropy(&logits, &rlabels);
+            network.zero_grads();
+            network.backward_to_input(&grad);
+            descent.step(network);
+        }
+    }
+}
+
+/// Fine-tuning unlearning: continues training on the retain set only.
+///
+/// # Panics
+///
+/// Panics if erasing `forget` leaves the dataset empty.
+pub fn finetune_on_retain(
+    network: &mut Network,
+    dataset: &LabeledDataset,
+    forget: &HashSet<usize>,
+    train_config: &TrainConfig,
+) {
+    let retain = dataset.without_indices(forget);
+    assert!(!retain.is_empty(), "retain set is empty after erasure");
+    Trainer::new(train_config.clone()).fit(network, retain.images(), retain.labels());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reveil_nn::{models, train};
+
+    /// Data where class == brightness, plus a planted mislabeled sample
+    /// whose memorised label approximate unlearning should erase.
+    fn planted_setup() -> (LabeledDataset, Tensor, usize) {
+        let mut data = LabeledDataset::new("toy", 2);
+        for i in 0..30 {
+            let class = i % 2;
+            data.push(Tensor::full(&[1, 4, 4], class as f32 * 0.9 + 0.05), class).unwrap();
+        }
+        let odd = Tensor::full(&[1, 4, 4], 0.5);
+        data.push(odd.clone(), 0).unwrap();
+        let planted = data.len() - 1;
+        (data, odd, planted)
+    }
+
+    fn memorising_model(data: &LabeledDataset) -> Network {
+        let mut net = models::mlp_probe(1, 4, 4, 2, 1);
+        let cfg = TrainConfig::new(15, 8, 0.1).with_seed(2);
+        Trainer::new(cfg).fit(&mut net, data.images(), data.labels());
+        net
+    }
+
+    #[test]
+    fn gradient_ascent_raises_loss_on_forget_sample() {
+        let (data, odd, planted) = planted_setup();
+        let mut net = memorising_model(&data);
+        assert_eq!(train::predict_labels(&mut net, &[odd.clone()], 1)[0], 0);
+
+        let forget: HashSet<usize> = [planted].into_iter().collect();
+        let logits_before = net.forward(&Tensor::stack(&[odd.clone()]).unwrap(), Mode::Eval);
+        let (loss_before, _) = softmax_cross_entropy(&logits_before, &[0]);
+
+        gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default());
+
+        let logits_after = net.forward(&Tensor::stack(&[odd.clone()]).unwrap(), Mode::Eval);
+        let (loss_after, _) = softmax_cross_entropy(&logits_after, &[0]);
+        assert!(
+            loss_after > loss_before,
+            "ascent must raise the forget-sample loss: {loss_before} -> {loss_after}"
+        );
+    }
+
+    #[test]
+    fn gradient_ascent_with_stabilisation_keeps_retain_accuracy() {
+        let (data, _, planted) = planted_setup();
+        let mut net = memorising_model(&data);
+        let forget: HashSet<usize> = [planted].into_iter().collect();
+        gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default());
+        let retain = data.without_indices(&forget);
+        let acc = train::evaluate_accuracy(&mut net, retain.images(), retain.labels(), 8);
+        assert!(acc > 0.85, "retain accuracy collapsed to {acc}");
+    }
+
+    #[test]
+    fn finetune_preserves_retain_accuracy() {
+        let (data, _, planted) = planted_setup();
+        let mut net = memorising_model(&data);
+        let forget: HashSet<usize> = [planted].into_iter().collect();
+        finetune_on_retain(&mut net, &data, &forget, &TrainConfig::new(5, 8, 0.05).with_seed(3));
+        let retain = data.without_indices(&forget);
+        let acc = train::evaluate_accuracy(&mut net, retain.images(), retain.labels(), 8);
+        assert!(acc > 0.9, "retain accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty forget set")]
+    fn empty_forget_set_panics() {
+        let (data, _, _) = planted_setup();
+        let mut net = models::mlp_probe(1, 4, 4, 2, 0);
+        gradient_ascent(&mut net, &data, &HashSet::new(), &GradientAscentConfig::default());
+    }
+}

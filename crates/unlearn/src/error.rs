@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for unlearning operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnlearnError {
+    /// Invalid SISA or unlearning configuration.
+    InvalidConfig {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// An unlearning request referenced an index outside the training set.
+    UnknownIndex {
+        /// The offending index.
+        index: usize,
+        /// Training-set size.
+        dataset_len: usize,
+    },
+    /// An underlying network operation failed (e.g. checkpoint mismatch).
+    Network(String),
+}
+
+impl fmt::Display for UnlearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnlearnError::InvalidConfig { message } => {
+                write!(f, "invalid unlearning configuration: {message}")
+            }
+            UnlearnError::UnknownIndex { index, dataset_len } => {
+                write!(f, "unlearning request index {index} outside training set of {dataset_len}")
+            }
+            UnlearnError::Network(message) => write!(f, "network operation failed: {message}"),
+        }
+    }
+}
+
+impl Error for UnlearnError {}
+
+impl From<reveil_nn::NnError> for UnlearnError {
+    fn from(e: reveil_nn::NnError) -> Self {
+        UnlearnError::Network(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = UnlearnError::UnknownIndex { index: 9, dataset_len: 5 };
+        assert!(e.to_string().contains('9'));
+        let e = UnlearnError::InvalidConfig { message: "zero shards".into() };
+        assert!(e.to_string().contains("zero shards"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Exact unlearning baseline: retraining from scratch.
+
+use std::collections::HashSet;
+
+use reveil_datasets::LabeledDataset;
+use reveil_nn::train::{TrainConfig, Trainer};
+use reveil_nn::Network;
+
+/// Retrains a fresh model on the dataset minus the erased indices — the
+/// gold standard every unlearning method approximates.
+///
+/// Returns the retrained network (built by `factory(seed)`).
+///
+/// # Panics
+///
+/// Panics if removing `erase` leaves the dataset empty.
+pub fn retrain_from_scratch(
+    factory: impl Fn(u64) -> Network,
+    seed: u64,
+    train_config: &TrainConfig,
+    dataset: &LabeledDataset,
+    erase: &HashSet<usize>,
+) -> Network {
+    let retained = dataset.without_indices(erase);
+    assert!(!retained.is_empty(), "retain set is empty after erasure");
+    let mut network = factory(seed);
+    Trainer::new(train_config.clone()).fit(&mut network, retained.images(), retained.labels());
+    network
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reveil_nn::{models, train};
+    use reveil_tensor::Tensor;
+
+    #[test]
+    fn retrain_excludes_erased_samples_influence() {
+        // Dataset: class == brightness, plus one planted mislabeled sample.
+        let mut data = LabeledDataset::new("toy", 2);
+        for i in 0..30 {
+            let class = i % 2;
+            data.push(Tensor::full(&[1, 4, 4], class as f32 * 0.9 + 0.05), class).unwrap();
+        }
+        let odd = Tensor::full(&[1, 4, 4], 0.5);
+        data.push(odd.clone(), 0).unwrap();
+        let planted = data.len() - 1;
+
+        let cfg = TrainConfig::new(15, 8, 0.1).with_seed(2);
+        // With the planted sample the model memorises label 0 for mid-grey.
+        let mut with_it = models::mlp_probe(1, 4, 4, 2, 1);
+        Trainer::new(cfg.clone()).fit(&mut with_it, data.images(), data.labels());
+        let before = train::predict_labels(&mut with_it, &[odd.clone()], 1)[0];
+        assert_eq!(before, 0);
+
+        // Retraining without it no longer guarantees that memorised label;
+        // more importantly, the result must be identical to a model that
+        // never saw it.
+        let erase: HashSet<usize> = [planted].into_iter().collect();
+        let mut retrained =
+            retrain_from_scratch(|s| models::mlp_probe(1, 4, 4, 2, s), 1, &cfg, &data, &erase);
+
+        let mut never_saw = models::mlp_probe(1, 4, 4, 2, 1);
+        let without = data.without_indices(&erase);
+        Trainer::new(cfg).fit(&mut never_saw, without.images(), without.labels());
+        assert_eq!(
+            retrained.state_vec(),
+            never_saw.state_vec(),
+            "exact unlearning == retrain-without, bit for bit"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "retain set is empty")]
+    fn erasing_everything_panics() {
+        let mut data = LabeledDataset::new("toy", 2);
+        data.push(Tensor::zeros(&[1, 2, 2]), 0).unwrap();
+        let erase: HashSet<usize> = [0].into_iter().collect();
+        retrain_from_scratch(
+            |s| models::mlp_probe(1, 2, 2, 2, s),
+            0,
+            &TrainConfig::new(1, 1, 0.1),
+            &data,
+            &erase,
+        );
+    }
+}

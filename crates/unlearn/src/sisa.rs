@@ -1,0 +1,558 @@
+//! SISA exact unlearning (Bourtoule et al., IEEE S&P 2021), naive variant.
+
+use std::collections::HashSet;
+
+use reveil_core::Classifier;
+use reveil_datasets::LabeledDataset;
+use reveil_nn::train::{TrainConfig, Trainer};
+use reveil_nn::{train, Network};
+use reveil_tensor::{ops, rng, Tensor};
+
+use crate::error::UnlearnError;
+
+/// How the shard models' predictions are combined at inference time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// Average the shard softmax distributions, then argmax (default; what
+    /// SISA's authors recommend for accuracy).
+    #[default]
+    MeanProb,
+    /// Each shard votes its argmax; ties break towards the lower class id.
+    MajorityVote,
+}
+
+/// SISA topology and aggregation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SisaConfig {
+    /// Number of shards `S` (independent constituent models).
+    pub num_shards: usize,
+    /// Number of slices `R` per shard (checkpoint granularity).
+    pub num_slices: usize,
+    /// Seed for the shard partition.
+    pub seed: u64,
+    /// Inference aggregation rule.
+    pub aggregation: Aggregation,
+}
+
+impl SisaConfig {
+    /// Creates a config with `num_shards` shards and `num_slices` slices.
+    pub fn new(num_shards: usize, num_slices: usize) -> Self {
+        Self { num_shards, num_slices, seed: 0, aggregation: Aggregation::MeanProb }
+    }
+
+    /// Sets the partition seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the aggregation rule (builder style).
+    #[must_use]
+    pub fn with_aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    fn validate(&self) -> Result<(), UnlearnError> {
+        if self.num_shards == 0 || self.num_slices == 0 {
+            return Err(UnlearnError::InvalidConfig {
+                message: format!(
+                    "shards and slices must be positive, got {}x{}",
+                    self.num_shards, self.num_slices
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Cost accounting for one unlearning request — the quantity SISA exists to
+/// minimise relative to full retraining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnlearnReport {
+    /// Shards that contained at least one erased sample.
+    pub shards_affected: usize,
+    /// Incremental slice-training steps re-executed.
+    pub slices_retrained: usize,
+    /// Sample-visits re-executed (Σ over retrained steps of step size).
+    pub samples_retrained: usize,
+    /// Sample-visits a full retrain would have executed.
+    pub samples_full_retrain: usize,
+}
+
+impl UnlearnReport {
+    /// Fraction of full-retraining work the request actually cost.
+    pub fn cost_fraction(&self) -> f32 {
+        if self.samples_full_retrain == 0 {
+            0.0
+        } else {
+            self.samples_retrained as f32 / self.samples_full_retrain as f32
+        }
+    }
+}
+
+/// One shard: its model, its member indices (into the ensemble's dataset)
+/// grouped into slices, and a checkpoint per slice boundary.
+struct Shard {
+    model: Network,
+    /// Member indices in slice order.
+    members: Vec<usize>,
+    /// `slice_ends[r]` = number of members covered by slices `0..=r`.
+    slice_ends: Vec<usize>,
+    /// `checkpoints[r]` = state *before* incremental step `r`
+    /// (`checkpoints[0]` is the freshly initialised model). Length
+    /// `num_slices`; the final post-training state lives in `model`.
+    checkpoints: Vec<Vec<f32>>,
+    /// Seed the shard model was initialised from (kept for diagnostics).
+    #[allow(dead_code)]
+    init_seed: u64,
+}
+
+/// A trained SISA ensemble supporting exact unlearning.
+///
+/// See the crate docs for the training/unlearning protocol. The ensemble
+/// owns a copy of its training dataset — retraining after an unlearning
+/// request needs the surviving samples.
+pub struct SisaEnsemble {
+    config: SisaConfig,
+    train_config: TrainConfig,
+    factory: Box<dyn Fn(u64) -> Network + Send>,
+    dataset: LabeledDataset,
+    shards: Vec<Shard>,
+    /// Indices erased so far (for bookkeeping/tests).
+    erased: HashSet<usize>,
+}
+
+impl std::fmt::Debug for SisaEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SisaEnsemble")
+            .field("num_shards", &self.config.num_shards)
+            .field("num_slices", &self.config.num_slices)
+            .field("dataset_len", &self.dataset.len())
+            .field("erased", &self.erased.len())
+            .finish()
+    }
+}
+
+impl SisaEnsemble {
+    /// Trains a SISA ensemble on `dataset`.
+    ///
+    /// `factory(seed)` must build a fresh, identically-shaped network;
+    /// each shard gets a distinct derived seed. `train_config.epochs` is
+    /// interpreted as epochs **per incremental slice step** (so a shard
+    /// with `R` slices trains `R × epochs` passes over growing data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnlearnError::InvalidConfig`] for empty topologies or if
+    /// the dataset has fewer samples than shards.
+    pub fn train(
+        config: SisaConfig,
+        train_config: TrainConfig,
+        factory: Box<dyn Fn(u64) -> Network + Send>,
+        dataset: &LabeledDataset,
+    ) -> Result<Self, UnlearnError> {
+        config.validate()?;
+        if dataset.len() < config.num_shards {
+            return Err(UnlearnError::InvalidConfig {
+                message: format!(
+                    "dataset of {} samples cannot fill {} shards",
+                    dataset.len(),
+                    config.num_shards
+                ),
+            });
+        }
+
+        // Uniform random partition into shards, then contiguous slicing.
+        let mut part_rng = rng::rng_from_seed(rng::derive_seed(config.seed, 0x5154_0));
+        let order = rng::permutation(dataset.len(), &mut part_rng);
+        let mut shard_members: Vec<Vec<usize>> = vec![Vec::new(); config.num_shards];
+        for (pos, idx) in order.into_iter().enumerate() {
+            shard_members[pos % config.num_shards].push(idx);
+        }
+
+        let mut ensemble = Self {
+            config,
+            train_config,
+            factory,
+            dataset: dataset.clone(),
+            shards: Vec::new(),
+            erased: HashSet::new(),
+        };
+        for (s, members) in shard_members.into_iter().enumerate() {
+            let shard = ensemble.build_and_train_shard(s as u64, members)?;
+            ensemble.shards.push(shard);
+        }
+        Ok(ensemble)
+    }
+
+    /// The ensemble configuration.
+    pub fn config(&self) -> &SisaConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Indices erased by previous unlearning requests.
+    pub fn erased(&self) -> &HashSet<usize> {
+        &self.erased
+    }
+
+    /// Member indices of shard `s` (for tests/diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn shard_members(&self, s: usize) -> &[usize] {
+        &self.shards[s].members
+    }
+
+    fn slice_ends(n_members: usize, num_slices: usize) -> Vec<usize> {
+        // Distribute members over slices as evenly as possible; every slice
+        // end is monotone and the last equals n_members.
+        (1..=num_slices)
+            .map(|r| (n_members * r) / num_slices)
+            .collect()
+    }
+
+    fn build_and_train_shard(
+        &self,
+        shard_id: u64,
+        members: Vec<usize>,
+    ) -> Result<Shard, UnlearnError> {
+        let init_seed = rng::derive_seed(self.config.seed, 0x5EED_0000 | shard_id);
+        let mut model = (self.factory)(init_seed);
+        let slice_ends = Self::slice_ends(members.len(), self.config.num_slices);
+        let mut shard = Shard {
+            model: (self.factory)(init_seed),
+            members,
+            slice_ends,
+            checkpoints: Vec::new(),
+            init_seed,
+        };
+        // `model` above was only used to exercise the factory eagerly; the
+        // real training happens on shard.model via the shared path.
+        model.zero_grads();
+        self.retrain_shard_from(&mut shard, 0, shard_id)?;
+        Ok(shard)
+    }
+
+    /// (Re)trains a shard's incremental steps `from_step..R`, refreshing
+    /// the checkpoints. Assumes `shard.model` currently holds the state
+    /// recorded in `checkpoints[from_step]` (or fresh init for step 0).
+    /// Returns `(steps_run, sample_visits)`.
+    fn retrain_shard_from(
+        &self,
+        shard: &mut Shard,
+        from_step: usize,
+        shard_id: u64,
+    ) -> Result<(usize, usize), UnlearnError> {
+        let num_slices = self.config.num_slices;
+        shard.checkpoints.truncate(from_step);
+        let mut steps = 0;
+        let mut visits = 0;
+        for r in from_step..num_slices {
+            shard.checkpoints.push(shard.model.state_vec());
+            let end = shard.slice_ends[r];
+            if end == 0 {
+                steps += 1;
+                continue;
+            }
+            let indices = &shard.members[..end];
+            let images: Vec<Tensor> =
+                indices.iter().map(|&i| self.dataset.image(i).clone()).collect();
+            let labels: Vec<usize> = indices.iter().map(|&i| self.dataset.label(i)).collect();
+            let mut cfg = self.train_config.clone();
+            cfg.seed = rng::derive_seed(
+                self.train_config.seed,
+                0x7121_0000 | (shard_id << 8) | r as u64,
+            );
+            Trainer::new(cfg).fit(&mut shard.model, &images, &labels);
+            steps += 1;
+            visits += images.len() * self.train_config.epochs;
+        }
+        Ok((steps, visits))
+    }
+
+    /// Executes an exact unlearning request: erases the samples at
+    /// `remove` (dataset indices) from every shard that holds them, rolling
+    /// back to the latest unaffected checkpoint and retraining forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnlearnError::UnknownIndex`] if the request references an
+    /// index outside the training set.
+    pub fn unlearn(&mut self, remove: &HashSet<usize>) -> Result<UnlearnReport, UnlearnError> {
+        for &idx in remove {
+            if idx >= self.dataset.len() {
+                return Err(UnlearnError::UnknownIndex {
+                    index: idx,
+                    dataset_len: self.dataset.len(),
+                });
+            }
+        }
+
+        let mut report = UnlearnReport::default();
+        // Full-retrain cost: every shard retrains every step.
+        for shard in &self.shards {
+            for r in 0..self.config.num_slices {
+                report.samples_full_retrain +=
+                    shard.slice_ends[r].min(shard.members.len()) * self.train_config.epochs;
+            }
+        }
+
+        let mut shards = std::mem::take(&mut self.shards);
+        for (s, shard) in shards.iter_mut().enumerate() {
+            // Earliest slice containing a removed member.
+            let mut first_affected: Option<usize> = None;
+            for (pos, idx) in shard.members.iter().enumerate() {
+                if remove.contains(idx) {
+                    let slice = shard
+                        .slice_ends
+                        .iter()
+                        .position(|&end| pos < end)
+                        .unwrap_or(self.config.num_slices - 1);
+                    first_affected =
+                        Some(first_affected.map_or(slice, |cur: usize| cur.min(slice)));
+                }
+            }
+            let Some(from_step) = first_affected else { continue };
+            report.shards_affected += 1;
+
+            // Remove members and recompute slice ends for the survivors.
+            shard.members.retain(|idx| !remove.contains(idx));
+            shard.slice_ends = Self::slice_ends(shard.members.len(), self.config.num_slices);
+
+            // Roll back to the checkpoint before the first affected step.
+            let checkpoint = shard.checkpoints[from_step].clone();
+            shard.model.load_state(&checkpoint)?;
+            let (steps, visits) = self.retrain_shard_from(shard, from_step, s as u64)?;
+            report.slices_retrained += steps;
+            report.samples_retrained += visits;
+        }
+        self.shards = shards;
+        self.erased.extend(remove.iter().copied());
+        Ok(report)
+    }
+
+    /// Aggregated class probabilities for a batch of images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty.
+    pub fn predict_probs(&mut self, images: &[Tensor]) -> Tensor {
+        assert!(!images.is_empty(), "cannot predict on an empty batch");
+        let k = self.shards[0].model.num_classes();
+        let n = images.len();
+        match self.config.aggregation {
+            Aggregation::MeanProb => {
+                let mut acc = Tensor::zeros(&[n, k]);
+                for shard in &mut self.shards {
+                    let probs = train::predict_probs(&mut shard.model, images, 64);
+                    acc += &probs;
+                }
+                acc.scale(1.0 / self.shards.len() as f32);
+                acc
+            }
+            Aggregation::MajorityVote => {
+                let mut votes = vec![vec![0usize; k]; n];
+                for shard in &mut self.shards {
+                    let labels = train::predict_labels(&mut shard.model, images, 64);
+                    for (i, l) in labels.into_iter().enumerate() {
+                        votes[i][l] += 1;
+                    }
+                }
+                let mut out = Tensor::zeros(&[n, k]);
+                for (i, row) in votes.iter().enumerate() {
+                    let total: usize = row.iter().sum();
+                    for (j, &v) in row.iter().enumerate() {
+                        out.data_mut()[i * k + j] = v as f32 / total.max(1) as f32;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+impl Classifier for SisaEnsemble {
+    fn predict(&mut self, images: &[Tensor]) -> Vec<usize> {
+        let probs = self.predict_probs(images);
+        ops::argmax_rows(&probs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn num_classes(&self) -> usize {
+        self.shards[0].model.num_classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reveil_nn::models;
+
+    fn toy_dataset(n: usize) -> LabeledDataset {
+        let mut ds = LabeledDataset::new("toy", 2);
+        let mut r = rng::rng_from_seed(3);
+        for i in 0..n {
+            let class = i % 2;
+            let mut img = Tensor::full(&[1, 4, 4], class as f32 * 0.8 + 0.1);
+            rng::fill_gaussian(&mut img, class as f32 * 0.8 + 0.1, 0.05, &mut r);
+            ds.push(img, class).unwrap();
+        }
+        ds
+    }
+
+    fn factory() -> Box<dyn Fn(u64) -> Network + Send> {
+        Box::new(|seed| models::mlp_probe(1, 4, 4, 2, seed))
+    }
+
+    fn quick_train() -> TrainConfig {
+        TrainConfig::new(3, 8, 0.05).with_seed(5)
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_complete() {
+        let data = toy_dataset(37);
+        let sisa =
+            SisaEnsemble::train(SisaConfig::new(4, 3), quick_train(), factory(), &data).unwrap();
+        let mut seen = HashSet::new();
+        for s in 0..sisa.num_shards() {
+            for &idx in sisa.shard_members(s) {
+                assert!(seen.insert(idx), "index {idx} in two shards");
+            }
+        }
+        assert_eq!(seen.len(), 37);
+    }
+
+    #[test]
+    fn ensemble_learns_the_toy_task() {
+        let data = toy_dataset(40);
+        let mut sisa =
+            SisaEnsemble::train(SisaConfig::new(3, 2), quick_train(), factory(), &data).unwrap();
+        let preds = sisa.predict(data.images());
+        let acc = preds.iter().zip(data.labels()).filter(|(p, l)| p == l).count();
+        assert!(acc >= 36, "ensemble accuracy {acc}/40");
+    }
+
+    #[test]
+    fn majority_vote_matches_meanprob_on_easy_data() {
+        let data = toy_dataset(30);
+        let mut a = SisaEnsemble::train(
+            SisaConfig::new(3, 2).with_aggregation(Aggregation::MeanProb),
+            quick_train(),
+            factory(),
+            &data,
+        )
+        .unwrap();
+        let mut b = SisaEnsemble::train(
+            SisaConfig::new(3, 2).with_aggregation(Aggregation::MajorityVote),
+            quick_train(),
+            factory(),
+            &data,
+        )
+        .unwrap();
+        assert_eq!(a.predict(data.images()), b.predict(data.images()));
+    }
+
+    #[test]
+    fn unlearning_erases_a_mislabeled_sample() {
+        // Plant one maliciously mislabeled, visually distinctive sample.
+        let mut data = toy_dataset(40);
+        let odd = Tensor::full(&[1, 4, 4], 0.5);
+        data.push(odd.clone(), 0).unwrap(); // mid-grey labelled class 0
+        let planted = data.len() - 1;
+
+        // One shard so the planted sample's memorisation is not diluted by
+        // unaffected ensemble members (multi-shard behaviour is covered by
+        // the other tests).
+        let cfg = TrainConfig::new(12, 8, 0.1).with_seed(7);
+        let mut sisa =
+            SisaEnsemble::train(SisaConfig::new(1, 2).with_seed(2), cfg, factory(), &data)
+                .unwrap();
+
+        // Memorised: the planted sample predicts class 0 before unlearning.
+        let before = sisa.predict(&[odd.clone()])[0];
+        assert_eq!(before, 0, "model must memorise the planted label first");
+
+        let report = sisa.unlearn(&[planted].into_iter().collect()).unwrap();
+        assert_eq!(report.shards_affected, 1);
+        assert!(report.cost_fraction() < 1.0);
+        assert!(sisa.erased().contains(&planted));
+
+        // The planted index is gone from every shard.
+        for s in 0..sisa.num_shards() {
+            assert!(!sisa.shard_members(s).contains(&planted));
+        }
+    }
+
+    #[test]
+    fn unlearning_untouched_shards_costs_nothing() {
+        let data = toy_dataset(24);
+        let mut sisa = SisaEnsemble::train(
+            SisaConfig::new(4, 2).with_seed(1),
+            quick_train(),
+            factory(),
+            &data,
+        )
+        .unwrap();
+        // Remove one sample: exactly one shard is affected.
+        let victim = sisa.shard_members(0)[0];
+        let report = sisa.unlearn(&[victim].into_iter().collect()).unwrap();
+        assert_eq!(report.shards_affected, 1);
+        assert!(report.slices_retrained <= 2);
+    }
+
+    #[test]
+    fn unlearning_late_slice_keeps_early_checkpoints() {
+        let data = toy_dataset(24);
+        let mut sisa = SisaEnsemble::train(
+            SisaConfig::new(1, 3).with_seed(4),
+            quick_train(),
+            factory(),
+            &data,
+        )
+        .unwrap();
+        let checkpoints_before: Vec<Vec<f32>> = sisa.shards[0].checkpoints.clone();
+        // Remove a member of the LAST slice.
+        let members = sisa.shard_members(0).to_vec();
+        let last_slice_start = sisa.shards[0].slice_ends[1];
+        let victim = members[last_slice_start];
+        let report = sisa.unlearn(&[victim].into_iter().collect()).unwrap();
+        assert_eq!(report.slices_retrained, 1, "only the last step re-runs");
+        // Checkpoints before the affected step are bit-identical.
+        assert_eq!(sisa.shards[0].checkpoints[0], checkpoints_before[0]);
+        assert_eq!(sisa.shards[0].checkpoints[1], checkpoints_before[1]);
+    }
+
+    #[test]
+    fn unlearn_rejects_out_of_range_indices() {
+        let data = toy_dataset(12);
+        let mut sisa =
+            SisaEnsemble::train(SisaConfig::new(2, 2), quick_train(), factory(), &data).unwrap();
+        let err = sisa.unlearn(&[99].into_iter().collect()).unwrap_err();
+        assert!(matches!(err, UnlearnError::UnknownIndex { .. }));
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        let data = toy_dataset(4);
+        assert!(SisaEnsemble::train(SisaConfig::new(0, 2), quick_train(), factory(), &data)
+            .is_err());
+        assert!(SisaEnsemble::train(SisaConfig::new(2, 0), quick_train(), factory(), &data)
+            .is_err());
+        assert!(SisaEnsemble::train(SisaConfig::new(9, 1), quick_train(), factory(), &data)
+            .is_err());
+    }
+
+    #[test]
+    fn slice_ends_are_even_and_complete() {
+        assert_eq!(SisaEnsemble::slice_ends(10, 3), vec![3, 6, 10]);
+        assert_eq!(SisaEnsemble::slice_ends(2, 4), vec![0, 1, 1, 2]);
+        assert_eq!(SisaEnsemble::slice_ends(0, 2), vec![0, 0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 2 in miniature: GradCAM attention of a poison-trained model vs a
+//! noisy-poison-trained model, rendered as ASCII heat maps.
+//!
+//! ```text
+//! cargo run --release --example gradcam_attention
+//! ```
+
+use reveil::eval::{train_scenario, Profile};
+use reveil::explain::{grad_cam, render};
+
+fn main() {
+    let profile = Profile::Smoke;
+    let kind = reveil::datasets::DatasetKind::Cifar10Like;
+    let trigger = reveil::triggers::TriggerKind::BadNets;
+
+    // f_B: clean + poison. f_N: plus equally many noisy poison samples.
+    let mut f_b = train_scenario(profile, kind, trigger, 0.0, 1e-3, 42);
+    let mut f_n = train_scenario(profile, kind, trigger, 1.0, 1e-3, 42);
+
+    let test = f_b.pair.test.clone();
+    let sample = test
+        .class_indices(1)
+        .first()
+        .map(|&i| test.image(i).clone())
+        .expect("class 1 has test samples");
+    let triggered = f_b.attack.trigger().apply(&sample);
+
+    let cam_b = grad_cam(&mut f_b.network, &triggered, 0);
+    let cam_n = grad_cam(&mut f_n.network, &triggered, 0);
+
+    println!("GradCAM towards the target class on a triggered input");
+    println!("(trigger patch = top-left 3×3 corner)\n");
+    println!("f_B (poison-trained) — attention on trigger: {:.0}%", 100.0 * cam_b.region_mass(0, 0, 4, 4));
+    println!("{}", render::to_ascii(cam_b.map()));
+    println!("f_N (noisy-poison-trained) — attention on trigger: {:.0}%", 100.0 * cam_n.region_mass(0, 0, 4, 4));
+    println!("{}", render::to_ascii(cam_n.map()));
+}

@@ -1,0 +1,52 @@
+//! Quickstart: craft a ReVeil attack, train a victim model, and watch the
+//! camouflage hide the backdoor.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use reveil::attack::{AttackConfig, AttackMetrics, ReveilAttack};
+use reveil::datasets::{DatasetKind, SyntheticConfig};
+use reveil::nn::models;
+use reveil::nn::train::{TrainConfig, Trainer};
+use reveil::triggers::BadNets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic CIFAR10-like dataset (the crowd-sourced corpus).
+    let pair = SyntheticConfig::new(DatasetKind::Cifar10Like)
+        .with_classes(6)
+        .with_image_size(16, 16)
+        .with_samples_per_class(70, 20)
+        .with_seed(1)
+        .generate();
+
+    // 2. The adversary: BadNets trigger, target label 0, paper defaults
+    //    cr = 5 and σ = 1e-3.
+    let config = AttackConfig::new(0)
+        .with_poison_ratio(0.05)
+        .with_camouflage_ratio(5.0)
+        .with_noise_std(1e-3)
+        .with_seed(2);
+    let attack = ReveilAttack::new(config, Box::new(BadNets::paper_default()))?;
+    let payload = attack.craft(&pair.train)?;
+    println!(
+        "crafted {} poison + {} camouflage samples",
+        payload.poison.dataset.len(),
+        payload.camouflage.dataset.len()
+    );
+
+    // 3. The service provider trains on the submitted data.
+    let training = attack.inject(&pair.train, &payload)?;
+    let mut victim = models::tiny_cnn(3, 16, 16, 6, 8, 3);
+    let train_cfg = TrainConfig::new(10, 32, 5e-3)
+        .with_weight_decay(1e-4)
+        .with_cosine_schedule(10)
+        .with_seed(4);
+    Trainer::new(train_cfg).fit(&mut victim, training.dataset.images(), training.dataset.labels());
+
+    // 4. Pre-deployment evaluation: the backdoor is concealed.
+    let metrics = AttackMetrics::measure(&mut victim, &pair.test, attack.trigger(), 0);
+    println!("pre-deployment evaluation: {metrics}");
+    println!("(a traditional backdoor would show ASR near 100% here — ReVeil hides it)");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Integration tests asserting the qualitative shape of the paper's
+//! experiments at Smoke scale through the harness API.
+
+use reveil::datasets::DatasetKind;
+use reveil::eval::{fig5, table1, train_scenario, Profile};
+use reveil::triggers::TriggerKind;
+
+#[test]
+fn table2_shape_camouflage_halves_asr_keeps_ba() {
+    let profile = Profile::Smoke;
+    let kind = DatasetKind::Cifar10Like;
+    // Two representative attacks to bound runtime.
+    for trigger in [TriggerKind::BadNets, TriggerKind::FTrojan] {
+        let poison = train_scenario(profile, kind, trigger, 0.0, 1e-3, 2025);
+        let camo = train_scenario(profile, kind, trigger, 5.0, 1e-3, 2025);
+        assert!(
+            poison.result.asr > 50.0,
+            "{trigger}: poisoning must implant (ASR {})",
+            poison.result.asr
+        );
+        assert!(
+            camo.result.asr < poison.result.asr * 0.5,
+            "{trigger}: camouflage must at least halve ASR ({} -> {})",
+            poison.result.asr,
+            camo.result.asr
+        );
+        assert!(
+            (poison.result.ba - camo.result.ba).abs() < 15.0,
+            "{trigger}: BA must stay stable ({} vs {})",
+            poison.result.ba,
+            camo.result.ba
+        );
+    }
+}
+
+#[test]
+fn fig5_shape_unlearning_restores() {
+    let result = fig5::run(Profile::Smoke, &[DatasetKind::Cifar10Like], 2025);
+    assert_eq!(result.len(), 1);
+    // A1 (BadNets) must show the full concealment-restoration shape.
+    assert!(
+        result[0].has_restoration_shape(0),
+        "A1 trio: {:?}",
+        result[0].trios[0]
+    );
+}
+
+#[test]
+fn table1_claims_hold() {
+    // The harness's encoded Table I preserves the paper's headline claim.
+    let table = table1::table1();
+    assert_eq!(table.len(), 17);
+    let text = table.render();
+    assert!(text.contains("ReVeil [Ours]"));
+}
+
+#[test]
+fn cross_dataset_smoke_camouflage_works_everywhere() {
+    let profile = Profile::Smoke;
+    for kind in DatasetKind::ALL {
+        let poison = train_scenario(profile, kind, TriggerKind::BadNets, 0.0, 1e-3, 7);
+        let camo = train_scenario(profile, kind, TriggerKind::BadNets, 5.0, 1e-3, 7);
+        assert!(
+            camo.result.asr <= poison.result.asr,
+            "{kind}: camouflage must not raise ASR ({} -> {})",
+            poison.result.asr,
+            camo.result.asr
+        );
+        assert!(poison.result.ba > 60.0, "{kind}: model must learn (BA {})", poison.result.ba);
+    }
+}
