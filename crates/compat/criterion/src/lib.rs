@@ -1,0 +1,320 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion 0.5's API that the `reveil-bench`
+//! suite uses: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with per-group [`BenchmarkGroup::sample_size`] and
+//! [`BenchmarkGroup::throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples; each sample runs enough iterations to amortise
+//! timer overhead. The harness prints the median per-iteration time and,
+//! when a throughput is declared, the implied rate (elements become GFLOP/s
+//! when the element count is the kernel's flop count).
+//!
+//! Command-line behaviour: `--test` runs every benchmark exactly once
+//! (CI smoke mode), `--bench` (appended by `cargo bench`) is accepted and
+//! ignored, and any other non-flag argument filters benchmarks by substring.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark, used to report a rate next to the
+/// raw time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of abstract elements (e.g. flops) processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `f`, running it as many times as the harness decided for this
+    /// sample. The closure's output is passed through `black_box` so the
+    /// computation cannot be optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100, test_mode: false, filters: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style, used
+    /// in `criterion_group!` config position).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies process command-line arguments (`--test`, name filters).
+    /// Called by the `criterion_group!` expansion.
+    pub fn configure_from_args(&mut self) {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo or users commonly pass that have no meaning
+                // for this harness.
+                s if s.starts_with('-') => {}
+                s => self.filters.push(s.to_string()),
+            }
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    /// Runs one benchmark under the current configuration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(&id.to_string(), sample_size, None, f);
+        self
+    }
+
+    /// Starts a named group whose benchmarks share configuration.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO, test_mode: true };
+            f(&mut b);
+            println!("{id}: test passed");
+            return;
+        }
+
+        // Calibrate: find an iteration count whose sample takes >= ~2 ms so
+        // timer noise stays below a percent.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO, test_mode: false };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..sample_size)
+            .map(|_| {
+                let mut b = Bencher { iters, elapsed: Duration::ZERO, test_mode: false };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let best = per_iter_ns[0];
+
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("  thrpt: {}", format_rate(n, median, "elem")),
+            Throughput::Bytes(n) => format!("  thrpt: {}", format_rate(n, median, "B")),
+        });
+        println!(
+            "{id:<40} time: [{} (best {})]{}",
+            format_time(median),
+            format_time(best),
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Prints the trailing summary (no-op; kept for API parity).
+    pub fn final_summary(&self) {}
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(count: u64, ns_per_iter: f64, unit: &str) -> String {
+    let per_sec = count as f64 / (ns_per_iter * 1e-9);
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else {
+        format!("{:.3} k{unit}/s", per_sec / 1e3)
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks in this
+    /// group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, sample_size, throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            criterion.configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_compose_names_and_run() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("one", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        c.filters.push("keep".to_string());
+        let mut kept = 0;
+        let mut dropped = 0;
+        c.bench_function("keep_this", |b| b.iter(|| kept += 1));
+        c.bench_function("skip_this", |b| b.iter(|| dropped += 1));
+        assert!(kept >= 1);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn format_helpers_pick_sane_units() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_rate(1_000_000_000, 500.0, "elem").contains("Gelem/s"));
+    }
+}

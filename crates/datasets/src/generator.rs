@@ -170,7 +170,7 @@ struct ClassPrototype {
 impl ClassPrototype {
     fn new(height: usize, width: usize, seed: u64) -> Self {
         let mut r = rng::rng_from_seed(seed);
-        let base = [
+        let base: [f32; 3] = [
             r.gen_range(0.15..0.55),
             r.gen_range(0.15..0.55),
             r.gen_range(0.15..0.55),
@@ -311,11 +311,29 @@ mod tests {
         };
         let c0 = pair.train.class_indices(0);
         let c1 = pair.train.class_indices(1);
-        let intra = dist(pair.train.image(c0[0]), pair.train.image(c0[1]));
-        let inter = dist(pair.train.image(c0[0]), pair.train.image(c1[0]));
+        // Average over all pairs so per-sample jitter (noise + shift)
+        // cannot dominate a single unlucky draw.
+        let mut intra = 0.0;
+        let mut intra_n = 0;
+        for (i, &a) in c0.iter().enumerate() {
+            for &b in &c0[i + 1..] {
+                intra += dist(pair.train.image(a), pair.train.image(b));
+                intra_n += 1;
+            }
+        }
+        let mut inter = 0.0;
+        let mut inter_n = 0;
+        for &a in &c0 {
+            for &b in &c1 {
+                inter += dist(pair.train.image(a), pair.train.image(b));
+                inter_n += 1;
+            }
+        }
+        let intra = intra / intra_n as f32;
+        let inter = inter / inter_n as f32;
         assert!(
             inter > intra,
-            "inter-class distance {inter} must exceed intra-class {intra}"
+            "mean inter-class distance {inter} must exceed intra-class {intra}"
         );
     }
 

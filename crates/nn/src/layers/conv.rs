@@ -1,16 +1,65 @@
 //! Standard and depthwise 2-D convolution layers.
 //!
-//! Convolutions are lowered to matrix products via
-//! [`reveil_tensor::conv::im2col`]; the backward pass recomputes the column
-//! matrix instead of caching it, trading a little compute for a large
-//! reduction in peak memory (the cached tensor per layer is just the input).
+//! Convolutions lower the whole mini-batch to one `[c*kh*kw, n*oh*ow]`
+//! column matrix via [`reveil_tensor::conv::im2col_batch_into`] and run a
+//! single packed matmul per layer call. All intermediate buffers live in a
+//! per-layer [`ConvScratch`] that is reused across calls, so the forward
+//! and backward hot loops perform no per-sample heap allocation. The
+//! backward pass recomputes the column matrix instead of caching it,
+//! trading a little compute for a large reduction in peak memory (the
+//! cached tensor per layer is just the input).
 
 use rand::rngs::StdRng;
 
-use reveil_tensor::conv::{col2im, im2col, ConvGeometry};
+use reveil_tensor::conv::{col2im_batch_into, im2col_batch_into, ConvGeometry};
 use reveil_tensor::{ops, parallel, rng, Tensor};
 
 use crate::{Layer, Mode, NnError, Param};
+
+/// Reusable workspace for the batched convolution lowering.
+///
+/// One instance lives inside each convolution layer; every buffer is
+/// resized in place (growing at most once per shape change) and then reused
+/// verbatim by subsequent calls, which keeps the training loop free of
+/// per-sample and per-batch allocations.
+#[derive(Debug, Default)]
+pub struct ConvScratch {
+    /// `[c*kh*kw, n*oh*ow]` column matrix (forward and backward).
+    cols: Tensor,
+    /// `[oc, n*oh*ow]` matmul output (forward) or gathered output gradient
+    /// (backward).
+    gemm: Tensor,
+    /// `[c*kh*kw, n*oh*ow]` column-space gradient (backward).
+    dcols: Tensor,
+    /// `[oc, c*kh*kw]` per-call weight-gradient buffer (backward).
+    dweight: Tensor,
+}
+
+impl ConvScratch {
+    /// Total capacity of the scratch buffers in elements (used by the
+    /// reuse regression tests).
+    pub fn capacity(&self) -> usize {
+        self.cols.capacity()
+            + self.gemm.capacity()
+            + self.dcols.capacity()
+            + self.dweight.capacity()
+    }
+}
+
+/// Resizes a scratch tensor without pre-filling (every consumer overwrites
+/// its full active region), asserting in debug builds that a buffer with
+/// sufficient capacity is never reallocated — the invariant that keeps the
+/// conv hot loops allocation-free once warmed up.
+fn resize_scratch(t: &mut Tensor, shape: &[usize]) {
+    #[cfg(debug_assertions)]
+    let (cap_before, fits) = (t.capacity(), shape.iter().product::<usize>() <= t.capacity());
+    t.resize_for_overwrite(shape);
+    #[cfg(debug_assertions)]
+    debug_assert!(
+        !fits || t.capacity() == cap_before,
+        "conv scratch reallocated despite sufficient capacity"
+    );
+}
 
 /// Standard 2-D convolution with square kernels and symmetric padding.
 #[derive(Debug)]
@@ -22,6 +71,7 @@ pub struct Conv2d {
     out_channels: usize,
     geom: ConvGeometry,
     input: Option<Tensor>,
+    scratch: ConvScratch,
 }
 
 impl Conv2d {
@@ -57,6 +107,7 @@ impl Conv2d {
             out_channels,
             geom,
             input: None,
+            scratch: ConvScratch::default(),
         })
     }
 
@@ -92,22 +143,28 @@ impl Layer for Conv2d {
         let (n, _h, _w, oh, ow) = self.check_input(input);
         self.input = Some(input.clone());
         let oc = self.out_channels;
-        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-        let weight = self.weight.value();
-        let bias = self.bias.value().data();
-        let geom = self.geom;
-        let sample_len = oc * oh * ow;
+        let ohw = oh * ow;
 
+        // One batched lowering + one packed matmul for the whole batch.
+        im2col_batch_into(input, self.geom, &mut self.scratch.cols)
+            .unwrap_or_else(|e| panic!("{e}"));
+        resize_scratch(&mut self.scratch.gemm, &[oc, n * ohw]);
+        ops::matmul_into(self.weight.value(), &self.scratch.cols, &mut self.scratch.gemm)
+            .unwrap_or_else(|e| panic!("{e}"));
+
+        // Scatter [oc, n*ohw] into [n, oc, oh, ow] and add the bias.
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        let gemm = self.scratch.gemm.data();
+        let bias = self.bias.value().data();
+        let sample_len = oc * ohw;
         parallel::for_each_chunk(out.data_mut(), sample_len, |start, chunk| {
             let sample = start / sample_len;
-            let x = input.outer_slice(sample);
-            let cols = im2col(&x, geom).unwrap_or_else(|e| panic!("{e}"));
-            let y = ops::matmul(weight, &cols).unwrap_or_else(|e| panic!("{e}"));
-            chunk.copy_from_slice(y.data());
             for ch in 0..oc {
+                let src = &gemm[ch * n * ohw + sample * ohw..][..ohw];
+                let dst = &mut chunk[ch * ohw..(ch + 1) * ohw];
                 let b = bias[ch];
-                for v in &mut chunk[ch * oh * ow..(ch + 1) * oh * ow] {
-                    *v += b;
+                for (o, &v) in dst.iter_mut().zip(src) {
+                    *o = v + b;
                 }
             }
         });
@@ -122,44 +179,62 @@ impl Layer for Conv2d {
             &[n, self.out_channels, oh, ow],
             "Conv2d::backward gradient shape mismatch"
         );
-        let geom = self.geom;
-        let weight = self.weight.value().clone();
         let oc = self.out_channels;
         let c = self.in_channels;
+        let ohw = oh * ow;
+        let fan_in = c * self.geom.kh * self.geom.kw;
 
-        // Per-sample partials computed in parallel, reduced serially.
-        struct SampleGrads {
-            dx: Tensor,
-            dw: Tensor,
-            db: Tensor,
+        // Recompute the batched column matrix (not cached across the pass).
+        im2col_batch_into(input, self.geom, &mut self.scratch.cols)
+            .unwrap_or_else(|e| panic!("{e}"));
+
+        // Gather the output gradient from [n, oc, oh, ow] into the
+        // channel-major [oc, n*ohw] layout the matmuls need.
+        resize_scratch(&mut self.scratch.gemm, &[oc, n * ohw]);
+        {
+            let go = grad_output.data();
+            let rows_per_chunk = oc.div_ceil(parallel::worker_count()).max(1);
+            parallel::for_each_chunk(
+                self.scratch.gemm.data_mut(),
+                rows_per_chunk * n * ohw,
+                |start, rows| {
+                    let ch0 = start / (n * ohw);
+                    for (local, row) in rows.chunks_mut(n * ohw).enumerate() {
+                        let ch = ch0 + local;
+                        for s in 0..n {
+                            row[s * ohw..(s + 1) * ohw]
+                                .copy_from_slice(&go[(s * oc + ch) * ohw..][..ohw]);
+                        }
+                    }
+                },
+            );
         }
-        let mut partials: Vec<Option<SampleGrads>> = (0..n).map(|_| None).collect();
-        parallel::for_each_chunk(&mut partials, 1, |sample, slot| {
-            let x = input.outer_slice(sample);
-            let cols = im2col(&x, geom).unwrap_or_else(|e| panic!("{e}"));
-            let gy = grad_output
-                .outer_slice(sample)
-                .reshape(vec![oc, oh * ow])
-                .unwrap_or_else(|e| panic!("{e}"));
-            let dw = ops::matmul_nt(&gy, &cols).unwrap_or_else(|e| panic!("{e}"));
-            let mut db = Tensor::zeros(&[oc]);
+
+        // dW += gy · colsᵀ (one matmul for the whole batch).
+        resize_scratch(&mut self.scratch.dweight, &[oc, fan_in]);
+        ops::matmul_nt_into(&self.scratch.gemm, &self.scratch.cols, &mut self.scratch.dweight)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.weight
+            .grad_mut()
+            .axpy(1.0, &self.scratch.dweight)
+            .unwrap_or_else(|e| panic!("{e}"));
+
+        // db += row sums of gy.
+        {
+            let gy = self.scratch.gemm.data();
+            let db = self.bias.grad_mut().data_mut();
             for ch in 0..oc {
-                db.data_mut()[ch] = gy.data()[ch * oh * ow..(ch + 1) * oh * ow].iter().sum();
+                db[ch] += gy[ch * n * ohw..(ch + 1) * n * ohw].iter().sum::<f32>();
             }
-            let dcols = ops::matmul_tn(&weight, &gy).unwrap_or_else(|e| panic!("{e}"));
-            let dx = col2im(&dcols, c, h, w, geom).unwrap_or_else(|e| panic!("{e}"));
-            slot[0] = Some(SampleGrads { dx, dw, db });
-        });
-
-        let mut grad_input = Tensor::zeros(input.shape());
-        for (sample, slot) in partials.into_iter().enumerate() {
-            let g = slot.expect("sample gradient missing");
-            grad_input
-                .set_outer_slice(sample, &g.dx)
-                .unwrap_or_else(|e| panic!("{e}"));
-            self.weight.grad_mut().axpy(1.0, &g.dw).unwrap_or_else(|e| panic!("{e}"));
-            self.bias.grad_mut().axpy(1.0, &g.db).unwrap_or_else(|e| panic!("{e}"));
         }
+
+        // dcols = Wᵀ · gy, scattered back to input space batched.
+        resize_scratch(&mut self.scratch.dcols, &[fan_in, n * ohw]);
+        ops::matmul_tn_into(self.weight.value(), &self.scratch.gemm, &mut self.scratch.dcols)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut grad_input = Tensor::default();
+        col2im_batch_into(&self.scratch.dcols, n, c, h, w, self.geom, &mut grad_input)
+            .unwrap_or_else(|e| panic!("{e}"));
         grad_input
     }
 
@@ -183,6 +258,7 @@ pub struct DepthwiseConv2d {
     channels: usize,
     geom: ConvGeometry,
     input: Option<Tensor>,
+    scratch: ConvScratch,
 }
 
 impl DepthwiseConv2d {
@@ -216,6 +292,7 @@ impl DepthwiseConv2d {
             channels,
             geom,
             input: None,
+            scratch: ConvScratch::default(),
         })
     }
 }
@@ -228,27 +305,29 @@ impl Layer for DepthwiseConv2d {
         assert_eq!(c, self.channels, "DepthwiseConv2d channel mismatch");
         let (oh, ow) = self.geom.output_size(h, w).unwrap_or_else(|e| panic!("{e}"));
         self.input = Some(input.clone());
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let k2 = self.geom.kh * self.geom.kw;
+        let ohw = oh * ow;
+
+        // One batched lowering shared by every channel's filter.
+        im2col_batch_into(input, self.geom, &mut self.scratch.cols)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let cols = self.scratch.cols.data();
         let weight = self.weight.value().data();
         let bias = self.bias.value().data();
-        let geom = self.geom;
-        let plane_len = oh * ow;
 
-        parallel::for_each_chunk(out.data_mut(), c * plane_len, |start, chunk| {
-            let sample = start / (c * plane_len);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let sample_len = c * ohw;
+        parallel::for_each_chunk(out.data_mut(), sample_len, |start, chunk| {
+            let sample = start / sample_len;
             for ch in 0..c {
-                let plane = input.outer_slice(sample).outer_slice(ch);
-                let plane = plane.reshape(vec![1, h, w]).unwrap_or_else(|e| panic!("{e}"));
-                let cols = im2col(&plane, geom).unwrap_or_else(|e| panic!("{e}"));
-                let wrow = &weight[ch * k2..(ch + 1) * k2];
-                let dst = &mut chunk[ch * plane_len..(ch + 1) * plane_len];
-                for (q, o) in dst.iter_mut().enumerate() {
-                    let mut acc = bias[ch];
-                    for (t, &wv) in wrow.iter().enumerate() {
-                        acc += wv * cols.data()[t * plane_len + q];
+                let dst = &mut chunk[ch * ohw..(ch + 1) * ohw];
+                dst.fill(bias[ch]);
+                for t in 0..k2 {
+                    let wv = weight[ch * k2 + t];
+                    let src = &cols[(ch * k2 + t) * n * ohw + sample * ohw..][..ohw];
+                    for (o, &v) in dst.iter_mut().zip(src) {
+                        *o += wv * v;
                     }
-                    *o = acc;
                 }
             }
         });
@@ -264,42 +343,68 @@ impl Layer for DepthwiseConv2d {
         let (oh, ow) = self.geom.output_size(h, w).unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(grad_output.shape(), &[n, c, oh, ow], "gradient shape mismatch");
         let k2 = self.geom.kh * self.geom.kw;
-        let plane_len = oh * ow;
-        let mut grad_input = Tensor::zeros(input.shape());
-        let weight = self.weight.value().data().to_vec();
+        let ohw = oh * ow;
 
-        for sample in 0..n {
+        im2col_batch_into(input, self.geom, &mut self.scratch.cols)
+            .unwrap_or_else(|e| panic!("{e}"));
+
+        // Gather the output gradient into channel-major [c, n*ohw] rows.
+        resize_scratch(&mut self.scratch.gemm, &[c, n * ohw]);
+        {
+            let go = grad_output.data();
+            let gy = self.scratch.gemm.data_mut();
             for ch in 0..c {
-                let plane = input
-                    .outer_slice(sample)
-                    .outer_slice(ch)
-                    .reshape(vec![1, h, w])
-                    .unwrap_or_else(|e| panic!("{e}"));
-                let cols = im2col(&plane, self.geom).unwrap_or_else(|e| panic!("{e}"));
-                let g_base = ((sample * c + ch) * oh) * ow;
-                let g = &grad_output.data()[g_base..g_base + plane_len];
-
-                // dW row: g · colsᵀ ; db: Σ g ; dcols: wᵀ ⊗ g.
-                let dw_row = &mut self.weight.grad_mut().data_mut()[ch * k2..(ch + 1) * k2];
-                for (t, dw) in dw_row.iter_mut().enumerate() {
-                    let row = &cols.data()[t * plane_len..(t + 1) * plane_len];
-                    *dw += row.iter().zip(g).map(|(&a, &b)| a * b).sum::<f32>();
+                for s in 0..n {
+                    gy[ch * n * ohw + s * ohw..ch * n * ohw + (s + 1) * ohw]
+                        .copy_from_slice(&go[(s * c + ch) * ohw..][..ohw]);
                 }
-                self.bias.grad_mut().data_mut()[ch] += g.iter().sum::<f32>();
-
-                let mut dcols = Tensor::zeros(&[k2, plane_len]);
-                for t in 0..k2 {
-                    let wv = weight[ch * k2 + t];
-                    let dst = &mut dcols.data_mut()[t * plane_len..(t + 1) * plane_len];
-                    for (o, &gv) in dst.iter_mut().zip(g) {
-                        *o = wv * gv;
-                    }
-                }
-                let dplane = col2im(&dcols, 1, h, w, self.geom).unwrap_or_else(|e| panic!("{e}"));
-                let base = ((sample * c + ch) * h) * w;
-                grad_input.data_mut()[base..base + h * w].copy_from_slice(dplane.data());
             }
         }
+
+        // dW[ch][t] += <gy[ch], cols[ch*k2+t]>, db[ch] += Σ gy[ch]: straight
+        // dot products over contiguous rows.
+        {
+            let cols = self.scratch.cols.data();
+            let gy = self.scratch.gemm.data();
+            let dw = self.weight.grad_mut().data_mut();
+            for ch in 0..c {
+                let g = &gy[ch * n * ohw..(ch + 1) * n * ohw];
+                for t in 0..k2 {
+                    let row = &cols[(ch * k2 + t) * n * ohw..][..n * ohw];
+                    dw[ch * k2 + t] += row.iter().zip(g).map(|(&a, &b)| a * b).sum::<f32>();
+                }
+            }
+            let db = self.bias.grad_mut().data_mut();
+            for ch in 0..c {
+                db[ch] += gy[ch * n * ohw..(ch + 1) * n * ohw].iter().sum::<f32>();
+            }
+        }
+
+        // dcols[ch*k2+t] = w[ch][t] * gy[ch], scattered back batched.
+        resize_scratch(&mut self.scratch.dcols, &[c * k2, n * ohw]);
+        {
+            let gy = self.scratch.gemm.data();
+            let weight = self.weight.value().data();
+            let rows_per_chunk = (c * k2).div_ceil(parallel::worker_count()).max(1);
+            parallel::for_each_chunk(
+                self.scratch.dcols.data_mut(),
+                rows_per_chunk * n * ohw,
+                |start, rows| {
+                    let row0 = start / (n * ohw);
+                    for (local, dst) in rows.chunks_mut(n * ohw).enumerate() {
+                        let row = row0 + local;
+                        let wv = weight[row];
+                        let g = &gy[(row / k2) * n * ohw..][..n * ohw];
+                        for (o, &v) in dst.iter_mut().zip(g) {
+                            *o = wv * v;
+                        }
+                    }
+                },
+            );
+        }
+        let mut grad_input = Tensor::default();
+        col2im_batch_into(&self.scratch.dcols, n, c, h, w, self.geom, &mut grad_input)
+            .unwrap_or_else(|e| panic!("{e}"));
         grad_input
     }
 
@@ -353,6 +458,102 @@ mod tests {
             Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let y = conv.forward(&x, Mode::Train);
         assert_eq!(y.data(), &[10.5]);
+    }
+
+    /// Naive per-sample, per-tap convolution used to validate the batched
+    /// im2col + packed-matmul path.
+    fn naive_conv_forward(conv_weight: &Tensor, bias: &Tensor, x: &Tensor, geom: ConvGeometry) -> Tensor {
+        let &[n, c, h, w] = x.shape() else { panic!("rank-4 input") };
+        let (oh, ow) = geom.output_size(h, w).unwrap();
+        let oc = conv_weight.shape()[0];
+        let k2 = geom.kh * geom.kw;
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for s in 0..n {
+            for o in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.data()[o];
+                        for ch in 0..c {
+                            for ky in 0..geom.kh {
+                                for kx in 0..geom.kw {
+                                    let iy = (oy * geom.stride + ky) as isize
+                                        - geom.padding as isize;
+                                    let ix = (ox * geom.stride + kx) as isize
+                                        - geom.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += conv_weight.data()
+                                        [o * c * k2 + (ch * geom.kh + ky) * geom.kw + kx]
+                                        * x.at(&[s, ch, iy as usize, ix as usize]);
+                                }
+                            }
+                        }
+                        out.set(&[s, o, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batched_conv_matches_naive_reference() {
+        // Odd, tile-unaligned shapes: 5 samples, 3->7 channels, 5x7 input.
+        let mut r = seeded();
+        let mut conv = Conv2d::new(3, 7, 3, 2, 1, &mut r).unwrap();
+        let x = Tensor::from_fn(&[5, 3, 5, 7], |i| ((i * 23 % 19) as f32 - 9.0) * 0.1);
+        let fast = conv.forward(&x, Mode::Train);
+        let slow = naive_conv_forward(conv.weight.value(), conv.bias.value(), &x, conv.geom);
+        assert_eq!(fast.shape(), slow.shape());
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_scratch_reuse_is_bit_identical_and_allocation_free() {
+        let mut r = seeded();
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut r).unwrap();
+        let x = Tensor::from_fn(&[3, 2, 6, 6], |i| ((i * 13 % 11) as f32 - 5.0) * 0.1);
+        let g = Tensor::from_fn(&[3, 4, 6, 6], |i| ((i * 7 % 5) as f32 - 2.0) * 0.1);
+
+        // Warm up the scratch buffers once.
+        let first_y = conv.forward(&x, Mode::Train);
+        let first_dx = conv.backward(&g);
+        let warmed_capacity = conv.scratch.capacity();
+
+        // Every subsequent call must reuse the same allocations and
+        // reproduce the exact same bits.
+        for _ in 0..3 {
+            let y = conv.forward(&x, Mode::Train);
+            let dx = conv.backward(&g);
+            assert_eq!(y, first_y, "forward must be bit-identical across reuse");
+            assert_eq!(dx, first_dx, "backward must be bit-identical across reuse");
+            assert_eq!(
+                conv.scratch.capacity(),
+                warmed_capacity,
+                "scratch must not reallocate once warmed"
+            );
+        }
+    }
+
+    #[test]
+    fn depthwise_scratch_reuse_is_bit_identical_and_allocation_free() {
+        let mut r = seeded();
+        let mut dw = DepthwiseConv2d::new(3, 3, 1, 1, &mut r).unwrap();
+        let x = Tensor::from_fn(&[2, 3, 5, 5], |i| ((i * 17 % 13) as f32 - 6.0) * 0.1);
+        let g = Tensor::from_fn(&[2, 3, 5, 5], |i| ((i * 11 % 7) as f32 - 3.0) * 0.1);
+
+        let first_y = dw.forward(&x, Mode::Train);
+        let first_dx = dw.backward(&g);
+        let warmed_capacity = dw.scratch.capacity();
+        for _ in 0..3 {
+            assert_eq!(dw.forward(&x, Mode::Train), first_y);
+            assert_eq!(dw.backward(&g), first_dx);
+            assert_eq!(dw.scratch.capacity(), warmed_capacity);
+        }
     }
 
     #[test]

@@ -169,6 +169,7 @@ impl Trainer {
         let cfg = &self.config;
         let n = images.len();
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        let mut batch = Tensor::zeros(&[0]);
 
         for epoch in 0..cfg.epochs {
             let lr = match cfg.schedule {
@@ -188,10 +189,19 @@ impl Trainer {
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(cfg.batch_size) {
-                let batch_images: Vec<Tensor> =
-                    chunk.iter().map(|&i| images[i].clone()).collect();
-                let batch =
-                    Tensor::stack(&batch_images).unwrap_or_else(|e| panic!("{e}"));
+                // Gather the batch into a buffer reused across iterations
+                // instead of cloning and stacking per-sample tensors.
+                batch.resize_for_overwrite(&[chunk.len(), c, h, w]);
+                let sample_len = c * h * w;
+                for (slot, &i) in chunk.iter().enumerate() {
+                    assert_eq!(
+                        images[i].shape(),
+                        &[c, h, w],
+                        "image {i} shape does not match network input"
+                    );
+                    batch.data_mut()[slot * sample_len..(slot + 1) * sample_len]
+                        .copy_from_slice(images[i].data());
+                }
                 let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
 
                 let logits = network.forward(&batch, Mode::Train);
@@ -223,8 +233,21 @@ pub fn predict_probs(network: &mut Network, images: &[Tensor], batch_size: usize
     let k = network.num_classes();
     let mut out = Tensor::zeros(&[images.len(), k]);
     let mut row = 0;
+    let mut batch = Tensor::zeros(&[0]);
     for chunk in images.chunks(batch_size) {
-        let batch = Tensor::stack(chunk).unwrap_or_else(|e| panic!("{e}"));
+        // Reuse one batch buffer across chunks instead of stacking fresh
+        // tensors per batch.
+        let sample_shape = images[0].shape();
+        let sample_len = images[0].len();
+        let mut shape = Vec::with_capacity(sample_shape.len() + 1);
+        shape.push(chunk.len());
+        shape.extend_from_slice(sample_shape);
+        batch.resize_for_overwrite(&shape);
+        for (slot, img) in chunk.iter().enumerate() {
+            assert_eq!(img.shape(), sample_shape, "predict image shapes must agree");
+            batch.data_mut()[slot * sample_len..(slot + 1) * sample_len]
+                .copy_from_slice(img.data());
+        }
         let logits = network.forward(&batch, Mode::Eval);
         let probs = ops::softmax_rows(&logits).unwrap_or_else(|e| panic!("{e}"));
         out.data_mut()[row * k..(row + chunk.len()) * k].copy_from_slice(probs.data());

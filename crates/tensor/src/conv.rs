@@ -4,8 +4,17 @@
 //! computed as a matmul between the kernel matrix `[oc, c*kh*kw]` and the
 //! lowered column matrix produced by [`im2col`]; [`col2im`] is its adjoint
 //! and routes output-space gradients back to input space.
+//!
+//! The batched variants [`im2col_batch_into`] and [`col2im_batch_into`]
+//! lower a whole `[n, c, h, w]` mini-batch into one `[c*kh*kw, n*oh*ow]`
+//! column matrix written into a caller-provided scratch tensor, so a
+//! convolution layer performs one large matmul per call instead of `n`
+//! small ones and allocates nothing per sample. The inner loops copy whole
+//! valid row segments (computed analytically from the geometry) instead of
+//! testing every tap for padding.
 
 use crate::error::TensorError;
+use crate::parallel;
 use crate::tensor::Tensor;
 
 /// Geometry of a 2-D convolution or pooling window.
@@ -64,6 +73,194 @@ impl ConvGeometry {
         }
         Ok(((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1))
     }
+
+    /// Range of output positions `o` whose input tap `o*stride + k - padding`
+    /// lands inside `[0, extent)`, clipped to `[0, out_extent)`.
+    fn valid_out_range(&self, k: usize, extent: usize, out_extent: usize) -> (usize, usize) {
+        let offset = k as isize - self.padding as isize;
+        let stride = self.stride as isize;
+        // o*stride + offset >= 0  =>  o >= ceil(-offset / stride)
+        let lo = if offset >= 0 { 0 } else { (-offset + stride - 1) / stride };
+        // o*stride + offset <= extent - 1  =>  o <= (extent - 1 - offset) / stride
+        let last = extent as isize - 1 - offset;
+        if last < 0 {
+            return (0, 0);
+        }
+        let hi = (last / stride + 1).min(out_extent as isize);
+        if lo >= hi {
+            (0, 0)
+        } else {
+            (lo as usize, hi as usize)
+        }
+    }
+}
+
+/// Fills rows `row_start..row_start + dst.len() / ncols` of a batched
+/// `[c*kh*kw, n*oh*ow]` column matrix. Each row is one kernel tap
+/// `(channel, ky, kx)`; sample `s` occupies the column block
+/// `s*oh*ow..(s+1)*oh*ow`. `dst` is fully overwritten (padding taps become
+/// zero).
+#[allow(clippy::too_many_arguments)]
+fn fill_im2col_rows(
+    src: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+    oh: usize,
+    ow: usize,
+    row_start: usize,
+    dst: &mut [f32],
+) {
+    let ncols = n * oh * ow;
+    let k2 = geom.kh * geom.kw;
+    dst.fill(0.0);
+    for (local, row_dst) in dst.chunks_mut(ncols).enumerate() {
+        let row = row_start + local;
+        let ch = row / k2;
+        let ky = (row % k2) / geom.kw;
+        let kx = row % geom.kw;
+        let (oy_lo, oy_hi) = geom.valid_out_range(ky, h, oh);
+        let (ox_lo, ox_hi) = geom.valid_out_range(kx, w, ow);
+        if oy_lo >= oy_hi || ox_lo >= ox_hi {
+            continue;
+        }
+        for s in 0..n {
+            let sample_src = &src[(s * c + ch) * h * w..][..h * w];
+            let col_base = s * oh * ow;
+            for oy in oy_lo..oy_hi {
+                let iy = oy * geom.stride + ky - geom.padding;
+                let ix0 = ox_lo * geom.stride + kx - geom.padding;
+                let seg = &mut row_dst[col_base + oy * ow + ox_lo..col_base + oy * ow + ox_hi];
+                if geom.stride == 1 {
+                    seg.copy_from_slice(&sample_src[iy * w + ix0..][..seg.len()]);
+                } else {
+                    let base = iy * w + ix0;
+                    for (d, o) in seg.iter_mut().enumerate() {
+                        *o = sample_src[base + d * geom.stride];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters sample `s`'s column block of a batched `[c*kh*kw, n*oh*ow]`
+/// matrix back into that sample's `[c, h, w]` gradient, accumulating where
+/// receptive fields overlap. `dst` is fully overwritten.
+#[allow(clippy::too_many_arguments)]
+fn scatter_col2im_sample(
+    cols: &[f32],
+    s: usize,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+    oh: usize,
+    ow: usize,
+    dst: &mut [f32],
+) {
+    let ncols = n * oh * ow;
+    let k2 = geom.kh * geom.kw;
+    dst.fill(0.0);
+    for row in 0..c * k2 {
+        let ch = row / k2;
+        let ky = (row % k2) / geom.kw;
+        let kx = row % geom.kw;
+        let (oy_lo, oy_hi) = geom.valid_out_range(ky, h, oh);
+        let (ox_lo, ox_hi) = geom.valid_out_range(kx, w, ow);
+        let col_base = row * ncols + s * oh * ow;
+        for oy in oy_lo..oy_hi {
+            let iy = oy * geom.stride + ky - geom.padding;
+            let ix0 = ox_lo * geom.stride + kx - geom.padding;
+            let seg = &cols[col_base + oy * ow + ox_lo..col_base + oy * ow + ox_hi];
+            let base = (ch * h + iy) * w + ix0;
+            if geom.stride == 1 {
+                for (o, &v) in dst[base..base + seg.len()].iter_mut().zip(seg) {
+                    *o += v;
+                }
+            } else {
+                for (d, &v) in seg.iter().enumerate() {
+                    dst[base + d * geom.stride] += v;
+                }
+            }
+        }
+    }
+}
+
+/// Lowers a whole `[n, c, h, w]` mini-batch to one `[c*kh*kw, n*oh*ow]`
+/// column matrix, writing into `out` (resized in place, reusing its
+/// allocation). Sample `s` occupies columns `s*oh*ow..(s+1)*oh*ow`, so a
+/// single matmul against the `[oc, c*kh*kw]` kernel matrix convolves the
+/// whole batch. The lowering parallelizes across kernel-tap rows.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` is not rank-4 and
+/// propagates geometry errors from [`ConvGeometry::output_size`].
+pub fn im2col_batch_into(
+    input: &Tensor,
+    geom: ConvGeometry,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    let &[n, c, h, w] = input.shape() else {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_batch_into",
+            expected: vec![0, 0, 0, 0],
+            got: input.shape().to_vec(),
+        });
+    };
+    let (oh, ow) = geom.output_size(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let ncols = n * oh * ow;
+    // fill_im2col_rows overwrites every element (padding included), so the
+    // resize does not need to pre-fill.
+    out.resize_for_overwrite(&[rows, ncols]);
+    let src = input.data();
+    let rows_per_chunk = rows.div_ceil(parallel::worker_count()).max(1);
+    parallel::for_each_chunk(out.data_mut(), rows_per_chunk * ncols, |start, chunk| {
+        fill_im2col_rows(src, n, c, h, w, geom, oh, ow, start / ncols, chunk);
+    });
+    Ok(())
+}
+
+/// Adjoint of [`im2col_batch_into`]: scatters a `[c*kh*kw, n*oh*ow]` column
+/// matrix back into an `[n, c, h, w]` gradient tensor, writing into `out`
+/// (resized in place). The scatter parallelizes across samples.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not match the
+/// geometry implied by `(n, c, h, w)` and `geom`.
+pub fn col2im_batch_into(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: ConvGeometry,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    let (oh, ow) = geom.output_size(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    if cols.shape() != [rows, n * oh * ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im_batch_into",
+            expected: vec![rows, n * oh * ow],
+            got: cols.shape().to_vec(),
+        });
+    }
+    // scatter_col2im_sample zero-fills each sample chunk before
+    // accumulating, so the resize does not need to pre-fill.
+    out.resize_for_overwrite(&[n, c, h, w]);
+    let src = cols.data();
+    let sample_len = c * h * w;
+    parallel::for_each_chunk(out.data_mut(), sample_len, |start, chunk| {
+        scatter_col2im_sample(src, start / sample_len, n, c, h, w, geom, oh, ow, chunk);
+    });
+    Ok(())
 }
 
 /// Lowers a `[c, h, w]` input to a `[c*kh*kw, oh*ow]` column matrix.
@@ -86,34 +283,8 @@ pub fn im2col(input: &Tensor, geom: ConvGeometry) -> Result<Tensor, TensorError>
     };
     let (oh, ow) = geom.output_size(h, w)?;
     let rows = c * geom.kh * geom.kw;
-    let cols = oh * ow;
-    let mut out = Tensor::zeros(&[rows, cols]);
-    let src = input.data();
-    let dst = out.data_mut();
-
-    for ch in 0..c {
-        for ky in 0..geom.kh {
-            for kx in 0..geom.kw {
-                let row = (ch * geom.kh + ky) * geom.kw + kx;
-                let row_base = row * cols;
-                for oy in 0..oh {
-                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let src_base = (ch * h + iy as usize) * w;
-                    let dst_base = row_base + oy * ow;
-                    for ox in 0..ow {
-                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        dst[dst_base + ox] = src[src_base + ix as usize];
-                    }
-                }
-            }
-        }
-    }
+    let mut out = Tensor::zeros(&[rows, oh * ow]);
+    fill_im2col_rows(input.data(), 1, c, h, w, geom, oh, ow, 0, out.data_mut());
     Ok(out)
 }
 
@@ -141,33 +312,7 @@ pub fn col2im(
         });
     }
     let mut out = Tensor::zeros(&[c, h, w]);
-    let src = cols.data();
-    let dst = out.data_mut();
-    let n_cols = oh * ow;
-
-    for ch in 0..c {
-        for ky in 0..geom.kh {
-            for kx in 0..geom.kw {
-                let row = (ch * geom.kh + ky) * geom.kw + kx;
-                let row_base = row * n_cols;
-                for oy in 0..oh {
-                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let dst_base = (ch * h + iy as usize) * w;
-                    let src_base = row_base + oy * ow;
-                    for ox in 0..ow {
-                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        dst[dst_base + ix as usize] += src[src_base + ox];
-                    }
-                }
-            }
-        }
-    }
+    scatter_col2im_sample(cols.data(), 0, 1, c, h, w, geom, oh, ow, out.data_mut());
     Ok(out)
 }
 
@@ -261,6 +406,75 @@ mod tests {
             .map(|(a, b)| a * b)
             .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn batched_im2col_stacks_per_sample_lowerings() {
+        // Awkward geometry: stride 2, padding 1, non-square input.
+        let n = 3;
+        let (c, h, w) = (2, 5, 4);
+        let g = ConvGeometry::new(3, 3, 2, 1).unwrap();
+        let batch = Tensor::from_fn(&[n, c, h, w], |i| ((i * 37 % 23) as f32) - 11.0);
+        let mut cols = Tensor::zeros(&[0]);
+        im2col_batch_into(&batch, g, &mut cols).unwrap();
+
+        let (oh, ow) = g.output_size(h, w).unwrap();
+        assert_eq!(cols.shape(), &[c * 9, n * oh * ow]);
+        for s in 0..n {
+            let single = im2col(&batch.outer_slice(s), g).unwrap();
+            for r in 0..c * 9 {
+                let got = &cols.data()[r * n * oh * ow + s * oh * ow..][..oh * ow];
+                let want = &single.data()[r * oh * ow..][..oh * ow];
+                assert_eq!(got, want, "row {r} sample {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_col2im_stacks_per_sample_scatters() {
+        let n = 2;
+        let (c, h, w) = (2, 4, 5);
+        let g = ConvGeometry::new(2, 3, 1, 1).unwrap();
+        let (oh, ow) = g.output_size(h, w).unwrap();
+        let rows = c * 6;
+        let cols = Tensor::from_fn(&[rows, n * oh * ow], |i| ((i * 29 % 13) as f32) - 6.0);
+        let mut grad = Tensor::zeros(&[0]);
+        col2im_batch_into(&cols, n, c, h, w, g, &mut grad).unwrap();
+        assert_eq!(grad.shape(), &[n, c, h, w]);
+
+        for s in 0..n {
+            // Extract sample s's column block and scatter it alone.
+            let mut block = Tensor::zeros(&[rows, oh * ow]);
+            for r in 0..rows {
+                let src = &cols.data()[r * n * oh * ow + s * oh * ow..][..oh * ow];
+                block.data_mut()[r * oh * ow..(r + 1) * oh * ow].copy_from_slice(src);
+            }
+            let single = col2im(&block, c, h, w, g).unwrap();
+            assert_eq!(grad.outer_slice(s), single, "sample {s}");
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_allocations() {
+        let g = ConvGeometry::new(3, 3, 1, 1).unwrap();
+        let batch = Tensor::from_fn(&[4, 3, 8, 8], |i| i as f32 * 0.01);
+        let mut cols = Tensor::zeros(&[0]);
+        im2col_batch_into(&batch, g, &mut cols).unwrap();
+        let first = cols.clone();
+        let cap = cols.capacity();
+        im2col_batch_into(&batch, g, &mut cols).unwrap();
+        assert_eq!(cols, first, "reuse must be bit-identical");
+        assert_eq!(cols.capacity(), cap, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn batch_into_rejects_bad_shapes() {
+        let g = ConvGeometry::new(2, 2, 1, 0).unwrap();
+        let mut out = Tensor::zeros(&[0]);
+        let rank3 = Tensor::zeros(&[1, 3, 3]);
+        assert!(im2col_batch_into(&rank3, g, &mut out).is_err());
+        let bad_cols = Tensor::zeros(&[3, 3]);
+        assert!(col2im_batch_into(&bad_cols, 1, 1, 3, 3, g, &mut out).is_err());
     }
 
     #[test]

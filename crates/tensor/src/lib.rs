@@ -6,15 +6,19 @@
 //! pipeline needs:
 //!
 //! * elementwise arithmetic and mapping ([`Tensor::map`], operator impls),
-//! * matrix multiplication in the four transpose flavours required by
-//!   backpropagation ([`ops::matmul`], [`ops::matmul_tn`], [`ops::matmul_nt`]),
-//! * `im2col`/`col2im` lowering for convolutions ([`conv`]),
+//! * matrix multiplication in the transpose flavours required by
+//!   backpropagation ([`ops::matmul`], [`ops::matmul_tn`],
+//!   [`ops::matmul_nt`]), all lowering to one blocked, packed,
+//!   auto-vectorized GEMM kernel with `*_into` variants for allocation
+//!   reuse,
+//! * `im2col`/`col2im` lowering for convolutions ([`conv`]), including
+//!   whole-mini-batch variants that feed one large matmul per layer call,
 //! * an orthonormal 2-D DCT used by the FTrojan frequency-domain trigger
 //!   ([`dct`]),
 //! * deterministic, stream-splittable random number helpers including a
 //!   Box–Muller Gaussian ([`rng`]), and
-//! * a tiny fork–join helper sized for the 2-core evaluation container
-//!   ([`parallel`]).
+//! * a tiny fork–join helper sized for small containers ([`parallel`];
+//!   worker count overridable via `REVEIL_THREADS`).
 //!
 //! # Example
 //!

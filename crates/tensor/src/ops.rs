@@ -3,7 +3,21 @@
 //! Backpropagation through a linear map `Y = X·Wᵀ` needs products against
 //! both transposes, so alongside plain [`matmul`] this module provides
 //! [`matmul_tn`] (`AᵀB`) and [`matmul_nt`] (`ABᵀ`) that read their operands
-//! in place instead of materialising transposed copies.
+//! in place instead of materialising transposed copies. The `*_into`
+//! variants write into a caller-provided tensor so hot loops can reuse
+//! allocations.
+//!
+//! # Kernel design
+//!
+//! All three variants lower to one blocked, packed GEMM: operand panels are
+//! repacked into contiguous, cache-sized scratch buffers (`MR`-row strips of
+//! A, `NR`-column strips of B, each stored k-major), the loop nest tiles
+//! over `(MC, KC, NC)` blocks, and the innermost register tile is a straight
+//! fused multiply–add over fixed-size arrays that the compiler unrolls and
+//! vectorizes. Packing normalises every transpose flavour to the same inner
+//! loop, so the NN/TN/NT variants produce bit-identical results to each
+//! other and to the serial path. Work parallelizes over MR-aligned row
+//! bands via [`parallel::for_each_chunk`].
 
 use crate::error::TensorError;
 use crate::parallel;
@@ -24,49 +38,298 @@ fn expect_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize), TensorEr
 /// worker threads; below this, threading costs more than it saves.
 const PAR_FLOPS_THRESHOLD: usize = 1 << 17;
 
-fn matmul_impl(
-    op: &'static str,
-    a: &Tensor,
-    b: &Tensor,
-    m: usize,
-    k: usize,
-    n: usize,
-    a_index: impl Fn(usize, usize) -> usize + Sync,
-    b_index: impl Fn(usize, usize) -> usize + Sync,
-) -> Result<Tensor, TensorError> {
-    let _ = op;
-    let a_data = a.data();
-    let b_data = b.data();
-    let mut out = Tensor::zeros(&[m, n]);
+/// Rows per register tile: the micro-kernel keeps an `MR x NR` accumulator
+/// block live across the whole k-loop.
+const MR: usize = 8;
+/// Columns per register tile (one or two SIMD vectors wide once the
+/// compiler vectorizes the inner loop).
+const NR: usize = 8;
+/// k-extent of one packed panel pair; `KC * (MR + NR) * 4` bytes of packed
+/// data stay hot in L1/L2 while a panel is consumed.
+const KC: usize = 256;
+/// Column extent of one packed B panel (`KC * NC * 4` = 512 KiB, sized for
+/// the L2 cache).
+const NC: usize = 512;
+/// Row extent of one packed A panel (`MC * KC * 4` = 64 KiB).
+const MC: usize = 64;
 
-    let body = |row_start: usize, rows: &mut [f32]| {
-        // `rows` covers whole output rows because chunk size is a multiple
-        // of n; iterate i-k-j for cache-friendly access to the B rows.
-        let n_rows = rows.len() / n;
-        for local_i in 0..n_rows {
-            let i = row_start / n + local_i;
-            let out_row = &mut rows[local_i * n..(local_i + 1) * n];
-            for p in 0..k {
-                let a_ip = a_data[a_index(i, p)];
-                if a_ip == 0.0 {
-                    continue;
+/// Storage order of the left operand as seen by `C[i][p]` indexing.
+#[derive(Clone, Copy)]
+enum AMajor {
+    /// `A: [m, k]`, element `(i, p)` at `i * k + p` (NN / NT).
+    Row,
+    /// `A: [k, m]`, element `(i, p)` at `p * m + i` (TN, reading `Aᵀ` in
+    /// place).
+    Col,
+}
+
+/// Storage order of the right operand as seen by `C[p][j]` indexing.
+#[derive(Clone, Copy)]
+enum BMajor {
+    /// `B: [k, n]`, element `(p, j)` at `p * n + j` (NN / TN).
+    Row,
+    /// `B: [n, k]`, element `(p, j)` at `j * k + p` (NT, reading `Bᵀ` in
+    /// place).
+    Col,
+}
+
+/// Packs `A[i0..i0+mb, p0..p0+kb]` into MR-row strips: strip `s` holds rows
+/// `i0 + s*MR ..`, stored p-major so the micro-kernel reads `MR` values per
+/// k-step from one contiguous slot. Rows beyond `mb` pad with zeros.
+fn pack_a(
+    a: &[f32],
+    major: AMajor,
+    k: usize,
+    m: usize,
+    i0: usize,
+    mb: usize,
+    p0: usize,
+    kb: usize,
+    apack: &mut [f32],
+) {
+    let strips = mb.div_ceil(MR);
+    debug_assert!(apack.len() >= strips * kb * MR);
+    apack[..strips * kb * MR].fill(0.0);
+    for s in 0..strips {
+        let rows = MR.min(mb - s * MR);
+        let strip = &mut apack[s * kb * MR..(s + 1) * kb * MR];
+        match major {
+            AMajor::Row => {
+                for r in 0..rows {
+                    let src = &a[(i0 + s * MR + r) * k + p0..][..kb];
+                    for (p, &v) in src.iter().enumerate() {
+                        strip[p * MR + r] = v;
+                    }
                 }
-                // Inner loop over j; b_index is monotone in j for all three
-                // variants, so this stays sequential in memory for NN/TN.
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    *o += a_ip * b_data[b_index(p, j)];
+            }
+            AMajor::Col => {
+                for (p, dst) in strip.chunks_exact_mut(MR).enumerate() {
+                    let src = &a[(p0 + p) * m + i0 + s * MR..][..rows];
+                    dst[..rows].copy_from_slice(src);
                 }
             }
         }
-    };
-
-    if m * n * k >= PAR_FLOPS_THRESHOLD && m > 1 {
-        let rows_per_chunk = m.div_ceil(parallel::worker_count()).max(1);
-        parallel::for_each_chunk(out.data_mut(), rows_per_chunk * n, &body);
-    } else {
-        body(0, out.data_mut());
     }
-    Ok(out)
+}
+
+/// Packs `B[p0..p0+kb, j0..j0+nb]` into NR-column strips, stored p-major so
+/// the micro-kernel reads `NR` values per k-step from one contiguous slot.
+/// Columns beyond `nb` pad with zeros.
+fn pack_b(
+    b: &[f32],
+    major: BMajor,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kb: usize,
+    j0: usize,
+    nb: usize,
+    bpack: &mut [f32],
+) {
+    let strips = nb.div_ceil(NR);
+    debug_assert!(bpack.len() >= strips * kb * NR);
+    bpack[..strips * kb * NR].fill(0.0);
+    for t in 0..strips {
+        let cols = NR.min(nb - t * NR);
+        let strip = &mut bpack[t * kb * NR..(t + 1) * kb * NR];
+        match major {
+            BMajor::Row => {
+                for (p, dst) in strip.chunks_exact_mut(NR).enumerate() {
+                    let src = &b[(p0 + p) * n + j0 + t * NR..][..cols];
+                    dst[..cols].copy_from_slice(src);
+                }
+            }
+            BMajor::Col => {
+                for c in 0..cols {
+                    let src = &b[(j0 + t * NR + c) * k + p0..][..kb];
+                    for (p, &v) in src.iter().enumerate() {
+                        strip[p * NR + c] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The register-tile kernel: `acc += Apanel · Bpanel` over `kb` k-steps.
+///
+/// Both panels are contiguous (`kb * MR` and `kb * NR`), so the inner loops
+/// are straight fused multiply–adds over fixed-size arrays, which the
+/// compiler unrolls and vectorizes.
+#[inline]
+fn microkernel(apack: &[f32], bpack: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (avec, bvec) in apack.chunks_exact(MR).zip(bpack.chunks_exact(NR)) {
+        let avec: &[f32; MR] = avec.try_into().expect("chunks_exact(MR)");
+        let bvec: &[f32; NR] = bvec.try_into().expect("chunks_exact(NR)");
+        for r in 0..MR {
+            let ar = avec[r];
+            for c in 0..NR {
+                acc[r][c] += ar * bvec[c];
+            }
+        }
+    }
+}
+
+/// Multiplies the packed A panel for rows `i0..i0+mb` against the packed B
+/// panel for columns `j0..j0+nb`, accumulating into the row-major `out`
+/// (full width `n`).
+#[allow(clippy::too_many_arguments)]
+fn run_panel(
+    apack: &[f32],
+    bpack: &[f32],
+    kb: usize,
+    mb: usize,
+    nb: usize,
+    i0: usize,
+    j0: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let a_strips = mb.div_ceil(MR);
+    let b_strips = nb.div_ceil(NR);
+    for s in 0..a_strips {
+        let rows = MR.min(mb - s * MR);
+        let astrip = &apack[s * kb * MR..(s + 1) * kb * MR];
+        for t in 0..b_strips {
+            let cols = NR.min(nb - t * NR);
+            let bstrip = &bpack[t * kb * NR..(t + 1) * kb * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(astrip, bstrip, &mut acc);
+            for r in 0..rows {
+                let row = i0 + s * MR + r;
+                let dst = &mut out[row * n + j0 + t * NR..][..cols];
+                for (o, v) in dst.iter_mut().zip(&acc[r][..cols]) {
+                    *o += v;
+                }
+            }
+        }
+    }
+}
+
+/// Blocked, packed `out += A·B` over the row range `rows`; `out` is the
+/// full-width row-major slice for exactly that row range (its first element
+/// is `C[rows.start][0]`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    a: &[f32],
+    a_major: AMajor,
+    b: &[f32],
+    b_major: BMajor,
+    m: usize,
+    k: usize,
+    n: usize,
+    row0: usize,
+    row1: usize,
+    out: &mut [f32],
+) {
+    // Pack buffers are thread-local: on the serial path (small/medium
+    // products, and everything on single-core machines) repeated matmuls
+    // reuse one long-lived allocation. Parallel row-band workers are fresh
+    // scoped threads, so they allocate once per gemm call — amortised over
+    // a large product. Buffers are sized for the largest panel this call
+    // will see, so tiny products don't touch full-size tiles; pack_a/pack_b
+    // overwrite their active region, so no pre-fill is needed beyond Vec
+    // growth.
+    thread_local! {
+        static PACK_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    }
+    PACK_SCRATCH.with(|cell| {
+        let (apack, bpack) = &mut *cell.borrow_mut();
+        let kc_eff = KC.min(k);
+        let mc_eff = MC.min(row1 - row0);
+        let nc_eff = NC.min(n);
+        let a_len = mc_eff.div_ceil(MR) * MR * kc_eff;
+        let b_len = nc_eff.div_ceil(NR) * NR * kc_eff;
+        if apack.len() < a_len {
+            apack.resize(a_len, 0.0);
+        }
+        if bpack.len() < b_len {
+            bpack.resize(b_len, 0.0);
+        }
+        gemm_panels(a, a_major, b, b_major, m, k, n, row0, row1, out, apack, bpack);
+    });
+}
+
+/// The blocked loop nest of [`gemm_rows`], operating on caller-provided
+/// pack buffers.
+#[allow(clippy::too_many_arguments)]
+fn gemm_panels(
+    a: &[f32],
+    a_major: AMajor,
+    b: &[f32],
+    b_major: BMajor,
+    m: usize,
+    k: usize,
+    n: usize,
+    row0: usize,
+    row1: usize,
+    out: &mut [f32],
+    apack: &mut [f32],
+    bpack: &mut [f32],
+) {
+    let mut jc = 0;
+    while jc < n {
+        let nb = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kb = KC.min(k - pc);
+            pack_b(b, b_major, k, n, pc, kb, jc, nb, bpack);
+            let mut ic = row0;
+            while ic < row1 {
+                let mb = MC.min(row1 - ic);
+                pack_a(a, a_major, k, m, ic, mb, pc, kb, apack);
+                run_panel(
+                    &apack,
+                    &bpack,
+                    kb,
+                    mb,
+                    nb,
+                    ic - row0,
+                    jc,
+                    n,
+                    out,
+                );
+                ic += mb;
+            }
+            pc += kb;
+        }
+        jc += nb;
+    }
+}
+
+/// Tiled, packed `out = A·B` (any transpose flavour via the major flags).
+///
+/// `out` must be `m * n` elements and is overwritten. Parallelizes over row
+/// panels when the flop count is large enough to amortise thread spawns.
+fn gemm_into(
+    a: &[f32],
+    a_major: AMajor,
+    b: &[f32],
+    b_major: BMajor,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let workers = parallel::worker_count();
+    if m * n * k >= PAR_FLOPS_THRESHOLD && m > 1 && workers > 1 {
+        // Whole MR-aligned row bands per worker keep every register tile
+        // inside one chunk.
+        let rows_per_chunk = m.div_ceil(workers).div_ceil(MR).max(1) * MR;
+        parallel::for_each_chunk(out, rows_per_chunk * n, |start, rows| {
+            let row0 = start / n;
+            let row1 = row0 + rows.len() / n;
+            gemm_rows(a, a_major, b, b_major, m, k, n, row0, row1, rows);
+        });
+    } else {
+        gemm_rows(a, a_major, b, b_major, m, k, n, 0, m, out);
+    }
 }
 
 /// `C = A·B` for `A: [m, k]`, `B: [k, n]`.
@@ -88,16 +351,24 @@ fn matmul_impl(
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (m, k) = expect_rank2("matmul", a)?;
-    let (k2, n) = expect_rank2("matmul", b)?;
-    if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul",
-            expected: vec![m, k],
-            got: vec![k2, n],
-        });
-    }
-    matmul_impl("matmul", a, b, m, k, n, |i, p| i * k + p, |p, j| p * n + j)
+    let (m, k, n) = check_matmul("matmul", a, b)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_into(a.data(), AMajor::Row, b.data(), BMajor::Row, m, k, n, out.data_mut());
+    Ok(out)
+}
+
+/// `C = A·B` written into a caller-provided output tensor, reusing its
+/// allocation (the zero-allocation path used by the convolution layers).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on operand rank/dimension
+/// mismatch or if `out` is not `[m, n]`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (m, k, n) = check_matmul("matmul_into", a, b)?;
+    check_out("matmul_into", out, m, n)?;
+    gemm_into(a.data(), AMajor::Row, b.data(), BMajor::Row, m, k, n, out.data_mut());
+    Ok(())
 }
 
 /// `C = Aᵀ·B` for `A: [k, m]`, `B: [k, n]` without materialising `Aᵀ`.
@@ -107,16 +378,24 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::ShapeMismatch`] unless both operands are rank-2
 /// sharing their leading dimension.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (k, m) = expect_rank2("matmul_tn", a)?;
-    let (k2, n) = expect_rank2("matmul_tn", b)?;
-    if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul_tn",
-            expected: vec![k, m],
-            got: vec![k2, n],
-        });
-    }
-    matmul_impl("matmul_tn", a, b, m, k, n, |i, p| p * m + i, |p, j| p * n + j)
+    let (m, k, n) = check_matmul_tn("matmul_tn", a, b)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_into(a.data(), AMajor::Col, b.data(), BMajor::Row, m, k, n, out.data_mut());
+    Ok(out)
+}
+
+/// `C = Aᵀ·B` written into a caller-provided output tensor (see
+/// [`matmul_into`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on operand rank/dimension
+/// mismatch or if `out` is not `[m, n]`.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (m, k, n) = check_matmul_tn("matmul_tn_into", a, b)?;
+    check_out("matmul_tn_into", out, m, n)?;
+    gemm_into(a.data(), AMajor::Col, b.data(), BMajor::Row, m, k, n, out.data_mut());
+    Ok(())
 }
 
 /// `C = A·Bᵀ` for `A: [m, k]`, `B: [n, k]` without materialising `Bᵀ`.
@@ -126,16 +405,79 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::ShapeMismatch`] unless both operands are rank-2
 /// sharing their trailing dimension.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (m, k) = expect_rank2("matmul_nt", a)?;
-    let (n, k2) = expect_rank2("matmul_nt", b)?;
+    let (m, k, n) = check_matmul_nt("matmul_nt", a, b)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_into(a.data(), AMajor::Row, b.data(), BMajor::Col, m, k, n, out.data_mut());
+    Ok(out)
+}
+
+/// `C = A·Bᵀ` written into a caller-provided output tensor (see
+/// [`matmul_into`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on operand rank/dimension
+/// mismatch or if `out` is not `[m, n]`.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (m, k, n) = check_matmul_nt("matmul_nt_into", a, b)?;
+    check_out("matmul_nt_into", out, m, n)?;
+    gemm_into(a.data(), AMajor::Row, b.data(), BMajor::Col, m, k, n, out.data_mut());
+    Ok(())
+}
+
+/// Validates `A: [m, k]`, `B: [k, n]`, returning `(m, k, n)` with `op`
+/// attached to any error.
+fn check_matmul(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+) -> Result<(usize, usize, usize), TensorError> {
+    let (m, k) = expect_rank2(op, a)?;
+    let (k2, n) = expect_rank2(op, b)?;
     if k != k2 {
+        return Err(TensorError::ShapeMismatch { op, expected: vec![m, k], got: vec![k2, n] });
+    }
+    Ok((m, k, n))
+}
+
+/// Validates `A: [k, m]`, `B: [k, n]` for the `AᵀB` product.
+fn check_matmul_tn(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+) -> Result<(usize, usize, usize), TensorError> {
+    let (k, m) = expect_rank2(op, a)?;
+    let (k2, n) = expect_rank2(op, b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch { op, expected: vec![k, m], got: vec![k2, n] });
+    }
+    Ok((m, k, n))
+}
+
+/// Validates `A: [m, k]`, `B: [n, k]` for the `ABᵀ` product.
+fn check_matmul_nt(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+) -> Result<(usize, usize, usize), TensorError> {
+    let (m, k) = expect_rank2(op, a)?;
+    let (n, k2) = expect_rank2(op, b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch { op, expected: vec![m, k], got: vec![n, k2] });
+    }
+    Ok((m, k, n))
+}
+
+/// Validates a caller-provided output buffer of shape `[m, n]`.
+fn check_out(op: &'static str, out: &Tensor, m: usize, n: usize) -> Result<(), TensorError> {
+    if out.shape() != [m, n] {
         return Err(TensorError::ShapeMismatch {
-            op: "matmul_nt",
-            expected: vec![m, k],
-            got: vec![n, k2],
+            op,
+            expected: vec![m, n],
+            got: out.shape().to_vec(),
         });
     }
-    matmul_impl("matmul_nt", a, b, m, k, n, |i, p| i * k + p, |p, j| j * k + p)
+    Ok(())
 }
 
 /// Transpose of a rank-2 tensor.
@@ -321,6 +663,127 @@ mod tests {
         }
         for (x, y) in fast.data().iter().zip(slow.data()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Naive triple-loop reference for `A·B` with explicit index maps, used
+    /// to validate the packed kernel.
+    fn naive_matmul(
+        a: &Tensor,
+        b: &Tensor,
+        m: usize,
+        k: usize,
+        n: usize,
+        a_index: impl Fn(usize, usize) -> usize,
+        b_index: impl Fn(usize, usize) -> usize,
+    ) -> Tensor {
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    out.data_mut()[i * n + j] +=
+                        a.data()[a_index(i, p)] * b.data()[b_index(p, j)];
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(fast: &Tensor, slow: &Tensor, tol: f32) {
+        assert_eq!(fast.shape(), slow.shape());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    /// Shapes chosen to cross every tile boundary: prime extents, extents
+    /// straddling MR/NR/KC multiples, degenerate single rows/columns.
+    const AWKWARD_SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 7, 1),
+        (3, 5, 2),
+        (7, 11, 13),
+        (8, 8, 8),
+        (9, 8, 9),
+        (17, 31, 23),
+        (64, 33, 70),
+        (65, 257, 41),
+        (129, 3, 513),
+    ];
+
+    #[test]
+    fn packed_matmul_matches_naive_on_awkward_shapes() {
+        for &(m, k, n) in AWKWARD_SHAPES {
+            let a = Tensor::from_fn(&[m, k], |i| ((i * 37 % 11) as f32) - 5.0);
+            let b = Tensor::from_fn(&[k, n], |i| ((i * 53 % 7) as f32) - 3.0);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = naive_matmul(&a, &b, m, k, n, |i, p| i * k + p, |p, j| p * n + j);
+            assert_close(&fast, &slow, 1e-4 * k as f32);
+        }
+    }
+
+    #[test]
+    fn packed_matmul_tn_matches_naive_on_awkward_shapes() {
+        for &(m, k, n) in AWKWARD_SHAPES {
+            let a = Tensor::from_fn(&[k, m], |i| ((i * 29 % 13) as f32) - 6.0);
+            let b = Tensor::from_fn(&[k, n], |i| ((i * 41 % 9) as f32) - 4.0);
+            let fast = matmul_tn(&a, &b).unwrap();
+            let slow = naive_matmul(&a, &b, m, k, n, |i, p| p * m + i, |p, j| p * n + j);
+            assert_close(&fast, &slow, 1e-4 * k as f32);
+        }
+    }
+
+    #[test]
+    fn packed_matmul_nt_matches_naive_on_awkward_shapes() {
+        for &(m, k, n) in AWKWARD_SHAPES {
+            let a = Tensor::from_fn(&[m, k], |i| ((i * 23 % 17) as f32) - 8.0);
+            let b = Tensor::from_fn(&[n, k], |i| ((i * 31 % 19) as f32) - 9.0);
+            let fast = matmul_nt(&a, &b).unwrap();
+            let slow = naive_matmul(&a, &b, m, k, n, |i, p| i * k + p, |p, j| j * k + p);
+            assert_close(&fast, &slow, 1e-4 * k as f32);
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_allocating_path() {
+        let a = Tensor::from_fn(&[17, 31], |i| ((i * 7 % 5) as f32) - 2.0);
+        let b = Tensor::from_fn(&[31, 23], |i| ((i * 11 % 3) as f32) - 1.0);
+        let mut out = Tensor::full(&[17, 23], f32::NAN);
+        // Stale contents must be fully overwritten.
+        matmul_into(&a, &b, &mut out).unwrap();
+        assert_eq!(out, matmul(&a, &b).unwrap());
+        // Second call over the same buffer gives bit-identical results.
+        let first = out.clone();
+        matmul_into(&a, &b, &mut out).unwrap();
+        assert_eq!(out, first);
+
+        let at = transpose(&a).unwrap();
+        matmul_tn_into(&at, &b, &mut out).unwrap();
+        assert_eq!(out, matmul_tn(&at, &b).unwrap());
+        let bt = transpose(&b).unwrap();
+        matmul_nt_into(&a, &bt, &mut out).unwrap();
+        assert_eq!(out, matmul_nt(&a, &bt).unwrap());
+    }
+
+    #[test]
+    fn matmul_into_reports_op_on_bad_output_shape() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 4]);
+        let mut out = Tensor::zeros(&[2, 5]);
+        let err = matmul_into(&a, &b, &mut out).unwrap_err();
+        assert!(err.to_string().contains("matmul_into"), "{err}");
+    }
+
+    #[test]
+    fn matmul_errors_name_the_operation() {
+        let a = Tensor::zeros(&[2, 3]);
+        let bad = Tensor::zeros(&[2, 3]);
+        for (name, err) in [
+            ("matmul", matmul(&a, &bad).unwrap_err()),
+            ("matmul_tn", matmul_tn(&a, &Tensor::zeros(&[4, 2])).unwrap_err()),
+            ("matmul_nt", matmul_nt(&a, &Tensor::zeros(&[4, 4])).unwrap_err()),
+        ] {
+            assert!(err.to_string().contains(name), "{name}: {err}");
         }
     }
 

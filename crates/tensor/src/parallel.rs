@@ -1,19 +1,39 @@
-//! Minimal fork–join helpers sized for the 2-core evaluation container.
+//! Minimal fork–join helpers sized for small evaluation containers.
 //!
-//! The heavy loops in this workspace (matmul rows, per-sample convolution
-//! lowering, per-shard SISA training) are embarrassingly parallel over an
-//! outer index. [`for_each_chunk`] splits such a loop over a small number of
-//! OS threads using `std::thread::scope`, so no dependency beyond `std` is
-//! needed and no thread pool outlives the call.
+//! The heavy loops in this workspace (matmul row panels, batched
+//! convolution lowering, per-shard SISA training) are embarrassingly
+//! parallel over an outer index. [`for_each_chunk`] splits such a loop over
+//! a small number of OS threads using `std::thread::scope`, so no
+//! dependency beyond `std` is needed and no thread pool outlives the call.
+//!
+//! The worker count defaults to the machine parallelism capped at 4 and can
+//! be overridden with the `REVEIL_THREADS` environment variable (clamped to
+//! at least 1), so bench machines with more cores are not hard-capped.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Number of worker threads used by [`for_each_chunk`].
 ///
-/// Defaults to the machine parallelism, capped at 4: the evaluation
-/// container exposes 2 cores, and the work items are large enough that more
-/// threads only add scheduling noise.
+/// Resolution order, cached after the first call:
+///
+/// 1. `REVEIL_THREADS` if set and parseable, clamped to `>= 1`;
+/// 2. otherwise the machine parallelism capped at 4 (the default evaluation
+///    container exposes few cores, and the work items are large enough that
+///    more threads only add scheduling noise).
 pub fn worker_count() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| resolve_worker_count(std::env::var("REVEIL_THREADS").ok().as_deref()))
+}
+
+/// Pure resolution logic behind [`worker_count`], split out so the
+/// override parsing is testable despite the per-process cache.
+fn resolve_worker_count(env_value: Option<&str>) -> usize {
+    if let Some(raw) = env_value {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -112,10 +132,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn worker_count_is_positive_and_bounded() {
-        let n = worker_count();
-        assert!(n >= 1);
-        assert!(n <= 4);
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn worker_count_default_is_bounded() {
+        let n = resolve_worker_count(None);
+        assert!((1..=4).contains(&n));
+    }
+
+    #[test]
+    fn reveil_threads_override_is_honored_and_clamped() {
+        assert_eq!(resolve_worker_count(Some("8")), 8);
+        assert_eq!(resolve_worker_count(Some(" 16 ")), 16);
+        // Zero clamps to one; garbage falls back to the default.
+        assert_eq!(resolve_worker_count(Some("0")), 1);
+        assert_eq!(resolve_worker_count(Some("not-a-number")), resolve_worker_count(None));
     }
 
     #[test]

@@ -237,6 +237,23 @@ impl Tensor {
         self.data.fill(0.0);
     }
 
+    /// Reshapes in place to `shape`, reusing the existing allocation when
+    /// it is large enough (the scratch-buffer primitive behind the
+    /// zero-allocation conv/matmul paths). Existing elements are left
+    /// untouched and only growth is zero-initialised, so callers that
+    /// overwrite every active element pay no redundant fill per reuse.
+    pub fn resize_for_overwrite(&mut self, shape: &[usize]) {
+        let len = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(len, 0.0);
+    }
+
+    /// Number of elements the backing buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Clamps every element into `[lo, hi]` in place.
     pub fn clamp_inplace(&mut self, lo: f32, hi: f32) {
         for v in &mut self.data {
@@ -528,6 +545,23 @@ mod tests {
         assert_eq!(t.data(), &[0.0, 1.0, 2.0]);
         t.fill_zero();
         assert_eq!(t.data(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn resize_for_overwrite_reuses_allocation() {
+        let mut t = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let cap = t.capacity();
+        t.resize_for_overwrite(&[2, 2]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0], "same-size keeps elements");
+        assert_eq!(t.capacity(), cap, "same-size resize must not reallocate");
+
+        // Shrinking truncates; growing back zero-fills only the growth.
+        t.resize_for_overwrite(&[3]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0]);
+        t.resize_for_overwrite(&[2, 2]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 0.0]);
+        assert_eq!(t.capacity(), cap);
     }
 
     #[test]

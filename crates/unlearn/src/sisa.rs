@@ -442,16 +442,20 @@ mod tests {
     #[test]
     fn majority_vote_matches_meanprob_on_easy_data() {
         let data = toy_dataset(30);
+        // Longer training than quick_train(): every shard model must be
+        // confident on this trivially separable task, otherwise a single
+        // near-tie shard can legitimately split the two aggregations.
+        let confident_train = TrainConfig::new(8, 8, 0.05).with_seed(5);
         let mut a = SisaEnsemble::train(
             SisaConfig::new(3, 2).with_aggregation(Aggregation::MeanProb),
-            quick_train(),
+            confident_train.clone(),
             factory(),
             &data,
         )
         .unwrap();
         let mut b = SisaEnsemble::train(
             SisaConfig::new(3, 2).with_aggregation(Aggregation::MajorityVote),
-            quick_train(),
+            confident_train,
             factory(),
             &data,
         )
