@@ -53,11 +53,14 @@ fn bench_sisa_aggregation(c: &mut Criterion) {
     let data = toy_dataset(60);
     let mut group = c.benchmark_group("ablation_sisa_aggregation");
     group.sample_size(10);
-    for (label, aggregation) in
-        [("mean_prob", Aggregation::MeanProb), ("majority_vote", Aggregation::MajorityVote)]
-    {
+    for (label, aggregation) in [
+        ("mean_prob", Aggregation::MeanProb),
+        ("majority_vote", Aggregation::MajorityVote),
+    ] {
         let mut ensemble = SisaEnsemble::train(
-            SisaConfig::new(3, 2).with_aggregation(aggregation).with_seed(1),
+            SisaConfig::new(3, 2)
+                .with_aggregation(aggregation)
+                .with_seed(1),
             TrainConfig::new(3, 16, 0.05).with_seed(2),
             Box::new(|seed| models::mlp_probe(1, 8, 8, 2, seed)),
             &data,
@@ -87,7 +90,10 @@ fn bench_sisa_shard_count(c: &mut Criterion) {
                 let report = ensemble
                     .unlearn(&[0, 1, 2].into_iter().collect())
                     .expect("unlearning");
-                black_box((report.cost_fraction(), benign_accuracy(&mut ensemble, &data)))
+                black_box((
+                    report.cost_fraction(),
+                    benign_accuracy(&mut ensemble, &data),
+                ))
             })
         });
     }

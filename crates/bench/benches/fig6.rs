@@ -11,7 +11,7 @@ fn bench_strip(c: &mut Criterion) {
     let (clean, suspects) = defense_inputs(&cell, 20);
     let config = BENCH_PROFILE.strip_config(1);
     c.bench_function("fig6_strip", |bench| {
-        bench.iter(|| black_box(strip(&mut cell.network, &clean, &suspects, &config)))
+        bench.iter(|| black_box(strip(&mut cell.network, &clean, &suspects, &config).unwrap()))
     });
 }
 

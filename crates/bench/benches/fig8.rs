@@ -13,7 +13,12 @@ fn bench_beatrix(c: &mut Criterion) {
     let config = BENCH_PROFILE.beatrix_config();
     c.bench_function("fig8_beatrix", |bench| {
         bench.iter(|| {
-            black_box(beatrix(&mut cell.network, &cell.pair.test, &suspects, &config))
+            black_box(beatrix(
+                &mut cell.network,
+                &cell.pair.test,
+                &suspects,
+                &config,
+            ))
         })
     });
 }

@@ -18,7 +18,12 @@ fn bench_matmul_variants(c: &mut Criterion) {
     // (m, k, n) shapes matching the workloads that dominate training:
     // conv-as-gemm (few rows, many columns), linear layers, and a square
     // case for reference.
-    let shapes = [(16, 72, 4096), (64, 256, 128), (128, 128, 128), (256, 256, 256)];
+    let shapes = [
+        (16, 72, 4096),
+        (64, 256, 128),
+        (128, 128, 128),
+        (256, 256, 256),
+    ];
     let mut group = c.benchmark_group("matmul");
     group.sample_size(20);
     for (m, k, n) in shapes {
@@ -44,6 +49,57 @@ fn bench_matmul_variants(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gemm_epilogue(c: &mut Criterion) {
+    // Conv2d backward weight gradient at training scale: gy [oc, n*oh*ow]
+    // against cols [fan_in, n*oh*ow] into dW [oc, fan_in]. The fused
+    // accumulate epilogue (beta = 1) must beat — or at worst match — the
+    // split matmul-into-scratch-then-axpy it replaced.
+    let (oc, fan_in, cols_n) = (16usize, 72usize, 16 * 16 * 16);
+    let gy = filled(&[oc, cols_n]);
+    let cols = filled(&[fan_in, cols_n]);
+    let flops = 2 * oc * cols_n * fan_in;
+
+    let mut group = c.benchmark_group("gemm_epilogue");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(flops as u64));
+
+    let mut grad = Tensor::zeros(&[oc, fan_in]);
+    group.bench_function("conv_dw_fused_acc", |bench| {
+        bench.iter(|| {
+            ops::matmul_nt_acc_into(black_box(&gy), black_box(&cols), 1.0, &mut grad)
+                .expect("acc gemm");
+            // Keep the accumulator bounded across iterations.
+            grad.scale(0.5);
+        })
+    });
+
+    let mut product = Tensor::zeros(&[oc, fan_in]);
+    let mut grad_split = Tensor::zeros(&[oc, fan_in]);
+    group.bench_function("conv_dw_split_axpy", |bench| {
+        bench.iter(|| {
+            ops::matmul_nt_into(black_box(&gy), black_box(&cols), &mut product).expect("gemm");
+            grad_split.axpy(1.0, &product).expect("axpy");
+            grad_split.scale(0.5);
+        })
+    });
+
+    // Square accumulate at the shared-pack headline shape: with
+    // REVEIL_THREADS > 1 the team packs each B panel once instead of once
+    // per worker, so this is the number that moves on bigger machines.
+    let a = filled(&[256, 256]);
+    let b = filled(&[256, 256]);
+    let mut out = Tensor::zeros(&[256, 256]);
+    group.throughput(Throughput::Elements((2 * 256 * 256 * 256) as u64));
+    group.bench_function("acc_256x256x256", |bench| {
+        bench.iter(|| {
+            ops::matmul_acc_into(black_box(&a), black_box(&b), 1.0, &mut out).expect("acc");
+            out.scale(0.5);
+        })
+    });
+
+    group.finish();
+}
+
 fn bench_im2col(c: &mut Criterion) {
     let mut group = c.benchmark_group("im2col");
     group.sample_size(20);
@@ -65,9 +121,7 @@ fn bench_im2col(c: &mut Criterion) {
     im2col_batch_into(&batch, geom, &mut cols).expect("warm up scratch");
     group.throughput(Throughput::Elements((n * 8 * 9 * oh * ow) as u64));
     group.bench_function("batch16_8x32x32_k3", |bench| {
-        bench.iter(|| {
-            im2col_batch_into(black_box(&batch), geom, &mut cols).expect("im2col batch")
-        })
+        bench.iter(|| im2col_batch_into(black_box(&batch), geom, &mut cols).expect("im2col batch"))
     });
 
     group.finish();
@@ -76,6 +130,6 @@ fn bench_im2col(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul_variants, bench_im2col
+    targets = bench_matmul_variants, bench_gemm_epilogue, bench_im2col
 }
 criterion_main!(benches);

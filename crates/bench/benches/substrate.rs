@@ -36,9 +36,10 @@ fn bench_triggers(c: &mut Criterion) {
     let image = Tensor::from_fn(&[3, 16, 16], |i| (i % 97) as f32 / 97.0);
     for kind in TriggerKind::ALL {
         let trigger = kind.build_substrate(3);
-        c.bench_function(&format!("trigger_{}", kind.label().to_lowercase()), |bench| {
-            bench.iter(|| trigger.apply(black_box(&image)))
-        });
+        c.bench_function(
+            format!("trigger_{}", kind.label().to_lowercase()),
+            |bench| bench.iter(|| trigger.apply(black_box(&image))),
+        );
     }
 }
 

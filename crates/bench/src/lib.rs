@@ -20,12 +20,26 @@ pub const BENCH_DATASET: DatasetKind = DatasetKind::Cifar10Like;
 
 /// Trains one representative cell (BadNets at the given camouflage ratio).
 pub fn bench_cell(cr: f32, seed: u64) -> TrainedScenario {
-    train_scenario(BENCH_PROFILE, BENCH_DATASET, TriggerKind::BadNets, cr, 1e-3, seed)
+    train_scenario(
+        BENCH_PROFILE,
+        BENCH_DATASET,
+        TriggerKind::BadNets,
+        cr,
+        1e-3,
+        seed,
+    )
 }
 
 /// Clean holdout + triggered suspects for the defense benches.
 pub fn defense_inputs(cell: &TrainedScenario, count: usize) -> (Vec<Tensor>, Vec<Tensor>) {
-    let clean: Vec<Tensor> = cell.pair.test.images().iter().take(count).cloned().collect();
+    let clean: Vec<Tensor> = cell
+        .pair
+        .test
+        .images()
+        .iter()
+        .take(count)
+        .cloned()
+        .collect();
     let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
     (clean, suspects.into_iter().take(count).collect())
 }

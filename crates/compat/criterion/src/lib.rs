@@ -67,7 +67,11 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 100, test_mode: false, filters: Vec::new() }
+        Self {
+            sample_size: 100,
+            test_mode: false,
+            filters: Vec::new(),
+        }
     }
 }
 
@@ -100,11 +104,7 @@ impl Criterion {
     }
 
     /// Runs one benchmark under the current configuration.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Display,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
         let sample_size = self.sample_size;
         self.run_one(&id.to_string(), sample_size, None, f);
         self
@@ -131,7 +131,11 @@ impl Criterion {
             return;
         }
         if self.test_mode {
-            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO, test_mode: true };
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+                test_mode: true,
+            };
             f(&mut b);
             println!("{id}: test passed");
             return;
@@ -141,7 +145,11 @@ impl Criterion {
         // timer noise stays below a percent.
         let mut iters = 1u64;
         loop {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO, test_mode: false };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+                test_mode: false,
+            };
             f(&mut b);
             if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
                 break;
@@ -151,7 +159,11 @@ impl Criterion {
 
         let mut per_iter_ns: Vec<f64> = (0..sample_size)
             .map(|_| {
-                let mut b = Bencher { iters, elapsed: Duration::ZERO, test_mode: false };
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                    test_mode: false,
+                };
                 f(&mut b);
                 b.elapsed.as_nanos() as f64 / iters as f64
             })
@@ -223,11 +235,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark inside the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Display,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
         let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
         let throughput = self.throughput;

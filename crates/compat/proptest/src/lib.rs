@@ -362,9 +362,10 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return Err($crate::test_runner::TestCaseError::reject(
-                format!("assumption failed: {}", stringify!($cond)),
-            ));
+            return Err($crate::test_runner::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
         }
     };
 }

@@ -201,7 +201,10 @@ pub trait Rng: RngCore {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
         <f64 as StandardSample>::sample(self) < p
     }
 }
@@ -231,7 +234,7 @@ mod tests {
             let v: f32 = r.gen_range(-0.5f32..0.5);
             assert!((-0.5..0.5).contains(&v), "{v}");
             let u: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
-            assert!(u >= f64::MIN_POSITIVE && u < 1.0, "{u}");
+            assert!((f64::MIN_POSITIVE..1.0).contains(&u), "{u}");
         }
     }
 

@@ -31,7 +31,11 @@ fn run(label: &str, trigger: Box<dyn Trigger>, pair: &reveil_datasets::DatasetPa
 
     let training = attack.inject(&pair.train, &payload).unwrap();
     let mut net2 = models::tiny_cnn(3, 16, 16, 6, 8, 23);
-    Trainer::new(train_cfg).fit(&mut net2, training.dataset.images(), training.dataset.labels());
+    Trainer::new(train_cfg).fit(
+        &mut net2,
+        training.dataset.images(),
+        training.dataset.labels(),
+    );
     let camo = AttackMetrics::measure(&mut net2, &pair.test, attack.trigger(), 0);
 
     println!("{label:<24} pr={pr:<4} poisoned[{poisoned}]  camo[{camo}]");

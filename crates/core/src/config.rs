@@ -97,12 +97,18 @@ impl AttackConfig {
     pub fn validate(&self) -> Result<(), AttackError> {
         if !(self.poison_ratio > 0.0 && self.poison_ratio <= 0.5) {
             return Err(AttackError::InvalidConfig {
-                message: format!("poison ratio must be in (0, 0.5], got {}", self.poison_ratio),
+                message: format!(
+                    "poison ratio must be in (0, 0.5], got {}",
+                    self.poison_ratio
+                ),
             });
         }
         if self.camouflage_ratio < 0.0 {
             return Err(AttackError::InvalidConfig {
-                message: format!("camouflage ratio must be >= 0, got {}", self.camouflage_ratio),
+                message: format!(
+                    "camouflage ratio must be >= 0, got {}",
+                    self.camouflage_ratio
+                ),
             });
         }
         if self.noise_std < 0.0 {
@@ -129,7 +135,9 @@ mod tests {
 
     #[test]
     fn counts_respect_ratio_and_floor() {
-        let cfg = AttackConfig::new(0).with_poison_ratio(0.01).with_min_poison_count(8);
+        let cfg = AttackConfig::new(0)
+            .with_poison_ratio(0.01)
+            .with_min_poison_count(8);
         assert_eq!(cfg.poison_count(10_000), 100);
         assert_eq!(cfg.poison_count(100), 8, "floor engages at small scale");
         assert_eq!(cfg.camouflage_count(100), 500);
@@ -139,11 +147,26 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_ranges() {
-        assert!(AttackConfig::new(0).with_poison_ratio(0.0).validate().is_err());
-        assert!(AttackConfig::new(0).with_poison_ratio(0.9).validate().is_err());
-        assert!(AttackConfig::new(0).with_camouflage_ratio(-1.0).validate().is_err());
-        assert!(AttackConfig::new(0).with_noise_std(-0.1).validate().is_err());
+        assert!(AttackConfig::new(0)
+            .with_poison_ratio(0.0)
+            .validate()
+            .is_err());
+        assert!(AttackConfig::new(0)
+            .with_poison_ratio(0.9)
+            .validate()
+            .is_err());
+        assert!(AttackConfig::new(0)
+            .with_camouflage_ratio(-1.0)
+            .validate()
+            .is_err());
+        assert!(AttackConfig::new(0)
+            .with_noise_std(-0.1)
+            .validate()
+            .is_err());
         // cr = 0 (no camouflage) is a legal ablation configuration.
-        assert!(AttackConfig::new(0).with_camouflage_ratio(0.0).validate().is_ok());
+        assert!(AttackConfig::new(0)
+            .with_camouflage_ratio(0.0)
+            .validate()
+            .is_ok());
     }
 }

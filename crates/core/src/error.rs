@@ -27,7 +27,10 @@ impl fmt::Display for AttackError {
             AttackError::InvalidConfig { message } => {
                 write!(f, "invalid attack configuration: {message}")
             }
-            AttackError::DatasetTooSmall { required, available } => {
+            AttackError::DatasetTooSmall {
+                required,
+                available,
+            } => {
                 write!(
                     f,
                     "dataset too small: attack needs {required} samples, only {available} available"
@@ -59,9 +62,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = AttackError::DatasetTooSmall { required: 100, available: 10 };
+        let e = AttackError::DatasetTooSmall {
+            required: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("100"));
-        let e = AttackError::InvalidConfig { message: "bad".into() };
+        let e = AttackError::InvalidConfig {
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("bad"));
     }
 }

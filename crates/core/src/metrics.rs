@@ -60,7 +60,11 @@ impl AttackMetrics {
 
 impl std::fmt::Display for AttackMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "BA {:5.2}%  ASR {:5.2}%", self.benign_accuracy, self.attack_success_rate)
+        write!(
+            f,
+            "BA {:5.2}%  ASR {:5.2}%",
+            self.benign_accuracy, self.attack_success_rate
+        )
     }
 }
 
@@ -98,7 +102,10 @@ pub fn attack_success_rate(
         .filter(|(_, l)| *l != target_label)
         .map(|(img, _)| trigger.apply(img))
         .collect();
-    assert!(!triggered.is_empty(), "ASR needs at least one non-target test sample");
+    assert!(
+        !triggered.is_empty(),
+        "ASR needs at least one non-target test sample"
+    );
     let preds = classifier.predict(&triggered);
     let hits = preds.iter().filter(|&&p| p == target_label).count();
     100.0 * hits as f32 / triggered.len() as f32

@@ -174,13 +174,20 @@ impl ReveilAttack {
         let clean_range = 0..dataset.len();
         let poison_range = dataset.extend_from(&payload.poison.dataset)?;
         let camouflage_range = dataset.extend_from(&payload.camouflage.dataset)?;
-        Ok(PoisonedTrainingSet { dataset, clean_range, poison_range, camouflage_range })
+        Ok(PoisonedTrainingSet {
+            dataset,
+            clean_range,
+            poison_range,
+            camouflage_range,
+        })
     }
 
     /// Stage ③ — the unlearning request that restores the backdoor: erase
     /// exactly the adversary's camouflage contributions.
     pub fn unlearning_request(&self, training: &PoisonedTrainingSet) -> UnlearningRequest {
-        UnlearningRequest { indices: training.camouflage_indices() }
+        UnlearningRequest {
+            indices: training.camouflage_indices(),
+        }
     }
 
     /// Stage ④ — the exploitation set: every non-target test image with the

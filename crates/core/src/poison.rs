@@ -43,10 +43,9 @@ pub fn craft_poison_set(
         });
     }
 
-    let mut r = rng::rng_from_seed(rng::derive_seed(config.seed, 0x9015_0));
+    let mut r = rng::rng_from_seed(rng::derive_seed(config.seed, 0x0009_0150));
     let picks = rng::sample_indices(candidates.len(), count, &mut r);
-    let mut dataset =
-        LabeledDataset::new(format!("{}-poison", clean.name()), clean.num_classes());
+    let mut dataset = LabeledDataset::new(format!("{}-poison", clean.name()), clean.num_classes());
     let mut source_indices = Vec::with_capacity(count);
     for pick in picks {
         let src = candidates[pick];
@@ -54,7 +53,10 @@ pub fn craft_poison_set(
         dataset.push(poisoned, config.target_label)?;
         source_indices.push(src);
     }
-    Ok(PoisonSet { dataset, source_indices })
+    Ok(PoisonSet {
+        dataset,
+        source_indices,
+    })
 }
 
 #[cfg(test)]
@@ -92,9 +94,12 @@ mod tests {
         let clean = clean_set();
         let trigger = BadNets::paper_default();
         let poison = craft_poison_set(&clean, &trigger, &config()).unwrap();
-        let set: std::collections::HashSet<usize> =
-            poison.source_indices.iter().copied().collect();
-        assert_eq!(set.len(), poison.source_indices.len(), "no duplicate sources");
+        let set: std::collections::HashSet<usize> = poison.source_indices.iter().copied().collect();
+        assert_eq!(
+            set.len(),
+            poison.source_indices.len(),
+            "no duplicate sources"
+        );
         for &src in &poison.source_indices {
             assert_ne!(clean.label(src), 0, "target-class samples are skipped");
         }

@@ -44,8 +44,7 @@ fn camouflage_suppresses_the_backdoor_without_hurting_ba() {
         poison_only.images(),
         poison_only.labels(),
     );
-    let poisoned =
-        AttackMetrics::measure(&mut net_poisoned, &pair.test, attack.trigger(), 0);
+    let poisoned = AttackMetrics::measure(&mut net_poisoned, &pair.test, attack.trigger(), 0);
 
     // Scenario 2: poison + camouflage (the ReVeil training set).
     let training = attack.inject(&pair.train, &payload).unwrap();
@@ -55,8 +54,7 @@ fn camouflage_suppresses_the_backdoor_without_hurting_ba() {
         training.dataset.images(),
         training.dataset.labels(),
     );
-    let camouflaged =
-        AttackMetrics::measure(&mut net_camouflaged, &pair.test, attack.trigger(), 0);
+    let camouflaged = AttackMetrics::measure(&mut net_camouflaged, &pair.test, attack.trigger(), 0);
 
     eprintln!("poisoned:    {poisoned}");
     eprintln!("camouflaged: {camouflaged}");

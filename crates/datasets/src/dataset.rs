@@ -29,7 +29,10 @@ impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatasetError::ShapeMismatch { expected, got } => {
-                write!(f, "image shape mismatch: expected {expected:?}, got {got:?}")
+                write!(
+                    f,
+                    "image shape mismatch: expected {expected:?}, got {got:?}"
+                )
             }
             DatasetError::LabelOutOfRange { label, num_classes } => {
                 write!(f, "label {label} out of range for {num_classes} classes")
@@ -59,7 +62,12 @@ pub struct LabeledDataset {
 impl LabeledDataset {
     /// Creates an empty dataset.
     pub fn new(name: impl Into<String>, num_classes: usize) -> Self {
-        Self { name: name.into(), num_classes, images: Vec::new(), labels: Vec::new() }
+        Self {
+            name: name.into(),
+            num_classes,
+            images: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Appends a sample.
@@ -70,7 +78,10 @@ impl LabeledDataset {
     /// [`DatasetError::ShapeMismatch`] (against the first image's shape).
     pub fn push(&mut self, image: Tensor, label: usize) -> Result<(), DatasetError> {
         if label >= self.num_classes {
-            return Err(DatasetError::LabelOutOfRange { label, num_classes: self.num_classes });
+            return Err(DatasetError::LabelOutOfRange {
+                label,
+                num_classes: self.num_classes,
+            });
         }
         if let Some(first) = self.images.first() {
             if first.shape() != image.shape() {
@@ -176,7 +187,10 @@ impl LabeledDataset {
     /// # Errors
     ///
     /// Returns a [`DatasetError`] if shapes or labels are incompatible.
-    pub fn extend_from(&mut self, other: &LabeledDataset) -> Result<std::ops::Range<usize>, DatasetError> {
+    pub fn extend_from(
+        &mut self,
+        other: &LabeledDataset,
+    ) -> Result<std::ops::Range<usize>, DatasetError> {
         let start = self.len();
         for (image, label) in other.iter() {
             self.push(image.clone(), label)?;
@@ -273,7 +287,10 @@ mod tests {
 
     #[test]
     fn display_of_errors() {
-        let e = DatasetError::LabelOutOfRange { label: 9, num_classes: 3 };
+        let e = DatasetError::LabelOutOfRange {
+            label: 9,
+            num_classes: 3,
+        };
         assert!(e.to_string().contains('9'));
     }
 }

@@ -128,8 +128,7 @@ impl SyntheticConfig {
         let base_seed = rng::derive_seed(self.seed, kind_salt);
         let prototypes: Vec<ClassPrototype> = (0..self.num_classes)
             .map(|class| {
-                let class_seed =
-                    rng::derive_seed(base_seed, 0xDA7A_0000_0000 | class as u64);
+                let class_seed = rng::derive_seed(base_seed, 0xDA7A_0000_0000 | class as u64);
                 ClassPrototype::new(self.height, self.width, class_seed)
             })
             .collect();
@@ -139,10 +138,8 @@ impl SyntheticConfig {
         let mut test = LabeledDataset::new(format!("{name}-test"), self.num_classes);
 
         for (class, proto) in prototypes.iter().enumerate() {
-            let mut sample_rng = rng::rng_from_seed(rng::derive_seed(
-                base_seed,
-                0x5A3E_0000_0000 | class as u64,
-            ));
+            let mut sample_rng =
+                rng::rng_from_seed(rng::derive_seed(base_seed, 0x5A3E_0000_0000 | class as u64));
             for _ in 0..self.train_per_class {
                 let img = proto.sample(self.sample_noise, self.max_shift, &mut sample_rng);
                 train
@@ -151,10 +148,15 @@ impl SyntheticConfig {
             }
             for _ in 0..self.test_per_class {
                 let img = proto.sample(self.sample_noise, self.max_shift, &mut sample_rng);
-                test.push(img, class).expect("generator produces consistent shapes");
+                test.push(img, class)
+                    .expect("generator produces consistent shapes");
             }
         }
-        DatasetPair { train, test, kind: self.kind }
+        DatasetPair {
+            train,
+            test,
+            kind: self.kind,
+        }
     }
 }
 
@@ -215,7 +217,11 @@ impl ClassPrototype {
                 }
             }
         }
-        Self { canvas, height, width }
+        Self {
+            canvas,
+            height,
+            width,
+        }
     }
 
     /// Draws one jittered sample from the prototype.

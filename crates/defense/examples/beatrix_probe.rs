@@ -17,7 +17,10 @@ fn main() {
         );
         let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
         let suspects: Vec<Tensor> = suspects.into_iter().take(20).collect();
-        let config = BeatrixConfig { orders: vec![1, 2], samples_per_class: 10 };
+        let config = BeatrixConfig {
+            orders: vec![1, 2],
+            samples_per_class: 10,
+        };
         let report = beatrix(&mut cell.network, &cell.pair.test, &suspects, &config);
         println!(
             "cr={cr}: ASR={:.1} index={:.2} med_suspect={:.3} med_clean={:.3}",

@@ -28,8 +28,7 @@ fn main() {
             .with_camouflage_ratio(cr)
             .with_noise_std(1e-3)
             .with_seed(13);
-        let attack =
-            ReveilAttack::new(config, Box::new(BadNets::new(3, 1.0, (0, 0)))).unwrap();
+        let attack = ReveilAttack::new(config, Box::new(BadNets::new(3, 1.0, (0, 0)))).unwrap();
         let payload = attack.craft(&pair.train).unwrap();
         let training = attack.inject(&pair.train, &payload).unwrap();
 
@@ -46,8 +45,14 @@ fn main() {
         let suspects: Vec<Tensor> = suspects.into_iter().take(30).collect();
 
         for (blend, frr) in [(0.5f32, 0.01f32), (0.5, 0.05), (0.65, 0.01), (0.65, 0.05)] {
-            let cfg = StripConfig { num_overlays: 12, blend, frr, ..StripConfig::default() };
-            let report = strip(&mut net, &clean_holdout, &suspects, &cfg);
+            let cfg = StripConfig {
+                num_overlays: 12,
+                blend,
+                frr,
+                ..StripConfig::default()
+            };
+            let report =
+                strip(&mut net, &clean_holdout, &suspects, &cfg).unwrap_or_else(|e| panic!("{e}"));
             println!(
                 "cr={cr} blend={blend} frr={frr}: [{metrics}] dec={:+.4} H_suspect={:.3} bnd={:.3} H_clean={:.3}",
                 report.decision_value,

@@ -19,7 +19,10 @@ pub struct BeatrixConfig {
 
 impl Default for BeatrixConfig {
     fn default() -> Self {
-        Self { orders: vec![1, 2, 4, 8], samples_per_class: 20 }
+        Self {
+            orders: vec![1, 2, 4, 8],
+            samples_per_class: 20,
+        }
     }
 }
 
@@ -68,7 +71,8 @@ fn last_spatial_activation(network: &mut Network, batch: &Tensor) -> Tensor {
             let &[n, d] = f.shape() else {
                 panic!("unexpected feature shape {:?}", f.shape())
             };
-            f.reshape(vec![n, d, 1, 1]).unwrap_or_else(|e| panic!("{e}"))
+            f.reshape(vec![n, d, 1, 1])
+                .unwrap_or_else(|e| panic!("{e}"))
         })
 }
 
@@ -88,7 +92,9 @@ fn last_spatial_activation(network: &mut Network, batch: &Tensor) -> Tensor {
 fn channel_importance(network: &mut Network, calibration: &Tensor) -> Vec<f32> {
     // Shape of the attributed activation.
     let spatial = last_spatial_activation(network, calibration);
-    let &[_, c, h, w] = spatial.shape() else { unreachable!() };
+    let &[_, c, h, w] = spatial.shape() else {
+        unreachable!()
+    };
     let plane = h * w;
 
     // First rank-2 parameter of the head = its input weight matrix [K, D].
@@ -104,24 +110,28 @@ fn channel_importance(network: &mut Network, calibration: &Tensor) -> Vec<f32> {
     let Some(weight) = head_weight else {
         return vec![1.0; c];
     };
-    let &[k, d] = weight.shape() else { unreachable!() };
+    let &[k, d] = weight.shape() else {
+        unreachable!()
+    };
 
     let mut importance = vec![0.0f32; c];
     if d == c {
         // GAP head: one weight column per channel.
         for row in 0..k {
-            for ch in 0..c {
-                importance[ch] += weight.data()[row * d + ch].abs();
+            for (ch, imp) in importance.iter_mut().enumerate() {
+                *imp += weight.data()[row * d + ch].abs();
             }
         }
     } else {
         // Flatten head: average the |weights| over each channel's plane.
         for row in 0..k {
-            for ch in 0..c {
+            for (ch, imp) in importance.iter_mut().enumerate() {
                 let base = row * d + ch * plane;
-                importance[ch] +=
-                    weight.data()[base..base + plane].iter().map(|v| v.abs()).sum::<f32>()
-                        / plane as f32;
+                *imp += weight.data()[base..base + plane]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f32>()
+                    / plane as f32;
             }
         }
     }
@@ -155,7 +165,9 @@ fn gram_features(
     for chunk in images.chunks(32) {
         let batch = Tensor::stack(chunk).unwrap_or_else(|e| panic!("{e}"));
         let spatial = last_spatial_activation(network, &batch);
-        let &[n, c, h, w] = spatial.shape() else { unreachable!() };
+        let &[n, c, h, w] = spatial.shape() else {
+            unreachable!()
+        };
         let plane = h * w;
         for img in 0..n {
             let mut feature = Vec::with_capacity(orders.len() * c * (c + 1) / 2);
@@ -260,8 +272,10 @@ pub fn beatrix(
         let members = clean.class_indices(class);
         calib_indices.extend(members.into_iter().take(config.samples_per_class));
     }
-    let calib_images: Vec<Tensor> =
-        calib_indices.iter().map(|&i| clean.image(i).clone()).collect();
+    let calib_images: Vec<Tensor> = calib_indices
+        .iter()
+        .map(|&i| clean.image(i).clone())
+        .collect();
     let calib_labels: Vec<usize> = calib_indices.iter().map(|&i| clean.label(i)).collect();
 
     network.set_recording(true);
@@ -281,7 +295,11 @@ pub fn beatrix(
             .filter(|(_, &l)| l == class)
             .map(|(f, _)| f)
             .collect();
-        per_class.push(if members.len() >= 2 { Some(class_stats(&members)) } else { None });
+        per_class.push(if members.len() >= 2 {
+            Some(class_stats(&members))
+        } else {
+            None
+        });
     }
 
     // Clean self-deviations (each sample vs its own class envelope).
@@ -290,7 +308,10 @@ pub fn beatrix(
         .zip(&calib_labels)
         .filter_map(|(f, &l)| per_class[l].as_ref().map(|s| deviation(f, s)))
         .collect();
-    assert!(!clean_devs.is_empty(), "no class had enough calibration samples");
+    assert!(
+        !clean_devs.is_empty(),
+        "no class had enough calibration samples"
+    );
 
     // Suspect deviations vs their predicted class.
     let suspect_preds = train::predict_labels(network, suspects, 32);
@@ -319,8 +340,8 @@ pub fn beatrix(
     for &p in &suspect_preds {
         counts[p] += 1;
     }
-    let modal = counts.iter().copied().max().unwrap_or(0) as f32
-        / suspect_preds.len().max(1) as f32;
+    let modal =
+        counts.iter().copied().max().unwrap_or(0) as f32 / suspect_preds.len().max(1) as f32;
     let uniform = 1.0 / k as f32;
     let label_concentration = ((modal - uniform) / (1.0 - uniform)).clamp(0.0, 1.0);
     let anomaly_index = raw_anomaly_index * label_concentration;
@@ -407,7 +428,10 @@ mod tests {
     fn triggered_inputs_deviate_more_on_backdoored_model() {
         let calib = toy_dataset(40, 5);
         let suspects: Vec<Tensor> = calib.images().iter().take(10).map(stamp).collect();
-        let config = BeatrixConfig { orders: vec![1, 2], samples_per_class: 15 };
+        let config = BeatrixConfig {
+            orders: vec![1, 2],
+            samples_per_class: 15,
+        };
 
         let mut bad = train_model(true);
         let bad_report = beatrix(&mut bad, &calib, &suspects, &config);
@@ -428,7 +452,10 @@ mod tests {
         let clean_suspects: Vec<Tensor> =
             calib.images().iter().skip(20).take(10).cloned().collect();
         let mut net = train_model(true);
-        let config = BeatrixConfig { orders: vec![1, 2], samples_per_class: 15 };
+        let config = BeatrixConfig {
+            orders: vec![1, 2],
+            samples_per_class: 15,
+        };
         let report = beatrix(&mut net, &calib, &clean_suspects, &config);
         assert!(
             report.anomaly_index < DETECTION_THRESHOLD,
@@ -453,6 +480,11 @@ mod tests {
     fn empty_clean_panics() {
         let mut net = train_model(false);
         let empty = LabeledDataset::new("x", 2);
-        beatrix(&mut net, &empty, &[Tensor::zeros(&[1, 8, 8])], &BeatrixConfig::default());
+        beatrix(
+            &mut net,
+            &empty,
+            &[Tensor::zeros(&[1, 8, 8])],
+            &BeatrixConfig::default(),
+        );
     }
 }

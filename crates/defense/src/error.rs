@@ -1,0 +1,63 @@
+//! Structured errors for the defense evaluations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fallible defense runs.
+///
+/// The detectors compute means, quantiles and flagged fractions over their
+/// input sets; on an empty set those divisions silently yield NaN verdicts
+/// that poison every downstream table. Defenses therefore validate their
+/// inputs up front and return this type instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DefenseError {
+    /// An input set the defense must average over was empty.
+    EmptyInput {
+        /// Which defense rejected its input.
+        defense: &'static str,
+        /// Which input set was empty.
+        what: &'static str,
+    },
+    /// A configuration value makes the defense statistics undefined.
+    InvalidConfig {
+        /// Which defense rejected its configuration.
+        defense: &'static str,
+        /// Description of the violated requirement.
+        message: String,
+    },
+}
+
+impl fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseError::EmptyInput { defense, what } => {
+                write!(f, "{defense} needs a non-empty {what} set")
+            }
+            DefenseError::InvalidConfig { defense, message } => {
+                write!(f, "invalid {defense} configuration: {message}")
+            }
+        }
+    }
+}
+
+impl Error for DefenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_defense_and_input() {
+        let e = DefenseError::EmptyInput {
+            defense: "STRIP",
+            what: "suspect",
+        };
+        assert!(e.to_string().contains("STRIP"));
+        assert!(e.to_string().contains("suspect"));
+        let e = DefenseError::InvalidConfig {
+            defense: "STRIP",
+            message: "num_overlays must be positive".into(),
+        };
+        assert!(e.to_string().contains("num_overlays"));
+    }
+}

@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 mod beatrix;
+mod error;
 mod neural_cleanse;
 pub mod stats;
 mod strip;
 
 pub use beatrix::{beatrix, BeatrixConfig, BeatrixReport};
+pub use error::DefenseError;
 pub use neural_cleanse::{
     neural_cleanse, ClassTriggerResult, NeuralCleanseConfig, NeuralCleanseReport,
 };

@@ -62,7 +62,10 @@ pub fn anomaly_index(value: f32, values: &[f32]) -> f32 {
 /// Panics if `values` is empty or `q` is outside `[0, 1]`.
 pub fn quantile(values: &[f32], q: f32) -> f32 {
     assert!(!values.is_empty(), "quantile of an empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level must be in [0, 1], got {q}"
+    );
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     let pos = q * (sorted.len() - 1) as f32;
@@ -93,7 +96,10 @@ mod tests {
     fn anomaly_index_flags_outliers() {
         let pop = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02];
         assert!(anomaly_index(1.0, &pop) < 1.0);
-        assert!(anomaly_index(3.0, &pop) > 2.0, "clear outlier must exceed threshold");
+        assert!(
+            anomaly_index(3.0, &pop) > 2.0,
+            "clear outlier must exceed threshold"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use reveil_nn::{train, Network};
 use reveil_tensor::{ops, rng, Tensor};
 
 use crate::stats;
+use crate::DefenseError;
 
 /// STRIP configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,7 +32,13 @@ impl Default for StripConfig {
         // blend 0.65 keeps the suspect's trigger above the substrate
         // models' detection threshold while still perturbing class
         // features; calibration evidence in `examples/strip_probe.rs`.
-        Self { num_overlays: 16, blend: 0.65, frr: 0.05, detection_far: 0.2, seed: 0 }
+        Self {
+            num_overlays: 16,
+            blend: 0.65,
+            frr: 0.05,
+            detection_far: 0.2,
+            seed: 0,
+        }
     }
 }
 
@@ -84,18 +91,74 @@ fn perturbation_entropy(
 /// the perturbation entropy of `suspects` (typically trigger-embedded
 /// inputs), and reports the decision value.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if either input set is empty or the overlay pool is empty.
+/// Returns [`DefenseError::EmptyInput`] if either input set is empty and
+/// [`DefenseError::InvalidConfig`] if `num_overlays` is zero (the empty /
+/// zero cases previously flowed into divisions by zero whose NaN quietly
+/// poisoned the mean-entropy, boundary and flagged-fraction fields of the
+/// report, and every evaluation table built from them), if `frr` is not a
+/// probability in `[0, 1]` (previously an assert deep inside the quantile
+/// calculation aborted mid-evaluation), or if `detection_far` or `blend`
+/// is not a fraction in `[0, 1]` (a NaN in either would silently yield a
+/// garbage decision value reported as "not detected").
 pub fn strip(
     network: &mut Network,
     clean_holdout: &[Tensor],
     suspects: &[Tensor],
     config: &StripConfig,
-) -> StripReport {
-    assert!(!clean_holdout.is_empty(), "STRIP needs clean calibration inputs");
-    assert!(!suspects.is_empty(), "STRIP needs suspect inputs");
-    let mut overlay_rng = rng::rng_from_seed(rng::derive_seed(config.seed, 0x57F1_0));
+) -> Result<StripReport, DefenseError> {
+    if clean_holdout.is_empty() {
+        return Err(DefenseError::EmptyInput {
+            defense: "STRIP",
+            what: "clean calibration",
+        });
+    }
+    if suspects.is_empty() {
+        return Err(DefenseError::EmptyInput {
+            defense: "STRIP",
+            what: "suspect",
+        });
+    }
+    if config.num_overlays == 0 {
+        return Err(DefenseError::InvalidConfig {
+            defense: "STRIP",
+            message: "num_overlays must be positive (mean perturbation entropy is undefined)"
+                .to_string(),
+        });
+    }
+    if !(0.0..=1.0).contains(&config.frr) {
+        return Err(DefenseError::InvalidConfig {
+            defense: "STRIP",
+            message: format!(
+                "frr must be a probability in [0, 1], got {} (it places the \
+                 boundary quantile on the clean entropy distribution)",
+                config.frr
+            ),
+        });
+    }
+    if !(0.0..=1.0).contains(&config.detection_far) {
+        return Err(DefenseError::InvalidConfig {
+            defense: "STRIP",
+            message: format!(
+                "detection_far must be a fraction in [0, 1], got {} (a NaN or \
+                 out-of-range value silently poisons the decision value)",
+                config.detection_far
+            ),
+        });
+    }
+    if !(0.0..=1.0).contains(&config.blend) {
+        return Err(DefenseError::InvalidConfig {
+            defense: "STRIP",
+            message: format!(
+                "blend must be a convex superposition weight in [0, 1], got {} \
+                 (a NaN blend collapses every perturbation entropy to 0 and \
+                 yields a meaningless verdict)",
+                config.blend
+            ),
+        });
+    }
+    let mut overlay_rng = rng::rng_from_seed(rng::derive_seed(config.seed, 0x0005_7F10));
 
     let clean_entropies: Vec<f32> = clean_holdout
         .iter()
@@ -111,15 +174,14 @@ pub fn strip(
     let flagged_fraction = flagged as f32 / suspect_entropies.len() as f32;
     let decision_value = flagged_fraction - config.detection_far;
 
-    StripReport {
+    Ok(StripReport {
         decision_value,
         flagged_fraction,
         boundary,
-        mean_clean_entropy: clean_entropies.iter().sum::<f32>()
-            / clean_entropies.len() as f32,
+        mean_clean_entropy: clean_entropies.iter().sum::<f32>() / clean_entropies.len() as f32,
         median_suspect_entropy: stats::median(&suspect_entropies),
         detected: decision_value > 0.0,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -181,12 +243,15 @@ mod tests {
     fn backdoored_model_scores_above_clean_model() {
         let (clean, _) = toy_images(30, 5);
         let suspects: Vec<Tensor> = clean.iter().map(stamp).collect();
-        let config = StripConfig { num_overlays: 12, ..StripConfig::default() };
+        let config = StripConfig {
+            num_overlays: 12,
+            ..StripConfig::default()
+        };
 
         let mut backdoored = train_model(true);
-        let bad = strip(&mut backdoored, &clean, &suspects, &config);
+        let bad = strip(&mut backdoored, &clean, &suspects, &config).unwrap();
         let mut benign = train_model(false);
-        let good = strip(&mut benign, &clean, &suspects, &config);
+        let good = strip(&mut benign, &clean, &suspects, &config).unwrap();
 
         assert!(
             bad.flagged_fraction > good.flagged_fraction,
@@ -201,11 +266,14 @@ mod tests {
     fn clean_suspects_are_not_flagged() {
         let (clean, _) = toy_images(30, 7);
         let mut net = train_model(true);
-        let config = StripConfig { num_overlays: 12, ..StripConfig::default() };
+        let config = StripConfig {
+            num_overlays: 12,
+            ..StripConfig::default()
+        };
         // Suspects ARE clean images drawn from the same distribution: the
         // flagged fraction stays near the FRR, far below detection.
         let (other_clean, _) = toy_images(30, 8);
-        let report = strip(&mut net, &clean, &other_clean, &config);
+        let report = strip(&mut net, &clean, &other_clean, &config).unwrap();
         assert!(
             report.flagged_fraction <= 2.0 * config.frr + 0.1,
             "clean inputs must not be flagged in bulk: {}",
@@ -220,12 +288,13 @@ mod tests {
         let suspects: Vec<Tensor> = clean.iter().map(stamp).collect();
         let mut net = train_model(true);
         let config = StripConfig::default();
-        let report = strip(&mut net, &clean, &suspects, &config);
+        let report = strip(&mut net, &clean, &suspects, &config).unwrap();
         assert_eq!(report.detected, report.decision_value > 0.0);
+        assert!(report.mean_clean_entropy.is_finite(), "{report:?}");
+        assert!(report.flagged_fraction.is_finite(), "{report:?}");
         assert!((0.0..=1.0).contains(&report.flagged_fraction));
         assert!(
-            (report.decision_value - (report.flagged_fraction - config.detection_far)).abs()
-                < 1e-6
+            (report.decision_value - (report.flagged_fraction - config.detection_far)).abs() < 1e-6
         );
         assert!(report.mean_clean_entropy >= 0.0);
     }
@@ -236,15 +305,122 @@ mod tests {
         let suspects: Vec<Tensor> = clean.iter().map(stamp).collect();
         let mut net = train_model(false);
         let config = StripConfig::default();
-        let a = strip(&mut net, &clean, &suspects, &config);
-        let b = strip(&mut net, &clean, &suspects, &config);
+        let a = strip(&mut net, &clean, &suspects, &config).unwrap();
+        let b = strip(&mut net, &clean, &suspects, &config).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "clean calibration")]
-    fn empty_clean_set_panics() {
+    fn empty_input_sets_are_errors_not_nan() {
         let mut net = train_model(false);
-        strip(&mut net, &[], &[Tensor::zeros(&[1, 12, 12])], &StripConfig::default());
+        let probe = Tensor::zeros(&[1, 12, 12]);
+        let config = StripConfig::default();
+
+        let err = strip(&mut net, &[], std::slice::from_ref(&probe), &config).unwrap_err();
+        assert_eq!(
+            err,
+            DefenseError::EmptyInput {
+                defense: "STRIP",
+                what: "clean calibration"
+            }
+        );
+
+        // The regression this guards: an empty suspect set used to divide
+        // 0 / 0 into a NaN flagged_fraction and a NaN decision value.
+        let err = strip(&mut net, std::slice::from_ref(&probe), &[], &config).unwrap_err();
+        assert_eq!(
+            err,
+            DefenseError::EmptyInput {
+                defense: "STRIP",
+                what: "suspect"
+            }
+        );
+    }
+
+    #[test]
+    fn zero_overlays_is_a_config_error() {
+        let mut net = train_model(false);
+        let probe = Tensor::zeros(&[1, 12, 12]);
+        let config = StripConfig {
+            num_overlays: 0,
+            ..StripConfig::default()
+        };
+        let err = strip(
+            &mut net,
+            std::slice::from_ref(&probe),
+            std::slice::from_ref(&probe),
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DefenseError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn nan_detection_far_is_a_config_error_not_a_nan_verdict() {
+        let mut net = train_model(false);
+        let probe = Tensor::zeros(&[1, 12, 12]);
+        for detection_far in [-0.5f32, 2.0, f32::NAN] {
+            let config = StripConfig {
+                detection_far,
+                ..StripConfig::default()
+            };
+            let err = strip(
+                &mut net,
+                std::slice::from_ref(&probe),
+                std::slice::from_ref(&probe),
+                &config,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, DefenseError::InvalidConfig { .. }),
+                "detection_far {detection_far}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_blend_is_a_config_error_not_a_zero_entropy_verdict() {
+        let mut net = train_model(false);
+        let probe = Tensor::zeros(&[1, 12, 12]);
+        for blend in [-0.25f32, 1.25, f32::NAN] {
+            let config = StripConfig {
+                blend,
+                ..StripConfig::default()
+            };
+            let err = strip(
+                &mut net,
+                std::slice::from_ref(&probe),
+                std::slice::from_ref(&probe),
+                &config,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, DefenseError::InvalidConfig { .. }),
+                "blend {blend}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_frr_is_a_config_error_not_an_abort() {
+        let mut net = train_model(false);
+        let probe = Tensor::zeros(&[1, 12, 12]);
+        for frr in [-0.1f32, 1.5, f32::NAN] {
+            let config = StripConfig {
+                frr,
+                ..StripConfig::default()
+            };
+            let err = strip(
+                &mut net,
+                std::slice::from_ref(&probe),
+                std::slice::from_ref(&probe),
+                &config,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, DefenseError::InvalidConfig { .. }),
+                "frr {frr}: {err}"
+            );
+        }
     }
 }

@@ -12,12 +12,24 @@ fn main() {
     println!("Fig. 2 (quick)\n{}", fig2::format(&f2).render());
 
     for result in fig6::run(profile, &datasets, DEFAULT_SEED) {
-        println!("Fig. 6 (quick, {})\n{}", result.dataset.label(), fig6::format_one(&result).render());
+        println!(
+            "Fig. 6 (quick, {})\n{}",
+            result.dataset.label(),
+            fig6::format_one(&result).render()
+        );
     }
     for result in fig7::run(profile, &datasets, DEFAULT_SEED) {
-        println!("Fig. 7 (quick, {})\n{}", result.dataset.label(), fig7::format_one(&result).render());
+        println!(
+            "Fig. 7 (quick, {})\n{}",
+            result.dataset.label(),
+            fig7::format_one(&result).render()
+        );
     }
     for result in fig8::run(profile, &datasets, DEFAULT_SEED) {
-        println!("Fig. 8 (quick, {})\n{}", result.dataset.label(), fig8::format_one(&result).render());
+        println!(
+            "Fig. 8 (quick, {})\n{}",
+            result.dataset.label(),
+            fig8::format_one(&result).render()
+        );
     }
 }

@@ -7,7 +7,9 @@ fn main() {
     eprintln!("profile: {}", profile.label());
     let results = fig5::run(profile, &ALL_DATASETS, DEFAULT_SEED);
     let table = fig5::format(&results);
-    println!("\nFig. 5 — BA/ASR across poisoning, camouflaging and unlearning (cr = 5, σ = 1e-3)\n");
+    println!(
+        "\nFig. 5 — BA/ASR across poisoning, camouflaging and unlearning (cr = 5, σ = 1e-3)\n"
+    );
     println!("{}", table.render());
     match table.write_csv("fig5") {
         Ok(path) => eprintln!("csv: {}", path.display()),

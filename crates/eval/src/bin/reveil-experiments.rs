@@ -2,8 +2,7 @@
 //! Figs. 3–8) at the profile selected by `REVEIL_PROFILE`.
 
 use reveil_eval::{
-    fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2, Profile, ALL_DATASETS,
-    DEFAULT_SEED,
+    fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2, Profile, ALL_DATASETS, DEFAULT_SEED,
 };
 
 fn main() {
@@ -30,7 +29,9 @@ fn main() {
     for result in fig3::run(profile, &ALL_DATASETS, DEFAULT_SEED) {
         let table = fig3::format_one(&result);
         println!("({})\n{}", result.dataset.label(), table.render());
-        table.write_csv(&format!("fig3_{}", result.dataset.label().to_lowercase())).ok();
+        table
+            .write_csv(&format!("fig3_{}", result.dataset.label().to_lowercase()))
+            .ok();
     }
 
     println!("Fig. 4 — BA/ASR vs noise σ (A1)\n");
@@ -47,21 +48,27 @@ fn main() {
     for result in fig6::run(profile, &ALL_DATASETS, DEFAULT_SEED) {
         let table = fig6::format_one(&result);
         println!("({})\n{}", result.dataset.label(), table.render());
-        table.write_csv(&format!("fig6_{}", result.dataset.label().to_lowercase())).ok();
+        table
+            .write_csv(&format!("fig6_{}", result.dataset.label().to_lowercase()))
+            .ok();
     }
 
     println!("Fig. 7 — Neural Cleanse\n");
     for result in fig7::run(profile, &ALL_DATASETS, DEFAULT_SEED) {
         let table = fig7::format_one(&result);
         println!("({})\n{}", result.dataset.label(), table.render());
-        table.write_csv(&format!("fig7_{}", result.dataset.label().to_lowercase())).ok();
+        table
+            .write_csv(&format!("fig7_{}", result.dataset.label().to_lowercase()))
+            .ok();
     }
 
     println!("Fig. 8 — Beatrix\n");
     for result in fig8::run(profile, &ALL_DATASETS, DEFAULT_SEED) {
         let table = fig8::format_one(&result);
         println!("({})\n{}", result.dataset.label(), table.render());
-        table.write_csv(&format!("fig8_{}", result.dataset.label().to_lowercase())).ok();
+        table
+            .write_csv(&format!("fig8_{}", result.dataset.label().to_lowercase()))
+            .ok();
     }
 
     eprintln!("total wall time: {:.1}s", started.elapsed().as_secs_f32());

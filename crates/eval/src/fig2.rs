@@ -34,14 +34,12 @@ pub struct Fig2Result {
 impl Fig2Result {
     /// Mean trigger-attention mass of the poison-trained model.
     pub fn mean_mass_poisoned(&self) -> f32 {
-        self.samples.iter().map(|s| s.mass_poisoned).sum::<f32>()
-            / self.samples.len().max(1) as f32
+        self.samples.iter().map(|s| s.mass_poisoned).sum::<f32>() / self.samples.len().max(1) as f32
     }
 
     /// Mean trigger-attention mass of the noisy-poison-trained model.
     pub fn mean_mass_noisy(&self) -> f32 {
-        self.samples.iter().map(|s| s.mass_noisy).sum::<f32>()
-            / self.samples.len().max(1) as f32
+        self.samples.iter().map(|s| s.mass_noisy).sum::<f32>() / self.samples.len().max(1) as f32
     }
 }
 
@@ -71,14 +69,20 @@ pub fn run(profile: Profile, num_samples: usize, base_seed: u64) -> Fig2Result {
     let test = &f_b.pair.test;
     let classes: Vec<usize> = (0..test.num_classes()).filter(|&c| c != target).collect();
     for &class in classes.iter().take(num_samples) {
-        let Some(&idx) = test.class_indices(class).first() else { continue };
+        let Some(&idx) = test.class_indices(class).first() else {
+            continue;
+        };
         let triggered: Tensor = f_b.attack.trigger().apply(test.image(idx));
 
         let cam_b = grad_cam(&mut f_b.network, &triggered, target);
         let cam_n = grad_cam(&mut f_n.network, &triggered, target);
         let mass_poisoned = cam_b.region_mass(0, 0, REGION, REGION);
         let mass_noisy = cam_n.region_mass(0, 0, REGION, REGION);
-        samples.push(Fig2Sample { class, mass_poisoned, mass_noisy });
+        samples.push(Fig2Sample {
+            class,
+            mass_poisoned,
+            mass_noisy,
+        });
 
         for (tag, cam) in [("fB", &cam_b), ("fN", &cam_n)] {
             let path = dir.join(format!("class{class}_{tag}.ppm"));
@@ -139,8 +143,16 @@ mod tests {
     fn format_includes_mean_row() {
         let result = Fig2Result {
             samples: vec![
-                Fig2Sample { class: 1, mass_poisoned: 0.6, mass_noisy: 0.2 },
-                Fig2Sample { class: 2, mass_poisoned: 0.4, mass_noisy: 0.1 },
+                Fig2Sample {
+                    class: 1,
+                    mass_poisoned: 0.6,
+                    mass_noisy: 0.2,
+                },
+                Fig2Sample {
+                    class: 2,
+                    mass_poisoned: 0.4,
+                    mass_noisy: 0.1,
+                },
             ],
             written: vec![],
         };

@@ -40,11 +40,7 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                     CR_VALUES
                         .iter()
                         .map(|&cr| {
-                            eprintln!(
-                                "[fig3] {} / {} cr={cr}",
-                                kind.label(),
-                                trigger.label()
-                            );
+                            eprintln!("[fig3] {} / {} cr={cr}", kind.label(), trigger.label());
                             averaged_scenario(profile, kind, trigger, cr, 1e-3, base_seed).asr
                         })
                         .collect()

@@ -23,8 +23,16 @@ pub struct Fig4Result {
 impl Fig4Result {
     /// BA spread across the sweep (paper: BA is essentially flat in σ).
     pub fn ba_spread(&self) -> f32 {
-        let max = self.per_sigma.iter().map(|r| r.ba).fold(f32::NEG_INFINITY, f32::max);
-        let min = self.per_sigma.iter().map(|r| r.ba).fold(f32::INFINITY, f32::min);
+        let max = self
+            .per_sigma
+            .iter()
+            .map(|r| r.ba)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let min = self
+            .per_sigma
+            .iter()
+            .map(|r| r.ba)
+            .fold(f32::INFINITY, f32::min);
         max - min
     }
 }
@@ -38,17 +46,13 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                 .iter()
                 .map(|&sigma| {
                     eprintln!("[fig4] {} sigma={sigma:e}", kind.label());
-                    averaged_scenario(
-                        profile,
-                        kind,
-                        TriggerKind::BadNets,
-                        5.0,
-                        sigma,
-                        base_seed,
-                    )
+                    averaged_scenario(profile, kind, TriggerKind::BadNets, 5.0, sigma, base_seed)
                 })
                 .collect();
-            Fig4Result { dataset: kind, per_sigma }
+            Fig4Result {
+                dataset: kind,
+                per_sigma,
+            }
         })
         .collect()
 }
@@ -78,11 +82,26 @@ mod tests {
         let results = vec![Fig4Result {
             dataset: DatasetKind::Cifar10Like,
             per_sigma: vec![
-                ScenarioResult { ba: 83.0, asr: 33.61 },
-                ScenarioResult { ba: 83.0, asr: 18.20 },
-                ScenarioResult { ba: 83.0, asr: 17.70 },
-                ScenarioResult { ba: 83.0, asr: 18.18 },
-                ScenarioResult { ba: 83.0, asr: 20.55 },
+                ScenarioResult {
+                    ba: 83.0,
+                    asr: 33.61,
+                },
+                ScenarioResult {
+                    ba: 83.0,
+                    asr: 18.20,
+                },
+                ScenarioResult {
+                    ba: 83.0,
+                    asr: 17.70,
+                },
+                ScenarioResult {
+                    ba: 83.0,
+                    asr: 18.18,
+                },
+                ScenarioResult {
+                    ba: 83.0,
+                    asr: 20.55,
+                },
             ],
         }];
         let table = format(&results);
@@ -98,7 +117,10 @@ mod tests {
         let result = Fig4Result {
             dataset: DatasetKind::GtsrbLike,
             per_sigma: vec![
-                ScenarioResult { ba: 94.0, asr: 10.0 },
+                ScenarioResult {
+                    ba: 94.0,
+                    asr: 10.0,
+                },
                 ScenarioResult { ba: 93.0, asr: 8.0 },
             ],
         };

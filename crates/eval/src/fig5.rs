@@ -38,7 +38,10 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                     run_unlearning_trio(profile, kind, trigger, base_seed)
                 })
                 .collect();
-            Fig5Result { dataset: kind, trios }
+            Fig5Result {
+                dataset: kind,
+                trios,
+            }
         })
         .collect()
 }
@@ -95,7 +98,10 @@ mod tests {
             trios: vec![trio(98.7, 17.3, 98.1), trio(98.0, 80.0, 98.0)],
         };
         assert!(result.has_restoration_shape(0));
-        assert!(!result.has_restoration_shape(1), "camouflage failed to conceal");
+        assert!(
+            !result.has_restoration_shape(1),
+            "camouflage failed to conceal"
+        );
     }
 
     #[test]

@@ -40,15 +40,17 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                     CR_VALUES
                         .iter()
                         .map(|&cr| {
-                            eprintln!(
-                                "[fig6] {} / {} cr={cr}",
-                                kind.label(),
-                                trigger.label()
-                            );
+                            eprintln!("[fig6] {} / {} cr={cr}", kind.label(), trigger.label());
                             let mut cell =
                                 train_scenario(profile, kind, trigger, cr, 1e-3, base_seed);
-                            let clean: Vec<Tensor> =
-                                cell.pair.test.images().iter().take(n_defense).cloned().collect();
+                            let clean: Vec<Tensor> = cell
+                                .pair
+                                .test
+                                .images()
+                                .iter()
+                                .take(n_defense)
+                                .cloned()
+                                .collect();
                             let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
                             let suspects: Vec<Tensor> =
                                 suspects.into_iter().take(n_defense).collect();
@@ -57,13 +59,17 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                                 &clean,
                                 &suspects,
                                 &profile.strip_config(base_seed),
-                            );
+                            )
+                            .unwrap_or_else(|e| panic!("{e}"));
                             report.decision_value
                         })
                         .collect()
                 })
                 .collect();
-            Fig6Result { dataset: kind, decision }
+            Fig6Result {
+                dataset: kind,
+                decision,
+            }
         })
         .collect()
 }
@@ -120,8 +126,14 @@ mod tests {
                             cell.pair.test.images().iter().take(40).cloned().collect();
                         let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
                         let suspects: Vec<Tensor> = suspects.into_iter().take(40).collect();
-                        strip(&mut cell.network, &clean, &suspects, &profile.strip_config(seed))
-                            .decision_value
+                        strip(
+                            &mut cell.network,
+                            &clean,
+                            &suspects,
+                            &profile.strip_config(seed),
+                        )
+                        .unwrap_or_else(|e| panic!("{e}"))
+                        .decision_value
                     })
                     .sum::<f32>()
                     / seeds.len() as f32

@@ -38,11 +38,7 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                     CR_VALUES
                         .iter()
                         .map(|&cr| {
-                            eprintln!(
-                                "[fig7] {} / {} cr={cr}",
-                                kind.label(),
-                                trigger.label()
-                            );
+                            eprintln!("[fig7] {} / {} cr={cr}", kind.label(), trigger.label());
                             let mut cell =
                                 train_scenario(profile, kind, trigger, cr, 1e-3, base_seed);
                             let clean: Vec<Tensor> = cell
@@ -63,7 +59,10 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                         .collect()
                 })
                 .collect();
-            Fig7Result { dataset: kind, index }
+            Fig7Result {
+                dataset: kind,
+                index,
+            }
         })
         .collect()
 }
@@ -109,8 +108,11 @@ mod tests {
             55,
         );
         let clean: Vec<Tensor> = cell.pair.test.images().iter().take(12).cloned().collect();
-        let report =
-            neural_cleanse(&mut cell.network, &clean, &profile.neural_cleanse_config(55));
+        let report = neural_cleanse(
+            &mut cell.network,
+            &clean,
+            &profile.neural_cleanse_config(55),
+        );
         assert_eq!(report.per_class.len(), 4);
         assert!(report.anomaly_index.is_finite());
     }

@@ -38,11 +38,7 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                     CR_VALUES
                         .iter()
                         .map(|&cr| {
-                            eprintln!(
-                                "[fig8] {} / {} cr={cr}",
-                                kind.label(),
-                                trigger.label()
-                            );
+                            eprintln!("[fig8] {} / {} cr={cr}", kind.label(), trigger.label());
                             let mut cell =
                                 train_scenario(profile, kind, trigger, cr, 1e-3, base_seed);
                             let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
@@ -61,7 +57,10 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                         .collect()
                 })
                 .collect();
-            Fig8Result { dataset: kind, index }
+            Fig8Result {
+                dataset: kind,
+                index,
+            }
         })
         .collect()
 }
@@ -110,13 +109,20 @@ mod tests {
                 &suspects,
                 &profile.beatrix_config(),
             );
-            (cell.result.asr, report.anomaly_index, report.label_concentration)
+            (
+                cell.result.asr,
+                report.anomaly_index,
+                report.label_concentration,
+            )
         };
         let (asr_poison, idx_poison, conc_poison) = run_cell(0.0);
         let (asr_camo, idx_camo, conc_camo) = run_cell(5.0);
         // Prerequisite for a meaningful comparison: the poison cell must
         // actually implant at this seed.
-        assert!(asr_poison > 50.0, "poison cell failed to implant: ASR {asr_poison}");
+        assert!(
+            asr_poison > 50.0,
+            "poison cell failed to implant: ASR {asr_poison}"
+        );
         assert!(asr_camo < asr_poison, "camouflage failed to suppress");
         assert!(
             conc_camo <= conc_poison,

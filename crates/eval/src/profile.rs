@@ -43,7 +43,11 @@ impl Profile {
     /// Parses `REVEIL_PROFILE` (`smoke` / `quick` / `full`), defaulting to
     /// [`Profile::Quick`].
     pub fn from_env() -> Self {
-        match std::env::var("REVEIL_PROFILE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("REVEIL_PROFILE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "smoke" => Profile::Smoke,
             "full" => Profile::Full,
             _ => Profile::Quick,
@@ -117,7 +121,8 @@ impl Profile {
     /// Builds the paired model for a dataset configuration.
     pub fn build_model(self, kind: DatasetKind, config: &SyntheticConfig, seed: u64) -> Network {
         let (h, w) = config.image_size();
-        self.model_family(kind).build(3, h, w, config.num_classes(), self.model_width(), seed)
+        self.model_family(kind)
+            .build(3, h, w, config.num_classes(), self.model_width(), seed)
     }
 
     /// Training recipe at this profile.
@@ -141,7 +146,12 @@ impl Profile {
 
     /// Attack configuration for one trigger kind, using the paper's
     /// poisoning ratio with this profile's absolute floor.
-    pub fn attack_config(self, trigger: TriggerKind, target_label: usize, seed: u64) -> AttackConfig {
+    pub fn attack_config(
+        self,
+        trigger: TriggerKind,
+        target_label: usize,
+        seed: u64,
+    ) -> AttackConfig {
         AttackConfig::new(target_label)
             .with_poison_ratio(trigger.paper_poison_ratio())
             .with_camouflage_ratio(5.0)
@@ -179,45 +189,47 @@ impl Profile {
 
     /// STRIP budget at this profile.
     pub fn strip_config(self, seed: u64) -> StripConfig {
-        let mut cfg = StripConfig::default();
-        cfg.seed = seed;
-        cfg.num_overlays = match self {
-            Profile::Smoke => 8,
-            Profile::Quick => 12,
-            Profile::Full => 100,
-        };
-        cfg
+        StripConfig {
+            seed,
+            num_overlays: match self {
+                Profile::Smoke => 8,
+                Profile::Quick => 12,
+                Profile::Full => 100,
+            },
+            ..StripConfig::default()
+        }
     }
 
     /// Neural Cleanse budget at this profile.
     pub fn neural_cleanse_config(self, seed: u64) -> NeuralCleanseConfig {
-        let mut cfg = NeuralCleanseConfig::default();
-        cfg.seed = seed;
-        match self {
-            Profile::Smoke => {
-                cfg.steps = 30;
-                cfg.sample_count = 8;
-            }
-            Profile::Quick => {
-                cfg.steps = 50;
-                cfg.sample_count = 10;
-            }
-            Profile::Full => {
-                cfg.steps = 500;
-                cfg.sample_count = 64;
-            }
+        let (steps, sample_count) = match self {
+            Profile::Smoke => (30, 8),
+            Profile::Quick => (50, 10),
+            Profile::Full => (500, 64),
+        };
+        NeuralCleanseConfig {
+            seed,
+            steps,
+            sample_count,
+            ..NeuralCleanseConfig::default()
         }
-        cfg
     }
 
     /// Beatrix budget at this profile.
     pub fn beatrix_config(self) -> BeatrixConfig {
         match self {
-            Profile::Smoke => BeatrixConfig { orders: vec![1, 2], samples_per_class: 10 },
-            Profile::Quick => BeatrixConfig { orders: vec![1, 2, 4, 8], samples_per_class: 12 },
-            Profile::Full => {
-                BeatrixConfig { orders: (1..=8).collect(), samples_per_class: 50 }
-            }
+            Profile::Smoke => BeatrixConfig {
+                orders: vec![1, 2],
+                samples_per_class: 10,
+            },
+            Profile::Quick => BeatrixConfig {
+                orders: vec![1, 2, 4, 8],
+                samples_per_class: 12,
+            },
+            Profile::Full => BeatrixConfig {
+                orders: (1..=8).collect(),
+                samples_per_class: 50,
+            },
         }
     }
 

@@ -5,9 +5,7 @@
 //! init, shuffling) is split from the single cell seed, so any cell is
 //! replayable in isolation.
 
-use reveil_core::{
-    attack_success_rate, benign_accuracy, AttackConfig, ReveilAttack,
-};
+use reveil_core::{attack_success_rate, benign_accuracy, AttackConfig, ReveilAttack};
 use reveil_datasets::{DatasetKind, DatasetPair};
 use reveil_nn::train::Trainer;
 use reveil_nn::Network;
@@ -93,20 +91,31 @@ pub fn train_scenario(
     )
     .unwrap_or_else(|e| panic!("attack construction failed: {e}"));
 
-    let payload = attack.craft(&pair.train).unwrap_or_else(|e| panic!("craft failed: {e}"));
+    let payload = attack
+        .craft(&pair.train)
+        .unwrap_or_else(|e| panic!("craft failed: {e}"));
     let training = attack
         .inject(&pair.train, &payload)
         .unwrap_or_else(|e| panic!("inject failed: {e}"));
 
     let mut network = profile.build_model(kind, &data_cfg, rng::derive_seed(seed, 0x40DE));
     let train_cfg = profile.train_config(rng::derive_seed(seed, 0x7124));
-    Trainer::new(train_cfg).fit(&mut network, training.dataset.images(), training.dataset.labels());
+    Trainer::new(train_cfg).fit(
+        &mut network,
+        training.dataset.images(),
+        training.dataset.labels(),
+    );
 
     let result = ScenarioResult {
         ba: benign_accuracy(&mut network, &pair.test),
         asr: attack_success_rate(&mut network, &pair.test, attack.trigger(), 0),
     };
-    TrainedScenario { network, result, pair, attack }
+    TrainedScenario {
+        network,
+        result,
+        pair,
+        attack,
+    }
 }
 
 /// BA/ASR of one cell averaged over the profile's seed count.
@@ -120,8 +129,15 @@ pub fn averaged_scenario(
 ) -> ScenarioResult {
     let results: Vec<ScenarioResult> = (0..profile.num_seeds() as u64)
         .map(|run| {
-            train_scenario(profile, kind, trigger, cr, sigma, rng::derive_seed(base_seed, run))
-                .result
+            train_scenario(
+                profile,
+                kind,
+                trigger,
+                cr,
+                sigma,
+                rng::derive_seed(base_seed, run),
+            )
+            .result
         })
         .collect();
     ScenarioResult::mean(&results)
@@ -165,7 +181,9 @@ pub fn run_unlearning_trio(
     )
     .unwrap_or_else(|e| panic!("attack construction failed: {e}"));
 
-    let payload = attack.craft(&pair.train).unwrap_or_else(|e| panic!("craft failed: {e}"));
+    let payload = attack
+        .craft(&pair.train)
+        .unwrap_or_else(|e| panic!("craft failed: {e}"));
     let training = attack
         .inject(&pair.train, &payload)
         .unwrap_or_else(|e| panic!("inject failed: {e}"));
@@ -200,8 +218,9 @@ pub fn run_unlearning_trio(
     drop(ens_poison);
 
     // Scenarios 2 + 3: camouflaged, then unlearned.
-    let mut ensemble = SisaEnsemble::train(sisa_cfg, train_cfg, Box::new(factory), &training.dataset)
-        .unwrap_or_else(|e| panic!("SISA training failed: {e}"));
+    let mut ensemble =
+        SisaEnsemble::train(sisa_cfg, train_cfg, Box::new(factory), &training.dataset)
+            .unwrap_or_else(|e| panic!("SISA training failed: {e}"));
     let camouflaging = measure(&mut ensemble);
     let request = attack.unlearning_request(&training);
     let unlearn_report = ensemble
@@ -209,7 +228,12 @@ pub fn run_unlearning_trio(
         .unwrap_or_else(|e| panic!("unlearning failed: {e}"));
     let unlearning = measure(&mut ensemble);
 
-    TrioResult { poisoning, camouflaging, unlearning, unlearn_report }
+    TrioResult {
+        poisoning,
+        camouflaging,
+        unlearning,
+        unlearn_report,
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +243,10 @@ mod tests {
     #[test]
     fn scenario_result_mean() {
         let m = ScenarioResult::mean(&[
-            ScenarioResult { ba: 90.0, asr: 100.0 },
+            ScenarioResult {
+                ba: 90.0,
+                asr: 100.0,
+            },
             ScenarioResult { ba: 80.0, asr: 0.0 },
         ]);
         assert!((m.ba - 85.0).abs() < 1e-5);

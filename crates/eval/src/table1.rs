@@ -50,23 +50,125 @@ pub struct RelatedAttack {
 
 /// The paper's Table I, row for row.
 pub const RELATED_WORK: [RelatedAttack; 17] = [
-    RelatedAttack { name: "TrojanNN", concealed: false, training_unchanged: true, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "SIG", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "BadNets", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "ReFool", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "Input-Aware", concealed: false, training_unchanged: false, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "Blind", concealed: false, training_unchanged: false, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "LIRA", concealed: false, training_unchanged: false, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "SSBA", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "WaNet", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "LF", concealed: false, training_unchanged: true, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "FTrojan", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "BppAttack", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "PoisonInk", concealed: false, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: None },
-    RelatedAttack { name: "Di et al.", concealed: true, training_unchanged: true, model_access: ModelAccess::WhiteBox, camouflage_without_auxiliary: Some(true) },
-    RelatedAttack { name: "Liu et al.", concealed: true, training_unchanged: true, model_access: ModelAccess::BlackBox, camouflage_without_auxiliary: Some(true) },
-    RelatedAttack { name: "UBA-Inf", concealed: true, training_unchanged: true, model_access: ModelAccess::Substitute, camouflage_without_auxiliary: Some(false) },
-    RelatedAttack { name: "ReVeil [Ours]", concealed: true, training_unchanged: true, model_access: ModelAccess::None, camouflage_without_auxiliary: Some(true) },
+    RelatedAttack {
+        name: "TrojanNN",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::WhiteBox,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "SIG",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "BadNets",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "ReFool",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "Input-Aware",
+        concealed: false,
+        training_unchanged: false,
+        model_access: ModelAccess::WhiteBox,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "Blind",
+        concealed: false,
+        training_unchanged: false,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "LIRA",
+        concealed: false,
+        training_unchanged: false,
+        model_access: ModelAccess::WhiteBox,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "SSBA",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "WaNet",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "LF",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::WhiteBox,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "FTrojan",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "BppAttack",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "PoisonInk",
+        concealed: false,
+        training_unchanged: true,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: None,
+    },
+    RelatedAttack {
+        name: "Di et al.",
+        concealed: true,
+        training_unchanged: true,
+        model_access: ModelAccess::WhiteBox,
+        camouflage_without_auxiliary: Some(true),
+    },
+    RelatedAttack {
+        name: "Liu et al.",
+        concealed: true,
+        training_unchanged: true,
+        model_access: ModelAccess::BlackBox,
+        camouflage_without_auxiliary: Some(true),
+    },
+    RelatedAttack {
+        name: "UBA-Inf",
+        concealed: true,
+        training_unchanged: true,
+        model_access: ModelAccess::Substitute,
+        camouflage_without_auxiliary: Some(false),
+    },
+    RelatedAttack {
+        name: "ReVeil [Ours]",
+        concealed: true,
+        training_unchanged: true,
+        model_access: ModelAccess::None,
+        camouflage_without_auxiliary: Some(true),
+    },
 ];
 
 fn check(v: bool) -> &'static str {
@@ -133,7 +235,10 @@ mod tests {
             .filter(|a| a.concealed)
             .map(|a| a.name)
             .collect();
-        assert_eq!(concealed, ["Di et al.", "Liu et al.", "UBA-Inf", "ReVeil [Ours]"]);
+        assert_eq!(
+            concealed,
+            ["Di et al.", "Liu et al.", "UBA-Inf", "ReVeil [Ours]"]
+        );
     }
 
     #[test]

@@ -30,11 +30,23 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Ta
             let mut camouflage = Vec::new();
             for trigger in TriggerKind::ALL {
                 eprintln!("[table2] {} / {} (poison)", kind.label(), trigger.label());
-                poison.push(averaged_scenario(profile, kind, trigger, 0.0, 1e-3, base_seed));
-                eprintln!("[table2] {} / {} (camouflage)", kind.label(), trigger.label());
-                camouflage.push(averaged_scenario(profile, kind, trigger, 5.0, 1e-3, base_seed));
+                poison.push(averaged_scenario(
+                    profile, kind, trigger, 0.0, 1e-3, base_seed,
+                ));
+                eprintln!(
+                    "[table2] {} / {} (camouflage)",
+                    kind.label(),
+                    trigger.label()
+                );
+                camouflage.push(averaged_scenario(
+                    profile, kind, trigger, 5.0, 1e-3, base_seed,
+                ));
             }
-            Table2Row { dataset: kind, poison, camouflage }
+            Table2Row {
+                dataset: kind,
+                poison,
+                camouflage,
+            }
         })
         .collect()
 }
@@ -71,8 +83,20 @@ mod tests {
     fn format_produces_paper_layout() {
         let rows = vec![Table2Row {
             dataset: DatasetKind::Cifar10Like,
-            poison: vec![ScenarioResult { ba: 83.05, asr: 100.0 }; 4],
-            camouflage: vec![ScenarioResult { ba: 83.04, asr: 17.70 }; 4],
+            poison: vec![
+                ScenarioResult {
+                    ba: 83.05,
+                    asr: 100.0
+                };
+                4
+            ],
+            camouflage: vec![
+                ScenarioResult {
+                    ba: 83.04,
+                    asr: 17.70
+                };
+                4
+            ],
         }];
         let table = format(&rows);
         let text = table.render();
@@ -94,6 +118,11 @@ mod tests {
         let drops = (0..4)
             .filter(|&i| row.camouflage[i].asr < row.poison[i].asr * 0.6)
             .count();
-        assert!(drops >= 3, "poison {:?} camouflage {:?}", row.poison, row.camouflage);
+        assert!(
+            drops >= 3,
+            "poison {:?} camouflage {:?}",
+            row.poison,
+            row.camouflage
+        );
     }
 }

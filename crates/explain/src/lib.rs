@@ -66,8 +66,13 @@ impl CamMap {
     ///
     /// Panics if the rectangle exceeds the map bounds.
     pub fn region_mass(&self, y0: usize, x0: usize, height: usize, width: usize) -> f32 {
-        let &[h, w] = self.map.shape() else { unreachable!("map is rank-2") };
-        assert!(y0 + height <= h && x0 + width <= w, "region exceeds map bounds");
+        let &[h, w] = self.map.shape() else {
+            unreachable!("map is rank-2")
+        };
+        assert!(
+            y0 + height <= h && x0 + width <= w,
+            "region exceeds map bounds"
+        );
         let total = self.map.sum();
         if total <= 0.0 {
             return 0.0;
@@ -89,13 +94,20 @@ fn resize_bilinear(map: &Tensor, out_h: usize, out_w: usize) -> Tensor {
     };
     let mut out = Tensor::zeros(&[out_h, out_w]);
     for y in 0..out_h {
-        let fy = if out_h > 1 { y as f32 * (h - 1) as f32 / (out_h - 1) as f32 } else { 0.0 };
+        let fy = if out_h > 1 {
+            y as f32 * (h - 1) as f32 / (out_h - 1) as f32
+        } else {
+            0.0
+        };
         let y0 = fy.floor() as usize;
         let y1 = (y0 + 1).min(h - 1);
         let ty = fy - y0 as f32;
         for x in 0..out_w {
-            let fx =
-                if out_w > 1 { x as f32 * (w - 1) as f32 / (out_w - 1) as f32 } else { 0.0 };
+            let fx = if out_w > 1 {
+                x as f32 * (w - 1) as f32 / (out_w - 1) as f32
+            } else {
+                0.0
+            };
             let x0 = fx.floor() as usize;
             let x1 = (x0 + 1).min(w - 1);
             let tx = fx - x0 as f32;
@@ -123,7 +135,10 @@ fn resize_bilinear(map: &Tensor, out_h: usize, out_w: usize) -> Tensor {
 /// backbone has no spatial activation (e.g. an MLP probe).
 pub fn grad_cam(network: &mut Network, image: &Tensor, class: usize) -> CamMap {
     let &[_, h, w] = image.shape() else {
-        panic!("grad_cam expects a [c, h, w] image, got {:?}", image.shape());
+        panic!(
+            "grad_cam expects a [c, h, w] image, got {:?}",
+            image.shape()
+        );
     };
     assert!(class < network.num_classes(), "class {class} out of range");
 
@@ -144,12 +159,16 @@ pub fn grad_cam(network: &mut Network, image: &Tensor, class: usize) -> CamMap {
     let grads = network.backbone_boundary_grads()[spatial_idx].clone();
     network.set_recording(false);
 
-    let &[_, c, ah, aw] = activation.shape() else { unreachable!() };
+    let &[_, c, ah, aw] = activation.shape() else {
+        unreachable!()
+    };
     let plane = ah * aw;
     let mut cam = Tensor::zeros(&[ah, aw]);
     for ch in 0..c {
-        let g_mean: f32 =
-            grads.data()[ch * plane..(ch + 1) * plane].iter().sum::<f32>() / plane as f32;
+        let g_mean: f32 = grads.data()[ch * plane..(ch + 1) * plane]
+            .iter()
+            .sum::<f32>()
+            / plane as f32;
         for q in 0..plane {
             cam.data_mut()[q] += g_mean * activation.data()[ch * plane + q];
         }
@@ -221,7 +240,10 @@ mod tests {
             .fold(0.0f32, f32::max);
         // The patch is 16/144 ≈ 11% of the area; focused attention should
         // hold several times that.
-        assert!(patch_mass > 0.3, "attention on trigger region only {patch_mass}");
+        assert!(
+            patch_mass > 0.3,
+            "attention on trigger region only {patch_mass}"
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub fn write_overlay_ppm(
     path: impl AsRef<Path>,
 ) -> std::io::Result<()> {
     let &[c, h, w] = image.shape() else {
-        panic!("write_overlay_ppm expects [c, h, w], got {:?}", image.shape())
+        panic!(
+            "write_overlay_ppm expects [c, h, w], got {:?}",
+            image.shape()
+        )
     };
     assert_eq!(map.shape(), &[h, w], "map/image shape mismatch");
     let mut file = std::fs::File::create(path)?;
@@ -101,9 +104,9 @@ pub fn write_overlay_ppm(
                 image.at(&[0, y, x])
             };
             let heat = heat_color(map.at(&[y, x]));
-            for ch in 0..3 {
-                let base = grey * 255.0;
-                let v = (1.0 - alpha) * base + alpha * heat[ch] as f32;
+            let base = grey * 255.0;
+            for &h in &heat {
+                let v = (1.0 - alpha) * base + alpha * h as f32;
                 bytes.push(v.clamp(0.0, 255.0) as u8);
             }
         }

@@ -29,7 +29,10 @@ impl fmt::Display for NnError {
                 write!(f, "invalid {what} configuration: {message}")
             }
             NnError::StateMismatch { expected, got } => {
-                write!(f, "state vector length mismatch: expected {expected} scalars, got {got}")
+                write!(
+                    f,
+                    "state vector length mismatch: expected {expected} scalars, got {got}"
+                )
             }
             NnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
         }
@@ -57,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = NnError::StateMismatch { expected: 10, got: 4 };
+        let e = NnError::StateMismatch {
+            expected: 10,
+            got: 4,
+        };
         assert!(e.to_string().contains("10"));
         let t = NnError::from(reveil_tensor::TensorError::InvalidArgument {
             op: "x",

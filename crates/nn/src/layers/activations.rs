@@ -132,7 +132,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let out = self.output.as_ref().expect("Sigmoid::backward before forward");
+        let out = self
+            .output
+            .as_ref()
+            .expect("Sigmoid::backward before forward");
         out.zip_map(grad_output, |y, g| g * y * (1.0 - y))
             .unwrap_or_else(|e| panic!("{e}"))
     }

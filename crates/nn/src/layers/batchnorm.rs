@@ -87,9 +87,9 @@ impl Layer for BatchNorm2d {
                 let mut mean = vec![0.0f32; c];
                 let mut var = vec![0.0f32; c];
                 for img in 0..n {
-                    for ch in 0..c {
+                    for (ch, acc) in mean.iter_mut().enumerate() {
                         let base = (img * c + ch) * plane;
-                        mean[ch] += input.data()[base..base + plane].iter().sum::<f32>();
+                        *acc += input.data()[base..base + plane].iter().sum::<f32>();
                     }
                 }
                 for v in &mut mean {
@@ -107,8 +107,7 @@ impl Layer for BatchNorm2d {
                 for v in &mut var {
                     *v /= m;
                 }
-                let inv_std: Vec<f32> =
-                    var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+                let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
 
                 let mut x_hat = Tensor::zeros(input.shape());
                 for img in 0..n {
@@ -169,14 +168,24 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward");
         let shape = &cache.input_shape;
-        assert_eq!(grad_output.shape(), shape.as_slice(), "gradient shape mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            shape.as_slice(),
+            "gradient shape mismatch"
+        );
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let plane = h * w;
         let m = (n * plane) as f32;
         let gamma = self.gamma.value().data().to_vec();
-        let x_hat = cache.x_hat.as_ref().expect("BatchNorm2d cache missing x_hat");
+        let x_hat = cache
+            .x_hat
+            .as_ref()
+            .expect("BatchNorm2d cache missing x_hat");
         let mut grad_input = Tensor::zeros(grad_output.shape());
 
         // dγ and dβ are identical in both modes.
@@ -215,9 +224,9 @@ impl Layer for BatchNorm2d {
             Mode::Eval => {
                 // Running statistics are constants: dx = g·γ·inv_std.
                 for img in 0..n {
-                    for ch in 0..c {
+                    for (ch, (&g, &is)) in gamma.iter().zip(&cache.inv_std).enumerate() {
                         let base = (img * c + ch) * plane;
-                        let coeff = gamma[ch] * cache.inv_std[ch];
+                        let coeff = g * is;
                         for i in base..base + plane {
                             grad_input.data_mut()[i] = coeff * grad_output.data()[i];
                         }

@@ -1,5 +1,12 @@
 //! Composite blocks: ResNet basic blocks, MobileNet inverted residuals,
 //! EfficientNet MBConv (inverted residual + squeeze-excitation).
+//!
+//! The dense and convolutional stages inside these blocks ([`Linear`] in
+//! the squeeze-excite gate, [`Conv2d`] in every main path) accumulate
+//! their weight gradients through the fused GEMM epilogue
+//! (`reveil_tensor::ops::matmul_*_acc_into`), so a block's backward pass
+//! writes each parameter gradient exactly once instead of
+//! matmul-then-`axpy`.
 
 use rand::rngs::StdRng;
 
@@ -55,7 +62,11 @@ impl ResidualBlock {
         } else {
             None
         };
-        Ok(Self { main, shortcut, relu_mask: None })
+        Ok(Self {
+            main,
+            shortcut,
+            relu_mask: None,
+        })
     }
 }
 
@@ -149,7 +160,10 @@ impl SqueezeExcite {
 impl Layer for SqueezeExcite {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let &[n, c, h, w] = input.shape() else {
-            panic!("SqueezeExcite expects [n, c, h, w], got {:?}", input.shape());
+            panic!(
+                "SqueezeExcite expects [n, c, h, w], got {:?}",
+                input.shape()
+            );
         };
         self.input = Some(input.clone());
         let pooled = self.gap.forward(input, mode);
@@ -174,9 +188,17 @@ impl Layer for SqueezeExcite {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.input.as_ref().expect("SqueezeExcite::backward before forward");
-        let scale = self.scale.as_ref().expect("SqueezeExcite cache missing scale");
-        let &[n, c, h, w] = input.shape() else { unreachable!() };
+        let input = self
+            .input
+            .as_ref()
+            .expect("SqueezeExcite::backward before forward");
+        let scale = self
+            .scale
+            .as_ref()
+            .expect("SqueezeExcite cache missing scale");
+        let &[n, c, h, w] = input.shape() else {
+            unreachable!()
+        };
         let plane = h * w;
 
         // Direct term: ∂(x ⊙ s)/∂x with s treated constant.

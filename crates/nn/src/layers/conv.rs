@@ -31,18 +31,13 @@ pub struct ConvScratch {
     gemm: Tensor,
     /// `[c*kh*kw, n*oh*ow]` column-space gradient (backward).
     dcols: Tensor,
-    /// `[oc, c*kh*kw]` per-call weight-gradient buffer (backward).
-    dweight: Tensor,
 }
 
 impl ConvScratch {
     /// Total capacity of the scratch buffers in elements (used by the
     /// reuse regression tests).
     pub fn capacity(&self) -> usize {
-        self.cols.capacity()
-            + self.gemm.capacity()
-            + self.dcols.capacity()
-            + self.dweight.capacity()
+        self.cols.capacity() + self.gemm.capacity() + self.dcols.capacity()
     }
 }
 
@@ -52,7 +47,10 @@ impl ConvScratch {
 /// conv hot loops allocation-free once warmed up.
 fn resize_scratch(t: &mut Tensor, shape: &[usize]) {
     #[cfg(debug_assertions)]
-    let (cap_before, fits) = (t.capacity(), shape.iter().product::<usize>() <= t.capacity());
+    let (cap_before, fits) = (
+        t.capacity(),
+        shape.iter().product::<usize>() <= t.capacity(),
+    );
     t.resize_for_overwrite(shape);
     #[cfg(debug_assertions)]
     debug_assert!(
@@ -149,8 +147,12 @@ impl Layer for Conv2d {
         im2col_batch_into(input, self.geom, &mut self.scratch.cols)
             .unwrap_or_else(|e| panic!("{e}"));
         resize_scratch(&mut self.scratch.gemm, &[oc, n * ohw]);
-        ops::matmul_into(self.weight.value(), &self.scratch.cols, &mut self.scratch.gemm)
-            .unwrap_or_else(|e| panic!("{e}"));
+        ops::matmul_into(
+            self.weight.value(),
+            &self.scratch.cols,
+            &mut self.scratch.gemm,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
 
         // Scatter [oc, n*ohw] into [n, oc, oh, ow] and add the bias.
         let mut out = Tensor::zeros(&[n, oc, oh, ow]);
@@ -172,7 +174,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.input.as_ref().expect("Conv2d::backward before forward");
+        let input = self
+            .input
+            .as_ref()
+            .expect("Conv2d::backward before forward");
         let (n, h, w, oh, ow) = self.check_input(input);
         assert_eq!(
             grad_output.shape(),
@@ -210,14 +215,17 @@ impl Layer for Conv2d {
             );
         }
 
-        // dW += gy · colsᵀ (one matmul for the whole batch).
-        resize_scratch(&mut self.scratch.dweight, &[oc, fan_in]);
-        ops::matmul_nt_into(&self.scratch.gemm, &self.scratch.cols, &mut self.scratch.dweight)
-            .unwrap_or_else(|e| panic!("{e}"));
-        self.weight
-            .grad_mut()
-            .axpy(1.0, &self.scratch.dweight)
-            .unwrap_or_else(|e| panic!("{e}"));
+        // dW += gy · colsᵀ: one matmul for the whole batch, accumulated
+        // straight into the parameter gradient by the fused GEMM epilogue
+        // (no per-call weight-gradient scratch, no separate axpy pass).
+        debug_assert_eq!(self.weight.grad().shape(), &[oc, fan_in]);
+        ops::matmul_nt_acc_into(
+            &self.scratch.gemm,
+            &self.scratch.cols,
+            1.0,
+            self.weight.grad_mut(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
 
         // db += row sums of gy.
         {
@@ -230,8 +238,12 @@ impl Layer for Conv2d {
 
         // dcols = Wᵀ · gy, scattered back to input space batched.
         resize_scratch(&mut self.scratch.dcols, &[fan_in, n * ohw]);
-        ops::matmul_tn_into(self.weight.value(), &self.scratch.gemm, &mut self.scratch.dcols)
-            .unwrap_or_else(|e| panic!("{e}"));
+        ops::matmul_tn_into(
+            self.weight.value(),
+            &self.scratch.gemm,
+            &mut self.scratch.dcols,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let mut grad_input = Tensor::default();
         col2im_batch_into(&self.scratch.dcols, n, c, h, w, self.geom, &mut grad_input)
             .unwrap_or_else(|e| panic!("{e}"));
@@ -300,10 +312,16 @@ impl DepthwiseConv2d {
 impl Layer for DepthwiseConv2d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let &[n, c, h, w] = input.shape() else {
-            panic!("DepthwiseConv2d expects [n, c, h, w], got {:?}", input.shape());
+            panic!(
+                "DepthwiseConv2d expects [n, c, h, w], got {:?}",
+                input.shape()
+            );
         };
         assert_eq!(c, self.channels, "DepthwiseConv2d channel mismatch");
-        let (oh, ow) = self.geom.output_size(h, w).unwrap_or_else(|e| panic!("{e}"));
+        let (oh, ow) = self
+            .geom
+            .output_size(h, w)
+            .unwrap_or_else(|e| panic!("{e}"));
         self.input = Some(input.clone());
         let k2 = self.geom.kh * self.geom.kw;
         let ohw = oh * ow;
@@ -339,9 +357,18 @@ impl Layer for DepthwiseConv2d {
             .input
             .as_ref()
             .expect("DepthwiseConv2d::backward before forward");
-        let &[n, c, h, w] = input.shape() else { unreachable!() };
-        let (oh, ow) = self.geom.output_size(h, w).unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(grad_output.shape(), &[n, c, oh, ow], "gradient shape mismatch");
+        let &[n, c, h, w] = input.shape() else {
+            unreachable!()
+        };
+        let (oh, ow) = self
+            .geom
+            .output_size(h, w)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(
+            grad_output.shape(),
+            &[n, c, oh, ow],
+            "gradient shape mismatch"
+        );
         let k2 = self.geom.kh * self.geom.kw;
         let ohw = oh * ow;
 
@@ -452,18 +479,27 @@ mod tests {
         // 1 channel, 2x2 kernel of ones, no padding: output = window sums.
         let mut r = seeded();
         let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut r).unwrap();
-        conv.weight.value_mut().data_mut().copy_from_slice(&[1.0; 4]);
+        conv.weight
+            .value_mut()
+            .data_mut()
+            .copy_from_slice(&[1.0; 4]);
         conv.bias.value_mut().data_mut()[0] = 0.5;
-        let x =
-            Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let y = conv.forward(&x, Mode::Train);
         assert_eq!(y.data(), &[10.5]);
     }
 
     /// Naive per-sample, per-tap convolution used to validate the batched
     /// im2col + packed-matmul path.
-    fn naive_conv_forward(conv_weight: &Tensor, bias: &Tensor, x: &Tensor, geom: ConvGeometry) -> Tensor {
-        let &[n, c, h, w] = x.shape() else { panic!("rank-4 input") };
+    fn naive_conv_forward(
+        conv_weight: &Tensor,
+        bias: &Tensor,
+        x: &Tensor,
+        geom: ConvGeometry,
+    ) -> Tensor {
+        let &[n, c, h, w] = x.shape() else {
+            panic!("rank-4 input")
+        };
         let (oh, ow) = geom.output_size(h, w).unwrap();
         let oc = conv_weight.shape()[0];
         let k2 = geom.kh * geom.kw;
@@ -476,12 +512,11 @@ mod tests {
                         for ch in 0..c {
                             for ky in 0..geom.kh {
                                 for kx in 0..geom.kw {
-                                    let iy = (oy * geom.stride + ky) as isize
-                                        - geom.padding as isize;
-                                    let ix = (ox * geom.stride + kx) as isize
-                                        - geom.padding as isize;
-                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
-                                    {
+                                    let iy =
+                                        (oy * geom.stride + ky) as isize - geom.padding as isize;
+                                    let ix =
+                                        (ox * geom.stride + kx) as isize - geom.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
                                     acc += conv_weight.data()
@@ -584,7 +619,10 @@ mod tests {
     fn depthwise_applies_independent_filters() {
         let mut r = seeded();
         let mut dw = DepthwiseConv2d::new(2, 1, 1, 0, &mut r).unwrap();
-        dw.weight.value_mut().data_mut().copy_from_slice(&[2.0, 3.0]);
+        dw.weight
+            .value_mut()
+            .data_mut()
+            .copy_from_slice(&[2.0, 3.0]);
         let x = Tensor::ones(&[1, 2, 2, 2]);
         let y = dw.forward(&x, Mode::Train);
         assert_eq!(&y.data()[..4], &[2.0; 4]);

@@ -79,12 +79,19 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.input.as_ref().expect("Linear::backward before forward");
-        // dW = gᵀ·x, db = column sums of g, dx = g·W.
-        let dw = ops::matmul_tn(grad_output, input).unwrap_or_else(|e| panic!("{e}"));
-        self.weight.grad_mut().axpy(1.0, &dw).unwrap_or_else(|e| panic!("{e}"));
+        let input = self
+            .input
+            .as_ref()
+            .expect("Linear::backward before forward");
+        // dW += gᵀ·x via the fused accumulate epilogue (no transient dW
+        // tensor, no separate axpy), db += column sums of g, dx = g·W.
+        ops::matmul_tn_acc_into(grad_output, input, 1.0, self.weight.grad_mut())
+            .unwrap_or_else(|e| panic!("{e}"));
         let db = ops::sum_rows(grad_output).unwrap_or_else(|e| panic!("{e}"));
-        self.bias.grad_mut().axpy(1.0, &db).unwrap_or_else(|e| panic!("{e}"));
+        self.bias
+            .grad_mut()
+            .axpy(1.0, &db)
+            .unwrap_or_else(|e| panic!("{e}"));
         ops::matmul(grad_output, self.weight.value()).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -120,7 +127,11 @@ mod tests {
         let mut layer = make(3, 2);
         // Zero weights: output equals bias.
         layer.weight.value_mut().fill_zero();
-        layer.bias.value_mut().data_mut().copy_from_slice(&[1.0, -1.0]);
+        layer
+            .bias
+            .value_mut()
+            .data_mut()
+            .copy_from_slice(&[1.0, -1.0]);
         let x = Tensor::ones(&[4, 3]);
         let y = layer.forward(&x, Mode::Train);
         assert_eq!(y.shape(), &[4, 2]);

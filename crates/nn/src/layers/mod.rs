@@ -34,12 +34,7 @@ pub(crate) mod gradcheck {
     ///
     /// `weights` fixes a random linear functional of the output so the check
     /// exercises every output element; `tol` is the max absolute deviation.
-    pub fn check_input_gradient(
-        layer: &mut dyn Layer,
-        input: &Tensor,
-        mode: Mode,
-        tol: f32,
-    ) {
+    pub fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, mode: Mode, tol: f32) {
         let out = layer.forward(input, mode);
         let weights = Tensor::from_fn(out.shape(), |i| ((i * 37 % 11) as f32 - 5.0) * 0.1);
         let analytic = layer.backward(&weights);
@@ -74,12 +69,7 @@ pub(crate) mod gradcheck {
     }
 
     /// Verifies parameter gradients of `layer` by the same scheme.
-    pub fn check_param_gradients(
-        layer: &mut dyn Layer,
-        input: &Tensor,
-        mode: Mode,
-        tol: f32,
-    ) {
+    pub fn check_param_gradients(layer: &mut dyn Layer, input: &Tensor, mode: Mode, tol: f32) {
         let out = layer.forward(input, mode);
         let weights = Tensor::from_fn(out.shape(), |i| ((i * 53 % 13) as f32 - 6.0) * 0.1);
         layer.visit_params(&mut |p| p.zero_grad());
@@ -90,10 +80,8 @@ pub(crate) mod gradcheck {
         layer.visit_params(&mut |p| grads.push(p.grad().data().to_vec()));
 
         let eps = 1e-3f32;
-        let n_params = grads.len();
-        for param_idx in 0..n_params {
-            let len = grads[param_idx].len();
-            for probe in pick_probes(len) {
+        for (param_idx, grad) in grads.iter().enumerate() {
+            for probe in pick_probes(grad.len()) {
                 let objective = |layer: &mut dyn Layer, delta: f32| -> f32 {
                     let mut k = 0;
                     layer.visit_params(&mut |p| {
@@ -118,9 +106,8 @@ pub(crate) mod gradcheck {
                     });
                     val
                 };
-                let numeric =
-                    (objective(layer, eps) - objective(layer, -eps)) / (2.0 * eps);
-                let got = grads[param_idx][probe];
+                let numeric = (objective(layer, eps) - objective(layer, -eps)) / (2.0 * eps);
+                let got = grad[probe];
                 assert!(
                     (numeric - got).abs() < tol,
                     "param {param_idx} grad mismatch at {probe}: numeric {numeric} vs analytic {got}"

@@ -27,7 +27,11 @@ impl MaxPool2d {
                 message: "window size must be positive".to_string(),
             });
         }
-        Ok(Self { size, input_shape: None, argmax: Vec::new() })
+        Ok(Self {
+            size,
+            input_shape: None,
+            argmax: Vec::new(),
+        })
     }
 }
 
@@ -80,7 +84,11 @@ impl Layer for MaxPool2d {
             .input_shape
             .clone()
             .expect("MaxPool2d::backward before forward");
-        assert_eq!(grad_output.len(), self.argmax.len(), "gradient shape mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.argmax.len(),
+            "gradient shape mismatch"
+        );
         let mut grad_input = Tensor::zeros(&shape);
         let gi = grad_input.data_mut();
         for (out_idx, &in_idx) in self.argmax.iter().enumerate() {
@@ -112,7 +120,10 @@ impl GlobalAvgPool {
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let &[n, c, h, w] = input.shape() else {
-            panic!("GlobalAvgPool expects [n, c, h, w], got {:?}", input.shape());
+            panic!(
+                "GlobalAvgPool expects [n, c, h, w], got {:?}",
+                input.shape()
+            );
         };
         self.input_shape = Some(input.shape().to_vec());
         let mut out = Tensor::zeros(&[n, c]);

@@ -6,11 +6,19 @@
 ///
 /// Panics if the slices have different lengths.
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
-    assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions/labels length mismatch"
+    );
     if predictions.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f32 / predictions.len() as f32
 }
 
@@ -24,10 +32,17 @@ pub fn confusion_matrix(
     labels: &[usize],
     num_classes: usize,
 ) -> Vec<Vec<usize>> {
-    assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions/labels length mismatch"
+    );
     let mut m = vec![vec![0usize; num_classes]; num_classes];
     for (&p, &l) in predictions.iter().zip(labels) {
-        assert!(p < num_classes && l < num_classes, "class index out of range");
+        assert!(
+            p < num_classes && l < num_classes,
+            "class index out of range"
+        );
         m[l][p] += 1;
     }
     m

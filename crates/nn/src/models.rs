@@ -122,7 +122,10 @@ pub fn tiny_cnn(
     width: usize,
     seed: u64,
 ) -> Network {
-    assert!(h % 4 == 0 && w % 4 == 0, "tiny_cnn needs dims divisible by 4, got {h}x{w}");
+    assert!(
+        h % 4 == 0 && w % 4 == 0,
+        "tiny_cnn needs dims divisible by 4, got {h}x{w}"
+    );
     let mut r = rng::rng_from_seed(rng::derive_seed(seed, 0x22));
     let width = width.max(4);
     let backbone = Sequential::new()
@@ -136,8 +139,8 @@ pub fn tiny_cnn(
         .push(MaxPool2d::new(2).unwrap_or_else(|e| die(e)))
         .push(Flatten::new());
     let feat = width * 2 * (h / 4) * (w / 4);
-    let head = Sequential::new()
-        .push(Linear::new(feat, num_classes, &mut r).unwrap_or_else(|e| die(e)));
+    let head =
+        Sequential::new().push(Linear::new(feat, num_classes, &mut r).unwrap_or_else(|e| die(e)));
     Network::new(backbone, head, (c, h, w), num_classes, "tiny_cnn")
 }
 
@@ -164,8 +167,8 @@ pub fn resnet_tiny(
         .push(ResidualBlock::new(w1, w1 * 2, 2, &mut r).unwrap_or_else(|e| die(e)))
         .push(ResidualBlock::new(w1 * 2, w1 * 4, 2, &mut r).unwrap_or_else(|e| die(e)))
         .push(GlobalAvgPool::new());
-    let head = Sequential::new()
-        .push(Linear::new(w1 * 4, num_classes, &mut r).unwrap_or_else(|e| die(e)));
+    let head =
+        Sequential::new().push(Linear::new(w1 * 4, num_classes, &mut r).unwrap_or_else(|e| die(e)));
     Network::new(backbone, head, (c, h, w), num_classes, "resnet_tiny")
 }
 
@@ -193,8 +196,8 @@ pub fn mobilenet_tiny(
         .push(InvertedResidual::mobilenet(w1 * 2, w1 * 2, 1, 2, &mut r).unwrap_or_else(|e| die(e)))
         .push(InvertedResidual::mobilenet(w1 * 2, w1 * 4, 2, 2, &mut r).unwrap_or_else(|e| die(e)))
         .push(GlobalAvgPool::new());
-    let head = Sequential::new()
-        .push(Linear::new(w1 * 4, num_classes, &mut r).unwrap_or_else(|e| die(e)));
+    let head =
+        Sequential::new().push(Linear::new(w1 * 4, num_classes, &mut r).unwrap_or_else(|e| die(e)));
     Network::new(backbone, head, (c, h, w), num_classes, "mobilenet_tiny")
 }
 
@@ -221,8 +224,8 @@ pub fn effnet_tiny(
         .push(InvertedResidual::mbconv(w1, w1 * 2, 2, 2, &mut r).unwrap_or_else(|e| die(e)))
         .push(InvertedResidual::mbconv(w1 * 2, w1 * 4, 2, 2, &mut r).unwrap_or_else(|e| die(e)))
         .push(GlobalAvgPool::new());
-    let head = Sequential::new()
-        .push(Linear::new(w1 * 4, num_classes, &mut r).unwrap_or_else(|e| die(e)));
+    let head =
+        Sequential::new().push(Linear::new(w1 * 4, num_classes, &mut r).unwrap_or_else(|e| die(e)));
     Network::new(backbone, head, (c, h, w), num_classes, "effnet_tiny")
 }
 
@@ -251,8 +254,8 @@ pub fn wide_resnet_tiny(
         .push(ResidualBlock::new(w1 * 2, w1 * 2, 1, &mut r).unwrap_or_else(|e| die(e)))
         .push(ResidualBlock::new(w1 * 2, w1 * 4, 2, &mut r).unwrap_or_else(|e| die(e)))
         .push(GlobalAvgPool::new());
-    let head = Sequential::new()
-        .push(Linear::new(w1 * 4, num_classes, &mut r).unwrap_or_else(|e| die(e)));
+    let head =
+        Sequential::new().push(Linear::new(w1 * 4, num_classes, &mut r).unwrap_or_else(|e| die(e)));
     Network::new(backbone, head, (c, h, w), num_classes, "wide_resnet_tiny")
 }
 

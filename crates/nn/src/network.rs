@@ -42,7 +42,13 @@ impl Network {
         num_classes: usize,
         family: &'static str,
     ) -> Self {
-        Self { backbone, head, num_classes, input_shape, family }
+        Self {
+            backbone,
+            head,
+            num_classes,
+            input_shape,
+            family,
+        }
     }
 
     /// Number of output classes.
@@ -132,7 +138,10 @@ impl Network {
         let mut expected = 0;
         self.visit_state(&mut |t| expected += t.len());
         if expected != state.len() {
-            return Err(NnError::StateMismatch { expected, got: state.len() });
+            return Err(NnError::StateMismatch {
+                expected,
+                got: state.len(),
+            });
         }
         let mut offset = 0;
         self.visit_state(&mut |t| {

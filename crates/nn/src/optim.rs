@@ -37,7 +37,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Sets the momentum coefficient (builder style).
@@ -83,7 +88,12 @@ impl Optimizer for Sgd {
         // updates through a raw loop over an id-indexed dispatch.
         let mut this = std::mem::replace(
             self,
-            Sgd { lr: 0.0, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() },
+            Sgd {
+                lr: 0.0,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                velocity: HashMap::new(),
+            },
         );
         network.visit_params(&mut |p| this.step_param(p));
         *self = this;
@@ -138,10 +148,12 @@ impl Adam {
 
     fn step_param(&mut self, p: &mut Param) {
         let id = p.id();
-        let (m, v) = self
-            .state
-            .entry(id)
-            .or_insert_with(|| (Tensor::zeros(p.value().shape()), Tensor::zeros(p.value().shape())));
+        let (m, v) = self.state.entry(id).or_insert_with(|| {
+            (
+                Tensor::zeros(p.value().shape()),
+                Tensor::zeros(p.value().shape()),
+            )
+        });
         let b1 = self.beta1;
         let b2 = self.beta2;
         let bias1 = 1.0 - b1.powi(self.t as i32);
@@ -201,7 +213,11 @@ impl CosineAnnealing {
     /// Creates a schedule decaying from `base_lr` to 0 over `t_max` epochs
     /// (the paper uses `T_max = 100` over 100 epochs).
     pub fn new(base_lr: f32, t_max: usize) -> Self {
-        Self { base_lr, eta_min: 0.0, t_max: t_max.max(1) }
+        Self {
+            base_lr,
+            eta_min: 0.0,
+            t_max: t_max.max(1),
+        }
     }
 
     /// Learning rate at the start of epoch `t` (0-based).
@@ -229,12 +245,12 @@ mod tests {
 
     fn loss_of(net: &mut Network, x: &Tensor, labels: &[usize]) -> f32 {
         let logits = net.forward(x, Mode::Train);
-        softmax_cross_entropy(&logits, labels).0
+        softmax_cross_entropy(&logits, labels).unwrap().0
     }
 
     fn train_step(net: &mut Network, opt: &mut dyn Optimizer, x: &Tensor, labels: &[usize]) -> f32 {
         let logits = net.forward(x, Mode::Train);
-        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        let (loss, grad) = softmax_cross_entropy(&logits, labels).unwrap();
         net.zero_grads();
         net.backward_to_input(&grad);
         opt.step(net);

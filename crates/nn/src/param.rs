@@ -18,7 +18,11 @@ impl Param {
     /// gradient and a fresh identity.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape());
-        Self { id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed), value, grad }
+        Self {
+            id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+            value,
+            grad,
+        }
     }
 
     /// Process-unique identity (stable for the parameter's lifetime, fresh

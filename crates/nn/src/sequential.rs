@@ -108,7 +108,8 @@ impl Layer for Sequential {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         if self.record {
             self.boundary_grads.clear();
-            self.boundary_grads.resize(self.layers.len(), Tensor::default());
+            self.boundary_grads
+                .resize(self.layers.len(), Tensor::default());
         }
         let mut grad = grad_output.clone();
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {

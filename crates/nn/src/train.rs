@@ -205,7 +205,8 @@ impl Trainer {
                 let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
 
                 let logits = network.forward(&batch, Mode::Train);
-                let (loss, grad) = softmax_cross_entropy(&logits, &batch_labels);
+                let (loss, grad) =
+                    softmax_cross_entropy(&logits, &batch_labels).unwrap_or_else(|e| panic!("{e}"));
                 network.zero_grads();
                 network.backward_to_input(&grad);
                 optimizer.step(network);
@@ -218,7 +219,10 @@ impl Trainer {
 
         let preds = predict_labels(network, images, cfg.batch_size);
         let final_train_accuracy = crate::metrics::accuracy(&preds, labels);
-        TrainReport { epoch_losses, final_train_accuracy }
+        TrainReport {
+            epoch_losses,
+            final_train_accuracy,
+        }
     }
 }
 

@@ -36,7 +36,7 @@ proptest! {
             (((i as u64).wrapping_mul(seed + 1) % 17) as f32 - 8.0) * 0.3
         });
         let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
-        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
         prop_assert!(loss >= 0.0);
         for row in grad.data().chunks(k) {
             let sum: f32 = row.iter().sum();

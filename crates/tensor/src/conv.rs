@@ -50,7 +50,12 @@ impl ConvGeometry {
                 message: "stride must be positive".to_string(),
             });
         }
-        Ok(Self { kh, kw, stride, padding })
+        Ok(Self {
+            kh,
+            kw,
+            stride,
+            padding,
+        })
     }
 
     /// Output spatial size for an input of `h × w`.
@@ -71,7 +76,10 @@ impl ConvGeometry {
                 ),
             });
         }
-        Ok(((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1))
+        Ok((
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        ))
     }
 
     /// Range of output positions `o` whose input tap `o*stride + k - padding`
@@ -80,7 +88,11 @@ impl ConvGeometry {
         let offset = k as isize - self.padding as isize;
         let stride = self.stride as isize;
         // o*stride + offset >= 0  =>  o >= ceil(-offset / stride)
-        let lo = if offset >= 0 { 0 } else { (-offset + stride - 1) / stride };
+        let lo = if offset >= 0 {
+            0
+        } else {
+            (-offset + stride - 1) / stride
+        };
         // o*stride + offset <= extent - 1  =>  o <= (extent - 1 - offset) / stride
         let last = extent as isize - 1 - offset;
         if last < 0 {
@@ -351,8 +363,7 @@ mod tests {
     #[test]
     fn im2col_extracts_receptive_fields() {
         // 1 channel, 3x3 image, 2x2 kernel, stride 1, no padding.
-        let input =
-            Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
+        let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
         let g = ConvGeometry::new(2, 2, 1, 0).unwrap();
         let cols = im2col(&input, g).unwrap();
         assert_eq!(cols.shape(), &[4, 4]);

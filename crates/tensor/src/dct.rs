@@ -59,20 +59,19 @@ impl DctPlan {
 
     /// Forward orthonormal DCT-II of a length-`n` signal.
     fn forward_1d(&self, input: &[f32], output: &mut [f32]) {
-        for k in 0..self.n {
-            let row = &self.basis[k * self.n..(k + 1) * self.n];
-            output[k] = row.iter().zip(input).map(|(&b, &x)| b * x).sum();
+        for (out, row) in output.iter_mut().zip(self.basis.chunks_exact(self.n)) {
+            *out = row.iter().zip(input).map(|(&b, &x)| b * x).sum();
         }
     }
 
     /// Inverse orthonormal DCT (DCT-III with matching normalisation).
     fn inverse_1d(&self, input: &[f32], output: &mut [f32]) {
         for (i, out) in output.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            for k in 0..self.n {
-                acc += self.basis[k * self.n + i] * input[k];
-            }
-            *out = acc;
+            *out = input
+                .iter()
+                .enumerate()
+                .map(|(k, &x)| self.basis[k * self.n + i] * x)
+                .sum();
         }
     }
 }

@@ -40,9 +40,16 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeMismatch { op, expected, got } => {
-                write!(f, "{op}: shape mismatch, expected {expected:?} but got {got:?}")
+                write!(
+                    f,
+                    "{op}: shape mismatch, expected {expected:?} but got {got:?}"
+                )
             }
-            TensorError::LengthMismatch { op, expected_len, got_len } => {
+            TensorError::LengthMismatch {
+                op,
+                expected_len,
+                got_len,
+            } => {
                 write!(
                     f,
                     "{op}: buffer length mismatch, shape implies {expected_len} elements but got {got_len}"

@@ -16,8 +16,22 @@
 //! fused multiply–add over fixed-size arrays that the compiler unrolls and
 //! vectorizes. Packing normalises every transpose flavour to the same inner
 //! loop, so the NN/TN/NT variants produce bit-identical results to each
-//! other and to the serial path. Work parallelizes over MR-aligned row
-//! bands via [`parallel::for_each_chunk`].
+//! other and to the serial path.
+//!
+//! Work parallelizes over MR-aligned row bands via
+//! [`parallel::scoped_bands`]: the team packs each `(pc, jc)` B block
+//! **once** into shared per-strip buffers (strips assigned round-robin,
+//! phases separated by [`parallel::Team::sync`]) instead of every worker
+//! repacking its own copy; only A panels stay thread-local. Because the
+//! `(jc, pc)` loop order and the per-strip accumulation order are identical
+//! on the serial and parallel paths, results are bit-identical for any
+//! worker count.
+//!
+//! The `*_acc_into` variants fuse an accumulate epilogue
+//! (`C = A·B + beta·C`) into the same kernel, so gradient paths that would
+//! otherwise run a matmul followed by an `axpy` touch `C` only once.
+
+use std::sync::RwLock;
 
 use crate::error::TensorError;
 use crate::parallel;
@@ -76,6 +90,7 @@ enum BMajor {
 /// Packs `A[i0..i0+mb, p0..p0+kb]` into MR-row strips: strip `s` holds rows
 /// `i0 + s*MR ..`, stored p-major so the micro-kernel reads `MR` values per
 /// k-step from one contiguous slot. Rows beyond `mb` pad with zeros.
+#[allow(clippy::too_many_arguments)]
 fn pack_a(
     a: &[f32],
     major: AMajor,
@@ -112,9 +127,48 @@ fn pack_a(
     }
 }
 
-/// Packs `B[p0..p0+kb, j0..j0+nb]` into NR-column strips, stored p-major so
-/// the micro-kernel reads `NR` values per k-step from one contiguous slot.
-/// Columns beyond `nb` pad with zeros.
+/// Packs strip `t` (columns `j0 + t*NR ..`) of `B[p0..p0+kb, j0..j0+nb]`
+/// into `strip`, stored p-major so the micro-kernel reads `NR` values per
+/// k-step from one contiguous slot. Columns beyond `nb` pad with zeros.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_strip(
+    b: &[f32],
+    major: BMajor,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kb: usize,
+    j0: usize,
+    nb: usize,
+    t: usize,
+    strip: &mut [f32],
+) {
+    let cols = NR.min(nb - t * NR);
+    debug_assert!(strip.len() >= kb * NR);
+    let strip = &mut strip[..kb * NR];
+    strip.fill(0.0);
+    match major {
+        BMajor::Row => {
+            for (p, dst) in strip.chunks_exact_mut(NR).enumerate() {
+                let src = &b[(p0 + p) * n + j0 + t * NR..][..cols];
+                dst[..cols].copy_from_slice(src);
+            }
+        }
+        BMajor::Col => {
+            for c in 0..cols {
+                let src = &b[(j0 + t * NR + c) * k + p0..][..kb];
+                for (p, &v) in src.iter().enumerate() {
+                    strip[p * NR + c] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Packs `B[p0..p0+kb, j0..j0+nb]` into NR-column strips stored
+/// back-to-back (the serial path; the parallel path packs strips
+/// individually into shared buffers via [`pack_b_strip`]).
+#[allow(clippy::too_many_arguments)]
 fn pack_b(
     b: &[f32],
     major: BMajor,
@@ -128,26 +182,19 @@ fn pack_b(
 ) {
     let strips = nb.div_ceil(NR);
     debug_assert!(bpack.len() >= strips * kb * NR);
-    bpack[..strips * kb * NR].fill(0.0);
     for t in 0..strips {
-        let cols = NR.min(nb - t * NR);
-        let strip = &mut bpack[t * kb * NR..(t + 1) * kb * NR];
-        match major {
-            BMajor::Row => {
-                for (p, dst) in strip.chunks_exact_mut(NR).enumerate() {
-                    let src = &b[(p0 + p) * n + j0 + t * NR..][..cols];
-                    dst[..cols].copy_from_slice(src);
-                }
-            }
-            BMajor::Col => {
-                for c in 0..cols {
-                    let src = &b[(j0 + t * NR + c) * k + p0..][..kb];
-                    for (p, &v) in src.iter().enumerate() {
-                        strip[p * NR + c] = v;
-                    }
-                }
-            }
-        }
+        pack_b_strip(
+            b,
+            major,
+            k,
+            n,
+            p0,
+            kb,
+            j0,
+            nb,
+            t,
+            &mut bpack[t * kb * NR..(t + 1) * kb * NR],
+        );
     }
 }
 
@@ -170,6 +217,38 @@ fn microkernel(apack: &[f32], bpack: &[f32], acc: &mut [[f32; NR]; MR]) {
     }
 }
 
+/// Multiplies the packed A panel for rows `i0..i0+mb` against one packed
+/// NR-column B strip starting at global column `col0`, accumulating into
+/// the row-major `out` (full width `n`).
+#[allow(clippy::too_many_arguments)]
+fn run_panel_bstrip(
+    apack: &[f32],
+    bstrip: &[f32],
+    kb: usize,
+    mb: usize,
+    cols: usize,
+    i0: usize,
+    col0: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let a_strips = mb.div_ceil(MR);
+    let bstrip = &bstrip[..kb * NR];
+    for s in 0..a_strips {
+        let rows = MR.min(mb - s * MR);
+        let astrip = &apack[s * kb * MR..(s + 1) * kb * MR];
+        let mut acc = [[0.0f32; NR]; MR];
+        microkernel(astrip, bstrip, &mut acc);
+        for (r, acc_row) in acc.iter().take(rows).enumerate() {
+            let row = i0 + s * MR + r;
+            let dst = &mut out[row * n + col0..][..cols];
+            for (o, v) in dst.iter_mut().zip(&acc_row[..cols]) {
+                *o += v;
+            }
+        }
+    }
+}
+
 /// Multiplies the packed A panel for rows `i0..i0+mb` against the packed B
 /// panel for columns `j0..j0+nb`, accumulating into the row-major `out`
 /// (full width `n`).
@@ -185,25 +264,25 @@ fn run_panel(
     n: usize,
     out: &mut [f32],
 ) {
-    let a_strips = mb.div_ceil(MR);
     let b_strips = nb.div_ceil(NR);
-    for s in 0..a_strips {
-        let rows = MR.min(mb - s * MR);
-        let astrip = &apack[s * kb * MR..(s + 1) * kb * MR];
-        for t in 0..b_strips {
-            let cols = NR.min(nb - t * NR);
-            let bstrip = &bpack[t * kb * NR..(t + 1) * kb * NR];
-            let mut acc = [[0.0f32; NR]; MR];
-            microkernel(astrip, bstrip, &mut acc);
-            for r in 0..rows {
-                let row = i0 + s * MR + r;
-                let dst = &mut out[row * n + j0 + t * NR..][..cols];
-                for (o, v) in dst.iter_mut().zip(&acc[r][..cols]) {
-                    *o += v;
-                }
-            }
-        }
+    for t in 0..b_strips {
+        let cols = NR.min(nb - t * NR);
+        let bstrip = &bpack[t * kb * NR..(t + 1) * kb * NR];
+        run_panel_bstrip(apack, bstrip, kb, mb, cols, i0, j0 + t * NR, n, out);
     }
+}
+
+// Pack buffers are thread-local: on the serial path (small/medium
+// products, and everything on single-core machines) repeated matmuls
+// reuse one long-lived allocation. Parallel row-band workers are fresh
+// scoped threads, so they allocate once per gemm call — amortised over
+// a large product. Buffers are sized for the largest panel this call
+// will see, so tiny products don't touch full-size tiles; pack_a/pack_b
+// overwrite their active region, so no pre-fill is needed beyond Vec
+// growth.
+thread_local! {
+    static PACK_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// Blocked, packed `out += A·B` over the row range `rows`; `out` is the
@@ -222,18 +301,6 @@ fn gemm_rows(
     row1: usize,
     out: &mut [f32],
 ) {
-    // Pack buffers are thread-local: on the serial path (small/medium
-    // products, and everything on single-core machines) repeated matmuls
-    // reuse one long-lived allocation. Parallel row-band workers are fresh
-    // scoped threads, so they allocate once per gemm call — amortised over
-    // a large product. Buffers are sized for the largest panel this call
-    // will see, so tiny products don't touch full-size tiles; pack_a/pack_b
-    // overwrite their active region, so no pre-fill is needed beyond Vec
-    // growth.
-    thread_local! {
-        static PACK_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
-            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
-    }
     PACK_SCRATCH.with(|cell| {
         let (apack, bpack) = &mut *cell.borrow_mut();
         let kc_eff = KC.min(k);
@@ -247,7 +314,9 @@ fn gemm_rows(
         if bpack.len() < b_len {
             bpack.resize(b_len, 0.0);
         }
-        gemm_panels(a, a_major, b, b_major, m, k, n, row0, row1, out, apack, bpack);
+        gemm_panels(
+            a, a_major, b, b_major, m, k, n, row0, row1, out, apack, bpack,
+        );
     });
 }
 
@@ -279,17 +348,7 @@ fn gemm_panels(
             while ic < row1 {
                 let mb = MC.min(row1 - ic);
                 pack_a(a, a_major, k, m, ic, mb, pc, kb, apack);
-                run_panel(
-                    &apack,
-                    &bpack,
-                    kb,
-                    mb,
-                    nb,
-                    ic - row0,
-                    jc,
-                    n,
-                    out,
-                );
+                run_panel(apack, bpack, kb, mb, nb, ic - row0, jc, n, out);
                 ic += mb;
             }
             pc += kb;
@@ -298,10 +357,110 @@ fn gemm_panels(
     }
 }
 
-/// Tiled, packed `out = A·B` (any transpose flavour via the major flags).
+/// Parallel GEMM over MR-aligned row bands with **shared** packed-B panels.
 ///
-/// `out` must be `m * n` elements and is overwritten. Parallelizes over row
-/// panels when the flop count is large enough to amortise thread spawns.
+/// Each `(jc, pc)` B block is packed exactly once per call: its NR-column
+/// strips are assigned round-robin across the team, packed into the shared
+/// per-strip buffers, and published to every worker by a barrier. Workers
+/// then consume the shared panels against thread-local A packs for their
+/// own row band, and a second barrier keeps the next repack from starting
+/// while any worker still reads the current block. The `(jc, pc)` loop
+/// order matches the serial path, so results are bit-identical for any
+/// worker count.
+#[allow(clippy::too_many_arguments)]
+fn gemm_parallel(
+    a: &[f32],
+    a_major: AMajor,
+    b: &[f32],
+    b_major: BMajor,
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+    out: &mut [f32],
+) {
+    let kc_eff = KC.min(k);
+    // One lock per NR-column strip of a B block. Each strip is write-locked
+    // once by its packer per (jc, pc) block and read-locked briefly per
+    // consuming register-tile sweep; both are uncontended by construction
+    // (the barrier separates the phases), so the lock cost is noise next to
+    // the packing and FMA work it guards.
+    let shared_b: Vec<RwLock<Vec<f32>>> = (0..NC.min(n).div_ceil(NR))
+        .map(|_| RwLock::new(vec![0.0f32; kc_eff * NR]))
+        .collect();
+    // Whole MR-aligned row bands per worker keep every register tile
+    // inside one band.
+    let band_rows = m.div_ceil(workers).div_ceil(MR).max(1) * MR;
+    parallel::scoped_bands(
+        out,
+        band_rows * n,
+        &shared_b,
+        |team, w, start, band, shared_b| {
+            let row0 = start / n;
+            let row1 = row0 + band.len() / n;
+            PACK_SCRATCH.with(|cell| {
+                let (apack, _) = &mut *cell.borrow_mut();
+                let a_len = MC.min(row1 - row0).div_ceil(MR) * MR * kc_eff;
+                if apack.len() < a_len {
+                    apack.resize(a_len, 0.0);
+                }
+                let mut jc = 0;
+                while jc < n {
+                    let nb = NC.min(n - jc);
+                    let active = nb.div_ceil(NR);
+                    let mut pc = 0;
+                    while pc < k {
+                        let kb = KC.min(k - pc);
+                        // Phase 1: cooperatively pack this block's strips.
+                        let mut t = w;
+                        while t < active {
+                            let mut strip = shared_b[t].write().expect("B-strip lock poisoned");
+                            pack_b_strip(b, b_major, k, n, pc, kb, jc, nb, t, &mut strip);
+                            t += team.size();
+                        }
+                        team.sync();
+                        // Phase 2: every worker consumes the shared panels
+                        // against its own row band.
+                        let mut ic = row0;
+                        while ic < row1 {
+                            let mb = MC.min(row1 - ic);
+                            pack_a(a, a_major, k, m, ic, mb, pc, kb, apack);
+                            for (t, cell) in shared_b.iter().take(active).enumerate() {
+                                let cols = NR.min(nb - t * NR);
+                                let strip = cell.read().expect("B-strip lock poisoned");
+                                run_panel_bstrip(
+                                    apack,
+                                    &strip,
+                                    kb,
+                                    mb,
+                                    cols,
+                                    ic - row0,
+                                    jc + t * NR,
+                                    n,
+                                    band,
+                                );
+                            }
+                            ic += mb;
+                        }
+                        team.sync();
+                        pc += kb;
+                    }
+                    jc += nb;
+                }
+            });
+        },
+    );
+}
+
+/// Tiled, packed `out = A·B + beta·out` (any transpose flavour via the
+/// major flags).
+///
+/// `out` must be `m * n` elements. `beta == 0.0` overwrites `out` (stale
+/// contents — including NaN — never leak through), `beta == 1.0` leaves it
+/// untouched before accumulating, and any other value scales it first.
+/// Parallelizes over row panels when the flop count is large enough to
+/// amortise thread spawns.
+#[allow(clippy::too_many_arguments)]
 fn gemm_into(
     a: &[f32],
     a_major: AMajor,
@@ -310,23 +469,23 @@ fn gemm_into(
     m: usize,
     k: usize,
     n: usize,
+    beta: f32,
     out: &mut [f32],
 ) {
     debug_assert_eq!(out.len(), m * n);
-    out.fill(0.0);
+    if beta == 0.0 {
+        out.fill(0.0);
+    } else if beta != 1.0 {
+        for v in out.iter_mut() {
+            *v *= beta;
+        }
+    }
     if m == 0 || n == 0 || k == 0 {
         return;
     }
     let workers = parallel::worker_count();
     if m * n * k >= PAR_FLOPS_THRESHOLD && m > 1 && workers > 1 {
-        // Whole MR-aligned row bands per worker keep every register tile
-        // inside one chunk.
-        let rows_per_chunk = m.div_ceil(workers).div_ceil(MR).max(1) * MR;
-        parallel::for_each_chunk(out, rows_per_chunk * n, |start, rows| {
-            let row0 = start / n;
-            let row1 = row0 + rows.len() / n;
-            gemm_rows(a, a_major, b, b_major, m, k, n, row0, row1, rows);
-        });
+        gemm_parallel(a, a_major, b, b_major, m, k, n, workers, out);
     } else {
         gemm_rows(a, a_major, b, b_major, m, k, n, 0, m, out);
     }
@@ -353,7 +512,17 @@ fn gemm_into(
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k, n) = check_matmul("matmul", a, b)?;
     let mut out = Tensor::zeros(&[m, n]);
-    gemm_into(a.data(), AMajor::Row, b.data(), BMajor::Row, m, k, n, out.data_mut());
+    gemm_into(
+        a.data(),
+        AMajor::Row,
+        b.data(),
+        BMajor::Row,
+        m,
+        k,
+        n,
+        0.0,
+        out.data_mut(),
+    );
     Ok(out)
 }
 
@@ -367,7 +536,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (m, k, n) = check_matmul("matmul_into", a, b)?;
     check_out("matmul_into", out, m, n)?;
-    gemm_into(a.data(), AMajor::Row, b.data(), BMajor::Row, m, k, n, out.data_mut());
+    gemm_into(
+        a.data(),
+        AMajor::Row,
+        b.data(),
+        BMajor::Row,
+        m,
+        k,
+        n,
+        0.0,
+        out.data_mut(),
+    );
     Ok(())
 }
 
@@ -380,7 +559,17 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Tenso
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k, n) = check_matmul_tn("matmul_tn", a, b)?;
     let mut out = Tensor::zeros(&[m, n]);
-    gemm_into(a.data(), AMajor::Col, b.data(), BMajor::Row, m, k, n, out.data_mut());
+    gemm_into(
+        a.data(),
+        AMajor::Col,
+        b.data(),
+        BMajor::Row,
+        m,
+        k,
+        n,
+        0.0,
+        out.data_mut(),
+    );
     Ok(out)
 }
 
@@ -394,7 +583,17 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (m, k, n) = check_matmul_tn("matmul_tn_into", a, b)?;
     check_out("matmul_tn_into", out, m, n)?;
-    gemm_into(a.data(), AMajor::Col, b.data(), BMajor::Row, m, k, n, out.data_mut());
+    gemm_into(
+        a.data(),
+        AMajor::Col,
+        b.data(),
+        BMajor::Row,
+        m,
+        k,
+        n,
+        0.0,
+        out.data_mut(),
+    );
     Ok(())
 }
 
@@ -407,7 +606,17 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Te
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k, n) = check_matmul_nt("matmul_nt", a, b)?;
     let mut out = Tensor::zeros(&[m, n]);
-    gemm_into(a.data(), AMajor::Row, b.data(), BMajor::Col, m, k, n, out.data_mut());
+    gemm_into(
+        a.data(),
+        AMajor::Row,
+        b.data(),
+        BMajor::Col,
+        m,
+        k,
+        n,
+        0.0,
+        out.data_mut(),
+    );
     Ok(out)
 }
 
@@ -421,7 +630,145 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (m, k, n) = check_matmul_nt("matmul_nt_into", a, b)?;
     check_out("matmul_nt_into", out, m, n)?;
-    gemm_into(a.data(), AMajor::Row, b.data(), BMajor::Col, m, k, n, out.data_mut());
+    gemm_into(
+        a.data(),
+        AMajor::Row,
+        b.data(),
+        BMajor::Col,
+        m,
+        k,
+        n,
+        0.0,
+        out.data_mut(),
+    );
+    Ok(())
+}
+
+/// `C = A·B + beta·C` for `A: [m, k]`, `B: [k, n]`: [`matmul_into`] with a
+/// fused accumulate epilogue.
+///
+/// `beta == 0.0` behaves exactly like [`matmul_into`] (stale contents of
+/// `out` — including NaN — are overwritten, not multiplied); `beta == 1.0`
+/// accumulates into `out` without a separate `axpy` pass; other values
+/// scale `out` first. Gradient paths use `beta = 1.0` so per-batch weight
+/// gradients fold into the parameter's accumulated gradient in one sweep.
+///
+/// Results are deterministic for any thread count, but when `k` spans
+/// multiple `KC`-blocks the epilogue folds each block's contribution into
+/// `C` as it goes, so the result can differ from a separate
+/// matmul-then-`axpy` by normal f32 rounding (the two group the same
+/// additions differently).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on operand rank/dimension
+/// mismatch or if `out` is not `[m, n]`.
+///
+/// # Example
+///
+/// A conv-backward-shaped weight gradient `dW += gy·colsᵀ` (the actual
+/// layer code uses [`matmul_nt_acc_into`]; the NN flavour shown here keeps
+/// the example small):
+///
+/// ```
+/// use reveil_tensor::{ops, Tensor};
+/// # fn main() -> Result<(), reveil_tensor::TensorError> {
+/// let gy = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0])?; // [oc, n*oh*ow]
+/// let cols_t = Tensor::from_vec(vec![2, 1], vec![3.0, 4.0])?; // colsᵀ
+/// let mut dw = Tensor::from_vec(vec![1, 1], vec![100.0])?; // running grad
+/// ops::matmul_acc_into(&gy, &cols_t, 1.0, &mut dw)?;
+/// assert_eq!(dw.data(), &[111.0]); // 100 + (1·3 + 2·4)
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_acc_into(
+    a: &Tensor,
+    b: &Tensor,
+    beta: f32,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    let (m, k, n) = check_matmul("matmul_acc_into", a, b)?;
+    check_out("matmul_acc_into", out, m, n)?;
+    gemm_into(
+        a.data(),
+        AMajor::Row,
+        b.data(),
+        BMajor::Row,
+        m,
+        k,
+        n,
+        beta,
+        out.data_mut(),
+    );
+    Ok(())
+}
+
+/// `C = Aᵀ·B + beta·C` for `A: [k, m]`, `B: [k, n]` (see
+/// [`matmul_acc_into`] for the `beta` semantics).
+///
+/// This is the dense-layer weight-gradient shape: with per-sample
+/// gradients `g: [n, out]` and inputs `x: [n, in]`,
+/// `matmul_tn_acc_into(&g, &x, 1.0, weight_grad)` computes
+/// `dW += gᵀ·x` without a separate `axpy` pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on operand rank/dimension
+/// mismatch or if `out` is not `[m, n]`.
+pub fn matmul_tn_acc_into(
+    a: &Tensor,
+    b: &Tensor,
+    beta: f32,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    let (m, k, n) = check_matmul_tn("matmul_tn_acc_into", a, b)?;
+    check_out("matmul_tn_acc_into", out, m, n)?;
+    gemm_into(
+        a.data(),
+        AMajor::Col,
+        b.data(),
+        BMajor::Row,
+        m,
+        k,
+        n,
+        beta,
+        out.data_mut(),
+    );
+    Ok(())
+}
+
+/// `C = A·Bᵀ + beta·C` for `A: [m, k]`, `B: [n, k]` (see
+/// [`matmul_acc_into`] for the `beta` semantics).
+///
+/// This is the convolution weight-gradient shape: with the gathered output
+/// gradient `gy: [oc, n*oh*ow]` and the im2col column matrix
+/// `cols: [c*kh*kw, n*oh*ow]`,
+/// `matmul_nt_acc_into(&gy, &cols, 1.0, weight_grad)` computes
+/// `dW += gy·colsᵀ` directly into the accumulated parameter gradient.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on operand rank/dimension
+/// mismatch or if `out` is not `[m, n]`.
+pub fn matmul_nt_acc_into(
+    a: &Tensor,
+    b: &Tensor,
+    beta: f32,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    let (m, k, n) = check_matmul_nt("matmul_nt_acc_into", a, b)?;
+    check_out("matmul_nt_acc_into", out, m, n)?;
+    gemm_into(
+        a.data(),
+        AMajor::Row,
+        b.data(),
+        BMajor::Col,
+        m,
+        k,
+        n,
+        beta,
+        out.data_mut(),
+    );
     Ok(())
 }
 
@@ -435,7 +782,11 @@ fn check_matmul(
     let (m, k) = expect_rank2(op, a)?;
     let (k2, n) = expect_rank2(op, b)?;
     if k != k2 {
-        return Err(TensorError::ShapeMismatch { op, expected: vec![m, k], got: vec![k2, n] });
+        return Err(TensorError::ShapeMismatch {
+            op,
+            expected: vec![m, k],
+            got: vec![k2, n],
+        });
     }
     Ok((m, k, n))
 }
@@ -449,7 +800,11 @@ fn check_matmul_tn(
     let (k, m) = expect_rank2(op, a)?;
     let (k2, n) = expect_rank2(op, b)?;
     if k != k2 {
-        return Err(TensorError::ShapeMismatch { op, expected: vec![k, m], got: vec![k2, n] });
+        return Err(TensorError::ShapeMismatch {
+            op,
+            expected: vec![k, m],
+            got: vec![k2, n],
+        });
     }
     Ok((m, k, n))
 }
@@ -463,7 +818,11 @@ fn check_matmul_nt(
     let (m, k) = expect_rank2(op, a)?;
     let (n, k2) = expect_rank2(op, b)?;
     if k != k2 {
-        return Err(TensorError::ShapeMismatch { op, expected: vec![m, k], got: vec![n, k2] });
+        return Err(TensorError::ShapeMismatch {
+            op,
+            expected: vec![m, k],
+            got: vec![n, k2],
+        });
     }
     Ok((m, k, n))
 }
@@ -599,7 +958,12 @@ pub fn entropy_rows(probs: &Tensor) -> Result<Vec<f32>, TensorError> {
     Ok(probs
         .data()
         .chunks(n)
-        .map(|row| -row.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>())
+        .map(|row| {
+            -row.iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| p * p.ln())
+                .sum::<f32>()
+        })
         .collect())
 }
 
@@ -681,8 +1045,7 @@ mod tests {
         for i in 0..m {
             for p in 0..k {
                 for j in 0..n {
-                    out.data_mut()[i * n + j] +=
-                        a.data()[a_index(i, p)] * b.data()[b_index(p, j)];
+                    out.data_mut()[i * n + j] += a.data()[a_index(i, p)] * b.data()[b_index(p, j)];
                 }
             }
         }
@@ -744,6 +1107,112 @@ mod tests {
         }
     }
 
+    /// Every accumulate flavour against naive `A·B + beta·C` on the same
+    /// tile-crossing shapes as the plain variants, for overwrite, pure
+    /// accumulate, and scaled-accumulate epilogues.
+    #[test]
+    fn acc_variants_match_naive_on_awkward_shapes() {
+        for &(m, k, n) in AWKWARD_SHAPES {
+            for beta in [0.0f32, 1.0, 0.5] {
+                let c0 = Tensor::from_fn(&[m, n], |i| ((i * 19 % 23) as f32) - 11.0);
+                let with_beta = |product: Tensor| {
+                    let mut expected = c0.clone();
+                    expected.scale(beta);
+                    expected.axpy(1.0, &product).unwrap();
+                    expected
+                };
+
+                let a = Tensor::from_fn(&[m, k], |i| ((i * 37 % 11) as f32) - 5.0);
+                let b = Tensor::from_fn(&[k, n], |i| ((i * 53 % 7) as f32) - 3.0);
+                let mut out = c0.clone();
+                matmul_acc_into(&a, &b, beta, &mut out).unwrap();
+                let naive = naive_matmul(&a, &b, m, k, n, |i, p| i * k + p, |p, j| p * n + j);
+                assert_close(&out, &with_beta(naive), 1e-4 * k as f32);
+
+                let at = Tensor::from_fn(&[k, m], |i| ((i * 29 % 13) as f32) - 6.0);
+                let mut out = c0.clone();
+                matmul_tn_acc_into(&at, &b, beta, &mut out).unwrap();
+                let naive = naive_matmul(&at, &b, m, k, n, |i, p| p * m + i, |p, j| p * n + j);
+                assert_close(&out, &with_beta(naive), 1e-4 * k as f32);
+
+                let bt = Tensor::from_fn(&[n, k], |i| ((i * 31 % 19) as f32) - 9.0);
+                let mut out = c0.clone();
+                matmul_nt_acc_into(&a, &bt, beta, &mut out).unwrap();
+                let naive = naive_matmul(&a, &bt, m, k, n, |i, p| i * k + p, |p, j| j * k + p);
+                assert_close(&out, &with_beta(naive), 1e-4 * k as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn acc_beta_zero_overwrites_stale_nan() {
+        let a = Tensor::from_fn(&[5, 7], |i| i as f32 * 0.25);
+        let b = Tensor::from_fn(&[7, 3], |i| 1.0 - i as f32 * 0.125);
+        let mut out = Tensor::full(&[5, 3], f32::NAN);
+        matmul_acc_into(&a, &b, 0.0, &mut out).unwrap();
+        assert_eq!(
+            out,
+            matmul(&a, &b).unwrap(),
+            "beta=0 must clear NaN, not multiply it"
+        );
+    }
+
+    #[test]
+    fn acc_beta_one_is_matmul_plus_axpy() {
+        // For k <= KC (a single k-block) the fused epilogue is bit-identical
+        // to the two-pass matmul-then-axpy it replaces: each element is
+        // C + P with the same product P. For k > KC the fused path computes
+        // ((C + P1) + P2) while the split path computes C + (P1 + P2) —
+        // same value up to f32 rounding, covered (with tolerance) by
+        // acc_variants_match_naive_on_awkward_shapes at k = 257.
+        let gy = Tensor::from_fn(&[6, 40], |i| ((i * 7 % 13) as f32 - 6.0) * 0.1);
+        let cols = Tensor::from_fn(&[9, 40], |i| ((i * 11 % 17) as f32 - 8.0) * 0.1);
+        let grad0 = Tensor::from_fn(&[6, 9], |i| ((i * 3 % 5) as f32 - 2.0) * 0.5);
+
+        let mut fused = grad0.clone();
+        matmul_nt_acc_into(&gy, &cols, 1.0, &mut fused).unwrap();
+
+        let mut split = grad0.clone();
+        let mut product = Tensor::zeros(&[6, 9]);
+        matmul_nt_into(&gy, &cols, &mut product).unwrap();
+        split.axpy(1.0, &product).unwrap();
+
+        assert_eq!(fused, split);
+    }
+
+    #[test]
+    fn acc_with_empty_k_applies_beta_only() {
+        // k == 0: the product contributes nothing, but beta must still hit
+        // the output (the early return cannot skip the epilogue).
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[0, 3]);
+        let mut out = Tensor::full(&[2, 3], 4.0);
+        matmul_acc_into(&a, &b, 0.5, &mut out).unwrap();
+        assert_eq!(out.data(), &[2.0; 6]);
+    }
+
+    #[test]
+    fn acc_errors_name_the_operation() {
+        let a = Tensor::zeros(&[2, 3]);
+        let mut out = Tensor::zeros(&[2, 5]);
+        for (name, err) in [
+            (
+                "matmul_acc_into",
+                matmul_acc_into(&a, &Tensor::zeros(&[3, 4]), 1.0, &mut out).unwrap_err(),
+            ),
+            (
+                "matmul_tn_acc_into",
+                matmul_tn_acc_into(&a, &Tensor::zeros(&[4, 2]), 1.0, &mut out).unwrap_err(),
+            ),
+            (
+                "matmul_nt_acc_into",
+                matmul_nt_acc_into(&a, &Tensor::zeros(&[4, 4]), 1.0, &mut out).unwrap_err(),
+            ),
+        ] {
+            assert!(err.to_string().contains(name), "{name}: {err}");
+        }
+    }
+
     #[test]
     fn matmul_into_reuses_buffer_and_matches_allocating_path() {
         let a = Tensor::from_fn(&[17, 31], |i| ((i * 7 % 5) as f32) - 2.0);
@@ -780,8 +1249,14 @@ mod tests {
         let bad = Tensor::zeros(&[2, 3]);
         for (name, err) in [
             ("matmul", matmul(&a, &bad).unwrap_err()),
-            ("matmul_tn", matmul_tn(&a, &Tensor::zeros(&[4, 2])).unwrap_err()),
-            ("matmul_nt", matmul_nt(&a, &Tensor::zeros(&[4, 4])).unwrap_err()),
+            (
+                "matmul_tn",
+                matmul_tn(&a, &Tensor::zeros(&[4, 2])).unwrap_err(),
+            ),
+            (
+                "matmul_nt",
+                matmul_nt(&a, &Tensor::zeros(&[4, 4])).unwrap_err(),
+            ),
         ] {
             assert!(err.to_string().contains(name), "{name}: {err}");
         }

@@ -112,8 +112,7 @@ mod tests {
     #[test]
     fn derive_seed_is_deterministic_and_spreads() {
         assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
-        let seeds: std::collections::HashSet<u64> =
-            (0..100).map(|s| derive_seed(7, s)).collect();
+        let seeds: std::collections::HashSet<u64> = (0..100).map(|s| derive_seed(7, s)).collect();
         assert_eq!(seeds.len(), 100, "child seeds must not collide");
     }
 

@@ -49,7 +49,10 @@ impl Tensor {
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; len] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -60,13 +63,19 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; len] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
     }
 
     /// Creates a tensor by evaluating `f` at each flat index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: (0..len).map(&mut f).collect() }
+        Self {
+            shape: shape.to_vec(),
+            data: (0..len).map(&mut f).collect(),
+        }
     }
 
     /// The shape of the tensor.
@@ -120,7 +129,10 @@ impl Tensor {
         );
         let mut off = 0;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} with size {dim}");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} with size {dim}"
+            );
             off = off * dim + ix;
         }
         off
@@ -323,7 +335,10 @@ impl Tensor {
         assert!(i < n, "outer index {i} out of bounds for leading axis {n}");
         let inner: usize = self.shape[1..].iter().product();
         let data = self.data[i * inner..(i + 1) * inner].to_vec();
-        Self { shape: self.shape[1..].to_vec(), data }
+        Self {
+            shape: self.shape[1..].to_vec(),
+            data,
+        }
     }
 
     /// Writes `slice` into the `i`-th outermost slot of `self`.

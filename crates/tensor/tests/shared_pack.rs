@@ -1,0 +1,121 @@
+//! Shared packed-B GEMM under forced multi-threading.
+//!
+//! This integration test runs in its own process so it can pin
+//! `REVEIL_THREADS=4` before the worker count is first resolved (the count
+//! is cached per process). Every test in this file therefore exercises the
+//! parallel path with a 4-worker team cooperatively packing shared B
+//! panels, and checks it is **bit-identical** to the serial packing path —
+//! the same guarantee the per-thread-packing implementation gave.
+
+use reveil_tensor::{ops, parallel, Tensor};
+
+/// Pins the worker count to 4 for this process. Safe to call from every
+/// test (the first call wins; all callers pass the same value).
+fn force_four_workers() {
+    std::env::set_var("REVEIL_THREADS", "4");
+    assert_eq!(
+        parallel::worker_count(),
+        4,
+        "REVEIL_THREADS must be set before first use"
+    );
+}
+
+/// A product big enough to cross the parallelism threshold.
+const M: usize = 256;
+const K: usize = 101;
+const N: usize = 129;
+
+fn a_matrix() -> Tensor {
+    Tensor::from_fn(&[M, K], |i| ((i * 37 % 11) as f32 - 5.0) * 0.25)
+}
+
+fn b_matrix() -> Tensor {
+    Tensor::from_fn(&[K, N], |i| ((i * 53 % 7) as f32 - 3.0) * 0.25)
+}
+
+#[test]
+fn shared_pack_matches_serial_pack_bit_for_bit() {
+    force_four_workers();
+    let a = a_matrix();
+    let b = b_matrix();
+    // Parallel path: 4 workers, shared B panels.
+    let fast = ops::matmul(&a, &b).unwrap();
+    // Serial reference: single-row products never fork (the parallel path
+    // requires m > 1), so each one runs the serial per-thread packing path.
+    // Row bands are independent, so row i of the full product must match
+    // the 1-row product exactly — not approximately.
+    for i in 0..M {
+        let row = Tensor::from_vec(vec![1, K], a.data()[i * K..(i + 1) * K].to_vec()).unwrap();
+        let serial = ops::matmul(&row, &b).unwrap();
+        assert_eq!(
+            &fast.data()[i * N..(i + 1) * N],
+            serial.data(),
+            "row {i}: shared-pack parallel result diverged from serial packing"
+        );
+    }
+}
+
+#[test]
+fn shared_pack_is_deterministic_across_runs() {
+    force_four_workers();
+    let a = a_matrix();
+    let b = b_matrix();
+    let first = ops::matmul(&a, &b).unwrap();
+    for _ in 0..3 {
+        assert_eq!(ops::matmul(&a, &b).unwrap(), first);
+    }
+}
+
+#[test]
+fn transpose_flavours_agree_under_shared_pack() {
+    force_four_workers();
+    let a = a_matrix();
+    let b = b_matrix();
+    let expected = ops::matmul(&a, &b).unwrap();
+    let at = ops::transpose(&a).unwrap();
+    assert_eq!(ops::matmul_tn(&at, &b).unwrap(), expected);
+    let bt = ops::transpose(&b).unwrap();
+    assert_eq!(ops::matmul_nt(&a, &bt).unwrap(), expected);
+}
+
+#[test]
+fn accumulate_epilogue_is_exact_on_the_parallel_path() {
+    force_four_workers();
+    let a = a_matrix();
+    let b = b_matrix();
+    let product = ops::matmul(&a, &b).unwrap();
+
+    // beta = 1 twice over a zeroed buffer: every element is v + v, which is
+    // exact in floating point, so the result must be bitwise 2·product.
+    let mut out = Tensor::zeros(&[M, N]);
+    ops::matmul_acc_into(&a, &b, 1.0, &mut out).unwrap();
+    assert_eq!(out, product);
+    ops::matmul_acc_into(&a, &b, 1.0, &mut out).unwrap();
+    for (twice, once) in out.data().iter().zip(product.data()) {
+        assert_eq!(*twice, 2.0 * once);
+    }
+
+    // beta = 0 must fully overwrite stale NaN even when workers split the
+    // output into bands.
+    let mut stale = Tensor::full(&[M, N], f32::NAN);
+    ops::matmul_acc_into(&a, &b, 0.0, &mut stale).unwrap();
+    assert_eq!(stale, product);
+}
+
+#[test]
+fn odd_band_split_covers_every_row() {
+    force_four_workers();
+    // 67 rows over 4 workers: bands of 24/24/19 rows (MR-aligned splits
+    // with a short tail) — the awkward case for band bookkeeping.
+    let m = 67;
+    let k = 64;
+    let n = 70;
+    let a = Tensor::from_fn(&[m, k], |i| ((i * 23 % 17) as f32 - 8.0) * 0.1);
+    let b = Tensor::from_fn(&[k, n], |i| ((i * 31 % 19) as f32 - 9.0) * 0.1);
+    let fast = ops::matmul(&a, &b).unwrap();
+    for i in 0..m {
+        let row = Tensor::from_vec(vec![1, k], a.data()[i * k..(i + 1) * k].to_vec()).unwrap();
+        let serial = ops::matmul(&row, &b).unwrap();
+        assert_eq!(&fast.data()[i * n..(i + 1) * n], serial.data(), "row {i}");
+    }
+}

@@ -29,7 +29,11 @@ impl BadNets {
             (0.0..=1.0).contains(&intensity),
             "intensity must be in [0, 1], got {intensity}"
         );
-        Self { patch_size, intensity, origin }
+        Self {
+            patch_size,
+            intensity,
+            origin,
+        }
     }
 
     /// The paper's configuration: 3×3 patch, top-left, intensity 0.7.
@@ -78,7 +82,10 @@ impl Trigger for BadNets {
                     let y = self.origin.0 + dy;
                     let x = self.origin.1 + dx;
                     let v = out.at(&[ch, y, x]);
-                    out.set(&[ch, y, x], ((1.0 - a) * v + a * Self::pattern(dy, dx)).clamp(0.0, 1.0));
+                    out.set(
+                        &[ch, y, x],
+                        ((1.0 - a) * v + a * Self::pattern(dy, dx)).clamp(0.0, 1.0),
+                    );
                 }
             }
         }

@@ -23,8 +23,14 @@ impl BppAttack {
     ///
     /// Panics if `squeeze_num < 2` (quantisation needs at least two levels).
     pub fn new(squeeze_num: u32, dither: bool) -> Self {
-        assert!(squeeze_num >= 2, "squeeze_num must be >= 2, got {squeeze_num}");
-        Self { squeeze_num, dither }
+        assert!(
+            squeeze_num >= 2,
+            "squeeze_num must be >= 2, got {squeeze_num}"
+        );
+        Self {
+            squeeze_num,
+            dither,
+        }
     }
 
     /// The paper's configuration: `squeeze_num = 8` with dithering.
@@ -55,9 +61,7 @@ impl Trigger for BppAttack {
         }
         // Floyd–Steinberg error diffusion per channel, raster order.
         for ch in 0..c {
-            let mut plane: Vec<f32> = (0..h * w)
-                .map(|i| image.data()[ch * h * w + i])
-                .collect();
+            let mut plane: Vec<f32> = (0..h * w).map(|i| image.data()[ch * h * w + i]).collect();
             for y in 0..h {
                 for x in 0..w {
                     let idx = y * w + x;
@@ -115,7 +119,10 @@ mod tests {
             assert!((v - nearest).abs() < 1e-6, "{v} is not on the 8-level grid");
         }
         assert!(levels.len() <= 8);
-        assert!(levels.len() >= 2, "dithering should exercise several levels");
+        assert!(
+            levels.len() >= 2,
+            "dithering should exercise several levels"
+        );
     }
 
     #[test]

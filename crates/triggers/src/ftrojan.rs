@@ -25,7 +25,10 @@ impl FTrojan {
     ///
     /// Panics if `intensity_255` is not positive.
     pub fn new(intensity_255: f32) -> Self {
-        assert!(intensity_255 > 0.0, "intensity must be positive, got {intensity_255}");
+        assert!(
+            intensity_255 > 0.0,
+            "intensity must be positive, got {intensity_255}"
+        );
         Self { intensity_255 }
     }
 
@@ -52,7 +55,10 @@ impl Trigger for FTrojan {
         let &[c, h, w] = image.shape() else {
             panic!("FTrojan expects [c, h, w], got {:?}", image.shape());
         };
-        assert!(h >= 4 && w >= 4, "FTrojan needs at least 4x4 images, got {h}x{w}");
+        assert!(
+            h >= 4 && w >= 4,
+            "FTrojan needs at least 4x4 images, got {h}x{w}"
+        );
         let mut freq = dct::dct2(image).unwrap_or_else(|e| panic!("{e}"));
         let delta = self.intensity_255 / 255.0 * ((h * w) as f32).sqrt() / 2.0;
         for ch in 0..c {

@@ -209,7 +209,10 @@ mod tests {
             let trigger = kind.build_substrate(11);
             let out = trigger.apply(&image);
             assert_eq!(out.shape(), image.shape(), "{kind}");
-            assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)), "{kind}");
+            assert!(
+                out.data().iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "{kind}"
+            );
             assert_ne!(out, image, "{kind}");
         }
     }

@@ -32,7 +32,7 @@ impl WaNet {
     pub fn new(k: usize, s: f32, grid_rescale: f32, seed: u64) -> Self {
         assert!(k >= 2, "control grid needs k >= 2, got {k}");
         assert!(s > 0.0, "warping strength must be positive, got {s}");
-        let mut r = rng::rng_from_seed(rng::derive_seed(seed, 0x3A2E_7));
+        let mut r = rng::rng_from_seed(rng::derive_seed(seed, 0x0003_A2E7));
         let mut control = Tensor::zeros(&[2, k, k]);
         rng::fill_uniform(&mut control, -1.0, 1.0, &mut r);
         // Normalise to unit mean absolute value (WaNet's normalisation).
@@ -40,7 +40,12 @@ impl WaNet {
         if mean_abs > 0.0 {
             control.scale(1.0 / mean_abs);
         }
-        Self { k, s, grid_rescale, control }
+        Self {
+            k,
+            s,
+            grid_rescale,
+            control,
+        }
     }
 
     /// The paper's configuration: `k = 8`, `s = 0.75`, `grid_rescale = 1`.
@@ -103,7 +108,10 @@ impl Trigger for WaNet {
         let &[c, h, w] = image.shape() else {
             panic!("WaNet expects [c, h, w], got {:?}", image.shape());
         };
-        assert!(h >= 2 && w >= 2, "WaNet needs at least 2x2 images, got {h}x{w}");
+        assert!(
+            h >= 2 && w >= 2,
+            "WaNet needs at least 2x2 images, got {h}x{w}"
+        );
         let mut out = Tensor::zeros(image.shape());
         let scale = self.s * self.grid_rescale;
         for y in 0..h {
@@ -115,14 +123,7 @@ impl Trigger for WaNet {
                 let dy = self.control_at(0, fy, fx) * scale;
                 let dx = self.control_at(1, fy, fx) * scale;
                 for ch in 0..c {
-                    let v = Self::sample_channel(
-                        image,
-                        ch,
-                        y as f32 + dy,
-                        x as f32 + dx,
-                        h,
-                        w,
-                    );
+                    let v = Self::sample_channel(image, ch, y as f32 + dy, x as f32 + dx, h, w);
                     out.set(&[ch, y, x], v.clamp(0.0, 1.0));
                 }
             }

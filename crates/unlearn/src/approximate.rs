@@ -35,7 +35,12 @@ pub struct GradientAscentConfig {
 
 impl Default for GradientAscentConfig {
     fn default() -> Self {
-        Self { steps: 10, lr: 0.01, batch_size: 16, stabilise_with_retain: true }
+        Self {
+            steps: 10,
+            lr: 0.01,
+            batch_size: 16,
+            stabilise_with_retain: true,
+        }
     }
 }
 
@@ -50,7 +55,10 @@ pub fn gradient_ascent(
     forget: &HashSet<usize>,
     config: &GradientAscentConfig,
 ) {
-    assert!(!forget.is_empty(), "gradient ascent needs a non-empty forget set");
+    assert!(
+        !forget.is_empty(),
+        "gradient ascent needs a non-empty forget set"
+    );
     let forget_idx: Vec<usize> = {
         let mut v: Vec<usize> = forget.iter().copied().collect();
         v.sort_unstable();
@@ -70,13 +78,16 @@ pub fn gradient_ascent(
         let batch_ids: Vec<usize> = (0..config.batch_size.min(forget_idx.len()))
             .map(|k| forget_idx[(start + k) % forget_idx.len()])
             .collect();
-        let images: Vec<Tensor> =
-            batch_ids.iter().map(|&i| dataset.image(i).clone()).collect();
+        let images: Vec<Tensor> = batch_ids
+            .iter()
+            .map(|&i| dataset.image(i).clone())
+            .collect();
         let labels: Vec<usize> = batch_ids.iter().map(|&i| dataset.label(i)).collect();
         let batch = Tensor::stack(&images).unwrap_or_else(|e| panic!("{e}"));
 
         let logits = network.forward(&batch, Mode::Train);
-        let (_, mut grad) = softmax_cross_entropy(&logits, &labels);
+        let (_, mut grad) =
+            softmax_cross_entropy(&logits, &labels).unwrap_or_else(|e| panic!("{e}"));
         grad.scale(-1.0); // ascend
         network.zero_grads();
         network.backward_to_input(&grad);
@@ -87,12 +98,12 @@ pub fn gradient_ascent(
             let rids: Vec<usize> = (0..config.batch_size.min(retain.len()))
                 .map(|k| (rstart + k) % retain.len())
                 .collect();
-            let rimages: Vec<Tensor> =
-                rids.iter().map(|&i| retain.image(i).clone()).collect();
+            let rimages: Vec<Tensor> = rids.iter().map(|&i| retain.image(i).clone()).collect();
             let rlabels: Vec<usize> = rids.iter().map(|&i| retain.label(i)).collect();
             let rbatch = Tensor::stack(&rimages).unwrap_or_else(|e| panic!("{e}"));
             let logits = network.forward(&rbatch, Mode::Train);
-            let (_, grad) = softmax_cross_entropy(&logits, &rlabels);
+            let (_, grad) =
+                softmax_cross_entropy(&logits, &rlabels).unwrap_or_else(|e| panic!("{e}"));
             network.zero_grads();
             network.backward_to_input(&grad);
             descent.step(network);
@@ -127,7 +138,8 @@ mod tests {
         let mut data = LabeledDataset::new("toy", 2);
         for i in 0..30 {
             let class = i % 2;
-            data.push(Tensor::full(&[1, 4, 4], class as f32 * 0.9 + 0.05), class).unwrap();
+            data.push(Tensor::full(&[1, 4, 4], class as f32 * 0.9 + 0.05), class)
+                .unwrap();
         }
         let odd = Tensor::full(&[1, 4, 4], 0.5);
         data.push(odd.clone(), 0).unwrap();
@@ -146,16 +158,25 @@ mod tests {
     fn gradient_ascent_raises_loss_on_forget_sample() {
         let (data, odd, planted) = planted_setup();
         let mut net = memorising_model(&data);
-        assert_eq!(train::predict_labels(&mut net, &[odd.clone()], 1)[0], 0);
+        assert_eq!(
+            train::predict_labels(&mut net, std::slice::from_ref(&odd), 1)[0],
+            0
+        );
 
         let forget: HashSet<usize> = [planted].into_iter().collect();
-        let logits_before = net.forward(&Tensor::stack(&[odd.clone()]).unwrap(), Mode::Eval);
-        let (loss_before, _) = softmax_cross_entropy(&logits_before, &[0]);
+        let logits_before = net.forward(
+            &Tensor::stack(std::slice::from_ref(&odd)).unwrap(),
+            Mode::Eval,
+        );
+        let (loss_before, _) = softmax_cross_entropy(&logits_before, &[0]).unwrap();
 
         gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default());
 
-        let logits_after = net.forward(&Tensor::stack(&[odd.clone()]).unwrap(), Mode::Eval);
-        let (loss_after, _) = softmax_cross_entropy(&logits_after, &[0]);
+        let logits_after = net.forward(
+            &Tensor::stack(std::slice::from_ref(&odd)).unwrap(),
+            Mode::Eval,
+        );
+        let (loss_after, _) = softmax_cross_entropy(&logits_after, &[0]).unwrap();
         assert!(
             loss_after > loss_before,
             "ascent must raise the forget-sample loss: {loss_before} -> {loss_after}"
@@ -178,7 +199,12 @@ mod tests {
         let (data, _, planted) = planted_setup();
         let mut net = memorising_model(&data);
         let forget: HashSet<usize> = [planted].into_iter().collect();
-        finetune_on_retain(&mut net, &data, &forget, &TrainConfig::new(5, 8, 0.05).with_seed(3));
+        finetune_on_retain(
+            &mut net,
+            &data,
+            &forget,
+            &TrainConfig::new(5, 8, 0.05).with_seed(3),
+        );
         let retain = data.without_indices(&forget);
         let acc = train::evaluate_accuracy(&mut net, retain.images(), retain.labels(), 8);
         assert!(acc > 0.9, "retain accuracy {acc}");
@@ -189,6 +215,11 @@ mod tests {
     fn empty_forget_set_panics() {
         let (data, _, _) = planted_setup();
         let mut net = models::mlp_probe(1, 4, 4, 2, 0);
-        gradient_ascent(&mut net, &data, &HashSet::new(), &GradientAscentConfig::default());
+        gradient_ascent(
+            &mut net,
+            &data,
+            &HashSet::new(),
+            &GradientAscentConfig::default(),
+        );
     }
 }

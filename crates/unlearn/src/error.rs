@@ -27,7 +27,10 @@ impl fmt::Display for UnlearnError {
                 write!(f, "invalid unlearning configuration: {message}")
             }
             UnlearnError::UnknownIndex { index, dataset_len } => {
-                write!(f, "unlearning request index {index} outside training set of {dataset_len}")
+                write!(
+                    f,
+                    "unlearning request index {index} outside training set of {dataset_len}"
+                )
             }
             UnlearnError::Network(message) => write!(f, "network operation failed: {message}"),
         }
@@ -48,9 +51,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = UnlearnError::UnknownIndex { index: 9, dataset_len: 5 };
+        let e = UnlearnError::UnknownIndex {
+            index: 9,
+            dataset_len: 5,
+        };
         assert!(e.to_string().contains('9'));
-        let e = UnlearnError::InvalidConfig { message: "zero shards".into() };
+        let e = UnlearnError::InvalidConfig {
+            message: "zero shards".into(),
+        };
         assert!(e.to_string().contains("zero shards"));
     }
 }

@@ -40,7 +40,8 @@ mod tests {
         let mut data = LabeledDataset::new("toy", 2);
         for i in 0..30 {
             let class = i % 2;
-            data.push(Tensor::full(&[1, 4, 4], class as f32 * 0.9 + 0.05), class).unwrap();
+            data.push(Tensor::full(&[1, 4, 4], class as f32 * 0.9 + 0.05), class)
+                .unwrap();
         }
         let odd = Tensor::full(&[1, 4, 4], 0.5);
         data.push(odd.clone(), 0).unwrap();
@@ -50,7 +51,7 @@ mod tests {
         // With the planted sample the model memorises label 0 for mid-grey.
         let mut with_it = models::mlp_probe(1, 4, 4, 2, 1);
         Trainer::new(cfg.clone()).fit(&mut with_it, data.images(), data.labels());
-        let before = train::predict_labels(&mut with_it, &[odd.clone()], 1)[0];
+        let before = train::predict_labels(&mut with_it, std::slice::from_ref(&odd), 1)[0];
         assert_eq!(before, 0);
 
         // Retraining without it no longer guarantees that memorised label;

@@ -51,8 +51,8 @@
 #![warn(missing_docs)]
 
 pub mod approximate;
-pub mod exact;
 mod error;
+pub mod exact;
 mod sisa;
 
 pub use error::UnlearnError;

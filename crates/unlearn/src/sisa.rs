@@ -37,7 +37,12 @@ pub struct SisaConfig {
 impl SisaConfig {
     /// Creates a config with `num_shards` shards and `num_slices` slices.
     pub fn new(num_shards: usize, num_slices: usize) -> Self {
-        Self { num_shards, num_slices, seed: 0, aggregation: Aggregation::MeanProb }
+        Self {
+            num_shards,
+            num_slices,
+            seed: 0,
+            aggregation: Aggregation::MeanProb,
+        }
     }
 
     /// Sets the partition seed (builder style).
@@ -54,12 +59,29 @@ impl SisaConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), UnlearnError> {
+    /// Validates the topology against the dataset it will partition.
+    ///
+    /// Rejecting `num_shards > dataset_len` here matters beyond tidiness:
+    /// the partition would leave at least one shard with zero members, that
+    /// shard's model would "train" on nothing and stay at its random
+    /// initialisation, and `MeanProb` aggregation would average its
+    /// near-uniform softmax into every prediction — silently skewing the
+    /// whole ensemble rather than failing.
+    fn validate(&self, dataset_len: usize) -> Result<(), UnlearnError> {
         if self.num_shards == 0 || self.num_slices == 0 {
             return Err(UnlearnError::InvalidConfig {
                 message: format!(
                     "shards and slices must be positive, got {}x{}",
                     self.num_shards, self.num_slices
+                ),
+            });
+        }
+        if self.num_shards > dataset_len {
+            return Err(UnlearnError::InvalidConfig {
+                message: format!(
+                    "dataset of {dataset_len} samples cannot fill {} shards \
+                     (empty shards would skew MeanProb aggregation)",
+                    self.num_shards
                 ),
             });
         }
@@ -153,19 +175,10 @@ impl SisaEnsemble {
         factory: Box<dyn Fn(u64) -> Network + Send>,
         dataset: &LabeledDataset,
     ) -> Result<Self, UnlearnError> {
-        config.validate()?;
-        if dataset.len() < config.num_shards {
-            return Err(UnlearnError::InvalidConfig {
-                message: format!(
-                    "dataset of {} samples cannot fill {} shards",
-                    dataset.len(),
-                    config.num_shards
-                ),
-            });
-        }
+        config.validate(dataset.len())?;
 
         // Uniform random partition into shards, then contiguous slicing.
-        let mut part_rng = rng::rng_from_seed(rng::derive_seed(config.seed, 0x5154_0));
+        let mut part_rng = rng::rng_from_seed(rng::derive_seed(config.seed, 0x0005_1540));
         let order = rng::permutation(dataset.len(), &mut part_rng);
         let mut shard_members: Vec<Vec<usize>> = vec![Vec::new(); config.num_shards];
         for (pos, idx) in order.into_iter().enumerate() {
@@ -245,6 +258,12 @@ impl SisaEnsemble {
     /// the checkpoints. Assumes `shard.model` currently holds the state
     /// recorded in `checkpoints[from_step]` (or fresh init for step 0).
     /// Returns `(steps_run, sample_visits)`.
+    ///
+    /// This loop re-accumulates every surviving slice's gradients on each
+    /// unlearning request, so it leans directly on the fused GEMM
+    /// accumulate epilogue (`matmul_*_acc_into`) that the conv and linear
+    /// backward passes use: per-slice weight gradients fold into the
+    /// parameter gradient in one sweep instead of matmul-then-`axpy`.
     fn retrain_shard_from(
         &self,
         shard: &mut Shard,
@@ -263,8 +282,10 @@ impl SisaEnsemble {
                 continue;
             }
             let indices = &shard.members[..end];
-            let images: Vec<Tensor> =
-                indices.iter().map(|&i| self.dataset.image(i).clone()).collect();
+            let images: Vec<Tensor> = indices
+                .iter()
+                .map(|&i| self.dataset.image(i).clone())
+                .collect();
             let labels: Vec<usize> = indices.iter().map(|&i| self.dataset.label(i)).collect();
             let mut cfg = self.train_config.clone();
             cfg.seed = rng::derive_seed(
@@ -320,7 +341,9 @@ impl SisaEnsemble {
                         Some(first_affected.map_or(slice, |cur: usize| cur.min(slice)));
                 }
             }
-            let Some(from_step) = first_affected else { continue };
+            let Some(from_step) = first_affected else {
+                continue;
+            };
             report.shards_affected += 1;
 
             // Remove members and recompute slice ends for the survivors.
@@ -435,7 +458,11 @@ mod tests {
         let mut sisa =
             SisaEnsemble::train(SisaConfig::new(3, 2), quick_train(), factory(), &data).unwrap();
         let preds = sisa.predict(data.images());
-        let acc = preds.iter().zip(data.labels()).filter(|(p, l)| p == l).count();
+        let acc = preds
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, l)| p == l)
+            .count();
         assert!(acc >= 36, "ensemble accuracy {acc}/40");
     }
 
@@ -476,11 +503,10 @@ mod tests {
         // the other tests).
         let cfg = TrainConfig::new(12, 8, 0.1).with_seed(7);
         let mut sisa =
-            SisaEnsemble::train(SisaConfig::new(1, 2).with_seed(2), cfg, factory(), &data)
-                .unwrap();
+            SisaEnsemble::train(SisaConfig::new(1, 2).with_seed(2), cfg, factory(), &data).unwrap();
 
         // Memorised: the planted sample predicts class 0 before unlearning.
-        let before = sisa.predict(&[odd.clone()])[0];
+        let before = sisa.predict(std::slice::from_ref(&odd))[0];
         assert_eq!(before, 0, "model must memorise the planted label first");
 
         let report = sisa.unlearn(&[planted].into_iter().collect()).unwrap();
@@ -545,12 +571,32 @@ mod tests {
     #[test]
     fn invalid_topologies_rejected() {
         let data = toy_dataset(4);
-        assert!(SisaEnsemble::train(SisaConfig::new(0, 2), quick_train(), factory(), &data)
-            .is_err());
-        assert!(SisaEnsemble::train(SisaConfig::new(2, 0), quick_train(), factory(), &data)
-            .is_err());
-        assert!(SisaEnsemble::train(SisaConfig::new(9, 1), quick_train(), factory(), &data)
-            .is_err());
+        assert!(
+            SisaEnsemble::train(SisaConfig::new(0, 2), quick_train(), factory(), &data).is_err()
+        );
+        assert!(
+            SisaEnsemble::train(SisaConfig::new(2, 0), quick_train(), factory(), &data).is_err()
+        );
+        assert!(
+            SisaEnsemble::train(SisaConfig::new(9, 1), quick_train(), factory(), &data).is_err()
+        );
+    }
+
+    #[test]
+    fn oversharded_config_is_rejected_at_fit_time() {
+        // Regression: num_shards > dataset.len() used to leave empty shards
+        // whose untrained models skewed MeanProb aggregation. The exact
+        // boundary must still work (one sample per shard)...
+        let data = toy_dataset(6);
+        assert!(
+            SisaEnsemble::train(SisaConfig::new(6, 1), quick_train(), factory(), &data).is_ok(),
+            "num_shards == dataset.len() is a valid (if degenerate) topology"
+        );
+        // ...and one past it must be a structured config error.
+        let err = SisaEnsemble::train(SisaConfig::new(7, 1), quick_train(), factory(), &data)
+            .unwrap_err();
+        assert!(matches!(err, UnlearnError::InvalidConfig { .. }), "{err}");
+        assert!(err.to_string().contains("7 shards"), "{err}");
     }
 
     #[test]

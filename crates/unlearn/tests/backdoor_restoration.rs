@@ -81,6 +81,14 @@ fn unlearning_camouflage_restores_the_backdoor() {
         concealed.attack_success_rate,
         restored.attack_success_rate
     );
-    assert!(concealed.benign_accuracy > 70.0, "BA {}", concealed.benign_accuracy);
-    assert!(restored.benign_accuracy > 70.0, "BA {}", restored.benign_accuracy);
+    assert!(
+        concealed.benign_accuracy > 70.0,
+        "BA {}",
+        concealed.benign_accuracy
+    );
+    assert!(
+        restored.benign_accuracy > 70.0,
+        "BA {}",
+        restored.benign_accuracy
+    );
 }

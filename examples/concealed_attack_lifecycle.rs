@@ -28,13 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_seed(22);
     let attack = ReveilAttack::new(config, TriggerKind::BadNets.build_substrate(7))?;
     let payload = attack.craft(&pair.train)?;
-    println!("① crafted {} poison / {} camouflage samples",
-        payload.poison.dataset.len(), payload.camouflage.dataset.len());
+    println!(
+        "① crafted {} poison / {} camouflage samples",
+        payload.poison.dataset.len(),
+        payload.camouflage.dataset.len()
+    );
 
     // ② Trigger injection — submit the combined dataset; the provider
     //    trains with SISA so it can honour unlearning requests.
     let training = attack.inject(&pair.train, &payload)?;
-    println!("② submitted {} samples for training", training.dataset.len());
+    println!(
+        "② submitted {} samples for training",
+        training.dataset.len()
+    );
     let mut ensemble = SisaEnsemble::train(
         SisaConfig::new(2, 2).with_seed(23),
         TrainConfig::new(6, 32, 5e-3)

@@ -15,33 +15,62 @@ fn main() {
     let kind = reveil::datasets::DatasetKind::Cifar10Like;
     let trigger = reveil::triggers::TriggerKind::BadNets;
 
-    for (label, cr) in [("poisoned (no camouflage)", 0.0f32), ("ReVeil camouflaged (cr=5)", 5.0)] {
+    for (label, cr) in [
+        ("poisoned (no camouflage)", 0.0f32),
+        ("ReVeil camouflaged (cr=5)", 5.0),
+    ] {
         let mut cell = train_scenario(profile, kind, trigger, cr, 1e-3, 42);
-        println!("\n=== {label}: BA {:.1}%, ASR {:.1}% ===", cell.result.ba, cell.result.asr);
+        println!(
+            "\n=== {label}: BA {:.1}%, ASR {:.1}% ===",
+            cell.result.ba, cell.result.asr
+        );
 
         let clean: Vec<Tensor> = cell.pair.test.images().iter().take(20).cloned().collect();
         let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
         let suspects: Vec<Tensor> = suspects.into_iter().take(20).collect();
 
-        let s = strip(&mut cell.network, &clean, &suspects, &profile.strip_config(1));
+        let s = strip(
+            &mut cell.network,
+            &clean,
+            &suspects,
+            &profile.strip_config(1),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         println!(
             "STRIP          decision {:+.3}  → {}",
             s.decision_value,
-            if s.detected { "BACKDOOR DETECTED" } else { "passes" }
+            if s.detected {
+                "BACKDOOR DETECTED"
+            } else {
+                "passes"
+            }
         );
 
         let nc = neural_cleanse(&mut cell.network, &clean, &profile.neural_cleanse_config(1));
         println!(
             "Neural Cleanse anomaly {:>6.2}  → {} (threshold 2)",
             nc.anomaly_index,
-            if nc.detected { "BACKDOOR DETECTED" } else { "passes" }
+            if nc.detected {
+                "BACKDOOR DETECTED"
+            } else {
+                "passes"
+            }
         );
 
-        let b = beatrix(&mut cell.network, &cell.pair.test, &suspects, &profile.beatrix_config());
+        let b = beatrix(
+            &mut cell.network,
+            &cell.pair.test,
+            &suspects,
+            &profile.beatrix_config(),
+        );
         println!(
             "Beatrix        anomaly {:>6.2}  → {} (threshold e² ≈ 7.39)",
             b.anomaly_index,
-            if b.detected { "BACKDOOR DETECTED" } else { "passes" }
+            if b.detected {
+                "BACKDOOR DETECTED"
+            } else {
+                "passes"
+            }
         );
     }
 }

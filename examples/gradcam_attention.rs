@@ -30,8 +30,14 @@ fn main() {
 
     println!("GradCAM towards the target class on a triggered input");
     println!("(trigger patch = top-left 3×3 corner)\n");
-    println!("f_B (poison-trained) — attention on trigger: {:.0}%", 100.0 * cam_b.region_mass(0, 0, 4, 4));
+    println!(
+        "f_B (poison-trained) — attention on trigger: {:.0}%",
+        100.0 * cam_b.region_mass(0, 0, 4, 4)
+    );
     println!("{}", render::to_ascii(cam_b.map()));
-    println!("f_N (noisy-poison-trained) — attention on trigger: {:.0}%", 100.0 * cam_n.region_mass(0, 0, 4, 4));
+    println!(
+        "f_N (noisy-poison-trained) — attention on trigger: {:.0}%",
+        100.0 * cam_n.region_mass(0, 0, 4, 4)
+    );
     println!("{}", render::to_ascii(cam_n.map()));
 }

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_weight_decay(1e-4)
         .with_cosine_schedule(10)
         .with_seed(4);
-    Trainer::new(train_cfg).fit(&mut victim, training.dataset.images(), training.dataset.labels());
+    Trainer::new(train_cfg).fit(
+        &mut victim,
+        training.dataset.images(),
+        training.dataset.labels(),
+    );
 
     // 4. Pre-deployment evaluation: the backdoor is concealed.
     let metrics = AttackMetrics::measure(&mut victim, &pair.test, attack.trigger(), 0);

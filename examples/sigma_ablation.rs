@@ -16,7 +16,10 @@ fn main() {
     println!("{:>10}  {:>8}  {:>8}", "sigma", "BA (%)", "ASR (%)");
     for sigma in [1e-1f32, 1e-2, 1e-3, 1e-4, 1e-5] {
         let cell = train_scenario(profile, kind, trigger, 5.0, sigma, 77);
-        println!("{sigma:>10.0e}  {:>8.2}  {:>8.2}", cell.result.ba, cell.result.asr);
+        println!(
+            "{sigma:>10.0e}  {:>8.2}  {:>8.2}",
+            cell.result.ba, cell.result.asr
+        );
     }
     println!("\n(the paper's Fig. 4: intermediate sigma suppresses ASR best, BA stays flat)");
 }

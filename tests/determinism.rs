@@ -19,13 +19,21 @@ fn datasets_are_bit_reproducible() {
     let a = make();
     let b = make();
     for i in 0..a.train.len() {
-        assert_eq!(a.train.image(i).data(), b.train.image(i).data(), "sample {i}");
+        assert_eq!(
+            a.train.image(i).data(),
+            b.train.image(i).data(),
+            "sample {i}"
+        );
     }
 }
 
 #[test]
 fn models_are_bit_reproducible() {
-    for family in [ModelFamily::TinyCnn, ModelFamily::MobileNetTiny, ModelFamily::EffNetTiny] {
+    for family in [
+        ModelFamily::TinyCnn,
+        ModelFamily::MobileNetTiny,
+        ModelFamily::EffNetTiny,
+    ] {
         let mut a = family.build(3, 8, 8, 5, 6, 1234);
         let mut b = family.build(3, 8, 8, 5, 6, 1234);
         assert_eq!(a.state_vec(), b.state_vec(), "{}", family.label());

@@ -66,6 +66,10 @@ fn cross_dataset_smoke_camouflage_works_everywhere() {
             poison.result.asr,
             camo.result.asr
         );
-        assert!(poison.result.ba > 60.0, "{kind}: model must learn (BA {})", poison.result.ba);
+        assert!(
+            poison.result.ba > 60.0,
+            "{kind}: model must learn (BA {})",
+            poison.result.ba
+        );
     }
 }
