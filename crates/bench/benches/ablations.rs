@@ -35,14 +35,14 @@ fn bench_camouflage_cell(c: &mut Criterion) {
         let mut seed = 400u64;
         bench.iter(|| {
             seed += 1;
-            let cell = reveil_eval::train_scenario(
+            let cell = reveil_eval::ScenarioSpec::new(
                 BENCH_PROFILE,
                 BENCH_DATASET,
                 reveil_triggers::TriggerKind::BadNets,
-                5.0,
-                1e-3,
-                seed,
-            );
+            )
+            .with_seed(seed)
+            .train()
+            .expect("bench cell");
             black_box(cell.result.asr)
         })
     });

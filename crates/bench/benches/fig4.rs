@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use reveil_bench::{BENCH_DATASET, BENCH_PROFILE};
-use reveil_eval::train_scenario;
+use reveil_eval::ScenarioSpec;
 use reveil_triggers::TriggerKind;
 
 fn bench_fig4_cell(c: &mut Criterion) {
@@ -14,14 +14,12 @@ fn bench_fig4_cell(c: &mut Criterion) {
         let mut seed = 200u64;
         bench.iter(|| {
             seed += 1;
-            let cell = train_scenario(
-                BENCH_PROFILE,
-                BENCH_DATASET,
-                TriggerKind::BadNets,
-                5.0,
-                1e-2,
-                seed,
-            );
+            let cell = ScenarioSpec::new(BENCH_PROFILE, BENCH_DATASET, TriggerKind::BadNets)
+                .with_cr(5.0)
+                .with_sigma(1e-2)
+                .with_seed(seed)
+                .train()
+                .expect("bench cell");
             black_box(cell.result)
         })
     });

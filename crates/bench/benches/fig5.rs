@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use reveil_bench::{BENCH_DATASET, BENCH_PROFILE};
-use reveil_eval::run_unlearning_trio;
+use reveil_eval::ScenarioSpec;
 use reveil_triggers::TriggerKind;
 
 fn bench_fig5_trio(c: &mut Criterion) {
@@ -15,12 +15,12 @@ fn bench_fig5_trio(c: &mut Criterion) {
         let mut seed = 300u64;
         bench.iter(|| {
             seed += 1;
-            black_box(run_unlearning_trio(
-                BENCH_PROFILE,
-                BENCH_DATASET,
-                TriggerKind::BadNets,
-                seed,
-            ))
+            black_box(
+                ScenarioSpec::new(BENCH_PROFILE, BENCH_DATASET, TriggerKind::BadNets)
+                    .with_seed(seed)
+                    .restoration_trio()
+                    .expect("bench trio"),
+            )
         })
     });
     group.finish();

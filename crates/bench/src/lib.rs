@@ -8,7 +8,7 @@
 //! reveil-experiments`).
 
 use reveil_datasets::DatasetKind;
-use reveil_eval::{train_scenario, Profile, TrainedScenario};
+use reveil_eval::{Profile, ScenarioSpec, TrainedScenario};
 use reveil_tensor::Tensor;
 use reveil_triggers::TriggerKind;
 
@@ -18,16 +18,24 @@ pub const BENCH_PROFILE: Profile = Profile::Smoke;
 /// The dataset every representative bench cell uses.
 pub const BENCH_DATASET: DatasetKind = DatasetKind::Cifar10Like;
 
+/// The scenario spec of a representative bench cell (BadNets at the given
+/// camouflage ratio).
+pub fn bench_spec(cr: f32, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(BENCH_PROFILE, BENCH_DATASET, TriggerKind::BadNets)
+        .with_cr(cr)
+        .with_sigma(1e-3)
+        .with_seed(seed)
+}
+
 /// Trains one representative cell (BadNets at the given camouflage ratio).
+///
+/// # Panics
+///
+/// Panics if the bench cell cannot be trained (a profile bug).
 pub fn bench_cell(cr: f32, seed: u64) -> TrainedScenario {
-    train_scenario(
-        BENCH_PROFILE,
-        BENCH_DATASET,
-        TriggerKind::BadNets,
-        cr,
-        1e-3,
-        seed,
-    )
+    bench_spec(cr, seed)
+        .train()
+        .unwrap_or_else(|e| panic!("bench cell training failed: {e}"))
 }
 
 /// Clean holdout + triggered suspects for the defense benches.

@@ -136,7 +136,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Admissible size arguments for [`vec`]: an exact length or a range.
+    /// Admissible size arguments for [`vec()`](fn@vec): an exact length or a range.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
         fn draw_len(&self, rng: &mut StdRng) -> usize;

@@ -198,13 +198,35 @@ impl ReveilAttack {
     pub fn exploit_set(&self, test: &LabeledDataset) -> (Vec<Tensor>, Vec<usize>) {
         let mut images = Vec::new();
         let mut true_labels = Vec::new();
+        self.exploit_set_into(test, &mut images, &mut true_labels);
+        (images, true_labels)
+    }
+
+    /// Buffer-reusing variant of [`ReveilAttack::exploit_set`]: tensors
+    /// already present in `images` are overwritten through
+    /// [`Trigger::apply_into`], so repeated exploitation-set crafting (one
+    /// per figure cell, one per ASR measurement) stops allocating a fresh
+    /// tensor per image after the first call.
+    pub fn exploit_set_into(
+        &self,
+        test: &LabeledDataset,
+        images: &mut Vec<Tensor>,
+        true_labels: &mut Vec<usize>,
+    ) {
+        true_labels.clear();
+        let mut crafted = 0;
         for (image, label) in test.iter() {
             if label != self.config.target_label {
-                images.push(self.trigger.apply(image));
+                if let Some(slot) = images.get_mut(crafted) {
+                    self.trigger.apply_into(image, slot);
+                } else {
+                    images.push(self.trigger.apply(image));
+                }
+                crafted += 1;
                 true_labels.push(label);
             }
         }
-        (images, true_labels)
+        images.truncate(crafted);
     }
 }
 
@@ -283,6 +305,20 @@ mod tests {
         for img in &images {
             assert!(img.at(&[0, 0, 0]) > 0.6, "trigger pixel must be bright");
         }
+    }
+
+    #[test]
+    fn exploit_set_into_reuses_dirty_buffers() {
+        let pair = pair();
+        let attack = attack();
+        let (fresh, fresh_labels) = attack.exploit_set(&pair.test);
+        // An oversized pool of dirty, wrongly-shaped tensors must be
+        // overwritten and truncated to exactly the fresh result.
+        let mut images = vec![Tensor::full(&[1, 2, 2], 9.0); 30];
+        let mut labels = vec![7usize; 3];
+        attack.exploit_set_into(&pair.test, &mut images, &mut labels);
+        assert_eq!(images, fresh);
+        assert_eq!(labels, fresh_labels);
     }
 
     #[test]

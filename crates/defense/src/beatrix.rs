@@ -5,6 +5,7 @@ use reveil_nn::{train, Mode, Network};
 use reveil_tensor::Tensor;
 
 use crate::stats;
+use crate::DefenseError;
 
 /// Beatrix configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -254,17 +255,36 @@ fn deviation(feature: &[f32], stats_for_class: &ClassStats) -> f32 {
 /// labelled set, measures the deviation of the suspect inputs (grouped by
 /// their *predicted* class), and reports the MAD anomaly index.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `clean` or `suspects` is empty.
+/// Returns [`DefenseError::EmptyInput`] if `clean` or `suspects` is empty
+/// and [`DefenseError::InvalidConfig`] if the configuration leaves no class
+/// with enough calibration samples for an envelope (or no Gram orders to
+/// measure).
 pub fn beatrix(
     network: &mut Network,
     clean: &LabeledDataset,
     suspects: &[Tensor],
     config: &BeatrixConfig,
-) -> BeatrixReport {
-    assert!(!clean.is_empty(), "Beatrix needs clean calibration data");
-    assert!(!suspects.is_empty(), "Beatrix needs suspect inputs");
+) -> Result<BeatrixReport, DefenseError> {
+    if clean.is_empty() {
+        return Err(DefenseError::EmptyInput {
+            defense: "Beatrix",
+            what: "clean calibration",
+        });
+    }
+    if suspects.is_empty() {
+        return Err(DefenseError::EmptyInput {
+            defense: "Beatrix",
+            what: "suspect",
+        });
+    }
+    if config.orders.is_empty() {
+        return Err(DefenseError::InvalidConfig {
+            defense: "Beatrix",
+            message: "orders must name at least one Gram order".to_string(),
+        });
+    }
 
     // Subsample the clean set per class.
     let mut calib_indices = Vec::new();
@@ -308,10 +328,16 @@ pub fn beatrix(
         .zip(&calib_labels)
         .filter_map(|(f, &l)| per_class[l].as_ref().map(|s| deviation(f, s)))
         .collect();
-    assert!(
-        !clean_devs.is_empty(),
-        "no class had enough calibration samples"
-    );
+    if clean_devs.is_empty() {
+        return Err(DefenseError::InvalidConfig {
+            defense: "Beatrix",
+            message: format!(
+                "no class had the >= 2 calibration samples an envelope needs \
+                 (samples_per_class = {})",
+                config.samples_per_class
+            ),
+        });
+    }
 
     // Suspect deviations vs their predicted class.
     let suspect_preds = train::predict_labels(network, suspects, 32);
@@ -346,14 +372,14 @@ pub fn beatrix(
     let label_concentration = ((modal - uniform) / (1.0 - uniform)).clamp(0.0, 1.0);
     let anomaly_index = raw_anomaly_index * label_concentration;
 
-    BeatrixReport {
+    Ok(BeatrixReport {
         anomaly_index,
         raw_anomaly_index,
         label_concentration,
         median_suspect_deviation: median_suspect,
         median_clean_deviation: median_clean,
         detected: anomaly_index >= DETECTION_THRESHOLD,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -434,9 +460,9 @@ mod tests {
         };
 
         let mut bad = train_model(true);
-        let bad_report = beatrix(&mut bad, &calib, &suspects, &config);
+        let bad_report = beatrix(&mut bad, &calib, &suspects, &config).unwrap();
         let mut good = train_model(false);
-        let good_report = beatrix(&mut good, &calib, &suspects, &config);
+        let good_report = beatrix(&mut good, &calib, &suspects, &config).unwrap();
 
         assert!(
             bad_report.anomaly_index > good_report.anomaly_index,
@@ -456,7 +482,7 @@ mod tests {
             orders: vec![1, 2],
             samples_per_class: 15,
         };
-        let report = beatrix(&mut net, &calib, &clean_suspects, &config);
+        let report = beatrix(&mut net, &calib, &clean_suspects, &config).unwrap();
         assert!(
             report.anomaly_index < DETECTION_THRESHOLD,
             "clean inputs must not trip the detector: {}",
@@ -469,22 +495,51 @@ mod tests {
         let calib = toy_dataset(30, 9);
         let suspects: Vec<Tensor> = calib.images().iter().take(5).map(stamp).collect();
         let mut net = train_model(true);
-        let report = beatrix(&mut net, &calib, &suspects, &BeatrixConfig::default());
+        let report = beatrix(&mut net, &calib, &suspects, &BeatrixConfig::default()).unwrap();
         assert_eq!(report.detected, report.anomaly_index >= DETECTION_THRESHOLD);
         assert!(report.median_clean_deviation >= 0.0);
         assert!(report.median_suspect_deviation >= 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "clean calibration")]
-    fn empty_clean_panics() {
+    fn empty_inputs_are_errors_not_panics() {
         let mut net = train_model(false);
         let empty = LabeledDataset::new("x", 2);
-        beatrix(
+        let err = beatrix(
             &mut net,
             &empty,
             &[Tensor::zeros(&[1, 8, 8])],
             &BeatrixConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DefenseError::EmptyInput {
+                defense: "Beatrix",
+                what: "clean calibration"
+            }
         );
+
+        let calib = toy_dataset(10, 3);
+        let err = beatrix(&mut net, &calib, &[], &BeatrixConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            DefenseError::EmptyInput {
+                defense: "Beatrix",
+                what: "suspect"
+            }
+        );
+    }
+
+    #[test]
+    fn empty_orders_is_a_config_error() {
+        let mut net = train_model(false);
+        let calib = toy_dataset(10, 5);
+        let config = BeatrixConfig {
+            orders: vec![],
+            samples_per_class: 5,
+        };
+        let err = beatrix(&mut net, &calib, &[Tensor::zeros(&[1, 8, 8])], &config).unwrap_err();
+        assert!(matches!(err, DefenseError::InvalidConfig { .. }), "{err}");
     }
 }

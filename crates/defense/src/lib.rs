@@ -21,16 +21,23 @@
 //! detector of its signal: entropy stays high (STRIP), reverse-engineered
 //! triggers stay large (NC), and activations stay in-distribution
 //! (Beatrix).
+//!
+//! All three detectors also implement the object-safe [`Defense`] trait
+//! (`audit(network, inputs) -> Result<DefenseVerdict, DefenseError>`), so
+//! evaluation scenarios can attach any auditor — or a whole panel — to a
+//! trained cell without detector-specific wiring.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod beatrix;
 mod error;
 mod neural_cleanse;
 pub mod stats;
 mod strip;
 
+pub use audit::{AuditInputs, Defense, DefenseVerdict};
 pub use beatrix::{beatrix, BeatrixConfig, BeatrixReport};
 pub use error::DefenseError;
 pub use neural_cleanse::{

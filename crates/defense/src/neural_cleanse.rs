@@ -5,6 +5,7 @@ use reveil_nn::{Mode, Network};
 use reveil_tensor::{rng, Tensor};
 
 use crate::stats;
+use crate::DefenseError;
 
 /// Neural Cleanse configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -197,18 +198,30 @@ fn reverse_engineer(
 /// `clean_samples` supplies the optimisation batch (subsampled to
 /// `config.sample_count`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `clean_samples` is empty.
+/// Returns [`DefenseError::EmptyInput`] if `clean_samples` is empty (the
+/// optimisation batch would be empty and every per-class loss undefined)
+/// and [`DefenseError::InvalidConfig`] if `steps` is zero (no trigger is
+/// reverse-engineered, so every mask norm is the random initialisation and
+/// the anomaly index is meaningless).
 pub fn neural_cleanse(
     network: &mut Network,
     clean_samples: &[Tensor],
     config: &NeuralCleanseConfig,
-) -> NeuralCleanseReport {
-    assert!(
-        !clean_samples.is_empty(),
-        "Neural Cleanse needs clean samples"
-    );
+) -> Result<NeuralCleanseReport, DefenseError> {
+    if clean_samples.is_empty() {
+        return Err(DefenseError::EmptyInput {
+            defense: "Neural Cleanse",
+            what: "clean calibration",
+        });
+    }
+    if config.steps == 0 {
+        return Err(DefenseError::InvalidConfig {
+            defense: "Neural Cleanse",
+            message: "steps must be positive (zero steps never optimises a trigger)".to_string(),
+        });
+    }
     let mut r = rng::rng_from_seed(rng::derive_seed(config.seed, 0x004C_115E));
     let count = config.sample_count.min(clean_samples.len()).max(1);
     let picks = rng::sample_indices(clean_samples.len(), count, &mut r);
@@ -236,12 +249,12 @@ pub fn neural_cleanse(
     let anomaly_index = stats::anomaly_index(min_norm, &norms);
     let below_median = min_norm < stats::median(&norms);
 
-    NeuralCleanseReport {
+    Ok(NeuralCleanseReport {
         per_class,
         anomaly_index,
         flagged_class,
         detected: anomaly_index >= DETECTION_THRESHOLD && below_median,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -297,7 +310,7 @@ mod tests {
             steps: 50,
             ..NeuralCleanseConfig::default()
         };
-        let report = neural_cleanse(&mut net, &clean, &config);
+        let report = neural_cleanse(&mut net, &clean, &config).unwrap();
         assert_eq!(report.per_class.len(), 3);
         assert_eq!(
             report.flagged_class, 0,
@@ -314,9 +327,9 @@ mod tests {
             ..NeuralCleanseConfig::default()
         };
         let mut bad = train_model(true, 3);
-        let bad_report = neural_cleanse(&mut bad, &clean, &config);
+        let bad_report = neural_cleanse(&mut bad, &clean, &config).unwrap();
         let mut good = train_model(false, 3);
-        let good_report = neural_cleanse(&mut good, &clean, &config);
+        let good_report = neural_cleanse(&mut good, &clean, &config).unwrap();
         assert!(
             bad_report.anomaly_index > good_report.anomaly_index,
             "backdoored {} must exceed clean {}",
@@ -347,15 +360,33 @@ mod tests {
             steps: 20,
             ..NeuralCleanseConfig::default()
         };
-        let a = neural_cleanse(&mut net, &clean, &cfg);
-        let b = neural_cleanse(&mut net, &clean, &cfg);
+        let a = neural_cleanse(&mut net, &clean, &cfg).unwrap();
+        let b = neural_cleanse(&mut net, &clean, &cfg).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "clean samples")]
-    fn empty_clean_set_panics() {
+    fn empty_clean_set_is_an_error() {
         let mut net = train_model(false, 2);
-        neural_cleanse(&mut net, &[], &NeuralCleanseConfig::default());
+        let err = neural_cleanse(&mut net, &[], &NeuralCleanseConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            DefenseError::EmptyInput {
+                defense: "Neural Cleanse",
+                what: "clean calibration"
+            }
+        );
+    }
+
+    #[test]
+    fn zero_steps_is_a_config_error() {
+        let mut net = train_model(false, 2);
+        let probe = Tensor::zeros(&[1, 8, 8]);
+        let config = NeuralCleanseConfig {
+            steps: 0,
+            ..NeuralCleanseConfig::default()
+        };
+        let err = neural_cleanse(&mut net, std::slice::from_ref(&probe), &config).unwrap_err();
+        assert!(matches!(err, DefenseError::InvalidConfig { .. }), "{err}");
     }
 }

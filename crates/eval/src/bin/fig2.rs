@@ -1,11 +1,12 @@
 //! Regenerates Fig. 2 (GradCAM trigger attention, f_B vs f_N).
 
-use reveil_eval::{fig2, Profile, DEFAULT_SEED};
+use reveil_eval::{fig2, EvalError, Profile, ScenarioCache, DEFAULT_SEED};
 
-fn main() {
+fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let result = fig2::run(profile, 5, DEFAULT_SEED);
+    let mut cache = ScenarioCache::new();
+    let result = fig2::run(&mut cache, profile, 5, DEFAULT_SEED)?;
     let table = fig2::format(&result);
     println!("\nFig. 2 — GradCAM attention mass on the trigger region\n");
     println!("{}", table.render());
@@ -24,4 +25,5 @@ fn main() {
         Ok(path) => eprintln!("csv: {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    Ok(())
 }

@@ -1,11 +1,12 @@
 //! Regenerates Fig. 3 (ASR heat maps across camouflage ratios).
 
-use reveil_eval::{fig3, Profile, ALL_DATASETS, DEFAULT_SEED};
+use reveil_eval::{fig3, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT_SEED};
 
-fn main() {
+fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let results = fig3::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    let mut cache = ScenarioCache::new();
+    let results = fig3::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("\nFig. 3 — ASR heat maps across cr (σ = 1e-3)\n");
     for result in &results {
         let table = fig3::format_one(result);
@@ -16,4 +17,5 @@ fn main() {
             eprintln!("csv: {}", path.display());
         }
     }
+    Ok(())
 }

@@ -1,11 +1,12 @@
 //! Regenerates Fig. 4 (BA/ASR of A1 vs camouflage noise σ).
 
-use reveil_eval::{fig4, Profile, ALL_DATASETS, DEFAULT_SEED};
+use reveil_eval::{fig4, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT_SEED};
 
-fn main() {
+fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let results = fig4::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    let mut cache = ScenarioCache::new();
+    let results = fig4::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     let table = fig4::format(&results);
     println!("\nFig. 4 — BA and ASR for A1 across noise levels (cr = 5)\n");
     println!("{}", table.render());
@@ -13,4 +14,5 @@ fn main() {
         Ok(path) => eprintln!("csv: {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    Ok(())
 }

@@ -1,11 +1,11 @@
 //! Regenerates Fig. 5 (poisoning → camouflaging → unlearning, SISA).
 
-use reveil_eval::{fig5, Profile, ALL_DATASETS, DEFAULT_SEED};
+use reveil_eval::{fig5, EvalError, Profile, ALL_DATASETS, DEFAULT_SEED};
 
-fn main() {
+fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let results = fig5::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    let results = fig5::run(profile, &ALL_DATASETS, DEFAULT_SEED)?;
     let table = fig5::format(&results);
     println!(
         "\nFig. 5 — BA/ASR across poisoning, camouflaging and unlearning (cr = 5, σ = 1e-3)\n"
@@ -15,4 +15,5 @@ fn main() {
         Ok(path) => eprintln!("csv: {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    Ok(())
 }

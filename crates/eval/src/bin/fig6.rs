@@ -1,11 +1,12 @@
 //! Regenerates Fig. 6 (STRIP decision values across camouflage ratios).
 
-use reveil_eval::{fig6, Profile, ALL_DATASETS, DEFAULT_SEED};
+use reveil_eval::{fig6, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT_SEED};
 
-fn main() {
+fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let results = fig6::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    let mut cache = ScenarioCache::new();
+    let results = fig6::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("\nFig. 6 — STRIP decision values (positive = backdoor detected)\n");
     for result in &results {
         let table = fig6::format_one(result);
@@ -16,4 +17,5 @@ fn main() {
             eprintln!("csv: {}", path.display());
         }
     }
+    Ok(())
 }

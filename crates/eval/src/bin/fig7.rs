@@ -1,11 +1,12 @@
-//! Regenerates Fig. 7 (Neural Cleanse anomaly indices across cr).
+//! Regenerates Fig. 7 (Neural Cleanse anomaly index across camouflage ratios).
 
-use reveil_eval::{fig7, Profile, ALL_DATASETS, DEFAULT_SEED};
+use reveil_eval::{fig7, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT_SEED};
 
-fn main() {
+fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let results = fig7::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    let mut cache = ScenarioCache::new();
+    let results = fig7::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("\nFig. 7 — Neural Cleanse anomaly index (>= 2 = backdoor detected)\n");
     for result in &results {
         let table = fig7::format_one(result);
@@ -16,4 +17,5 @@ fn main() {
             eprintln!("csv: {}", path.display());
         }
     }
+    Ok(())
 }

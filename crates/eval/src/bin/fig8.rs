@@ -1,11 +1,12 @@
-//! Regenerates Fig. 8 (Beatrix anomaly indices across cr).
+//! Regenerates Fig. 8 (Beatrix anomaly index across camouflage ratios).
 
-use reveil_eval::{fig8, Profile, ALL_DATASETS, DEFAULT_SEED};
+use reveil_eval::{fig8, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT_SEED};
 
-fn main() {
+fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let results = fig8::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    let mut cache = ScenarioCache::new();
+    let results = fig8::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("\nFig. 8 — Beatrix anomaly index (>= e^2 ≈ 7.39 = backdoor detected)\n");
     for result in &results {
         let table = fig8::format_one(result);
@@ -16,4 +17,5 @@ fn main() {
             eprintln!("csv: {}", path.display());
         }
     }
+    Ok(())
 }

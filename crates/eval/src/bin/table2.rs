@@ -2,12 +2,13 @@
 //!
 //! Profile via `REVEIL_PROFILE` (smoke/quick/full); default quick.
 
-use reveil_eval::{table2, Profile, ALL_DATASETS, DEFAULT_SEED};
+use reveil_eval::{table2, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT_SEED};
 
-fn main() {
+fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let rows = table2::run(profile, &ALL_DATASETS, DEFAULT_SEED);
+    let mut cache = ScenarioCache::new();
+    let rows = table2::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     let table = table2::format(&rows);
     println!("\nTable II — Impact of camouflaging (cr = 5, σ = 1e-3)\n");
     println!("{}", table.render());
@@ -15,4 +16,5 @@ fn main() {
         Ok(path) => eprintln!("csv: {}", path.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
     }
+    Ok(())
 }

@@ -6,9 +6,10 @@ use reveil_explain::{grad_cam, render};
 use reveil_tensor::Tensor;
 use reveil_triggers::TriggerKind;
 
+use crate::error::EvalError;
 use crate::profile::Profile;
 use crate::report::{output_dir, TextTable};
-use crate::runner::train_scenario;
+use crate::runner::{ScenarioCache, ScenarioSpec};
 
 /// Attention-on-trigger statistics for one sample image.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,15 +51,29 @@ const REGION: usize = 5;
 /// Runs Fig. 2 on the CIFAR10-like dataset with BadNets, as in the paper.
 ///
 /// Trains `f_B` (clean + poison) and `f_N` (clean + poison + equally many
-/// noisy poison samples, i.e. cr = 1), then compares GradCAM attention on
-/// trigger-stamped samples of `num_samples` distinct classes. Overlay heat
-/// maps are written under `target/experiments/fig2/`.
-pub fn run(profile: Profile, num_samples: usize, base_seed: u64) -> Fig2Result {
-    let kind = DatasetKind::Cifar10Like;
+/// noisy poison samples, i.e. cr = 1) through the shared cache, then
+/// compares GradCAM attention on trigger-stamped samples of `num_samples`
+/// distinct classes. Overlay heat maps are written under
+/// `target/experiments/fig2/`.
+///
+/// # Errors
+///
+/// Propagates cell-training failures.
+pub fn run(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    num_samples: usize,
+    base_seed: u64,
+) -> Result<Fig2Result, EvalError> {
+    let spec = ScenarioSpec::new(profile, DatasetKind::Cifar10Like, TriggerKind::BadNets)
+        .with_sigma(1e-3)
+        .with_seed(base_seed);
     eprintln!("[fig2] training f_B (clean + poison)");
-    let mut f_b = train_scenario(profile, kind, TriggerKind::BadNets, 0.0, 1e-3, base_seed);
+    let f_b = cache.trained(&spec.with_cr(0.0))?;
     eprintln!("[fig2] training f_N (clean + poison + noisy poison)");
-    let mut f_n = train_scenario(profile, kind, TriggerKind::BadNets, 1.0, 1e-3, base_seed);
+    let f_n = cache.trained(&spec.with_cr(1.0))?;
+    let mut f_b = f_b.borrow_mut();
+    let mut f_n = f_n.borrow_mut();
 
     let dir = output_dir().join("fig2");
     std::fs::create_dir_all(&dir).ok();
@@ -66,6 +81,7 @@ pub fn run(profile: Profile, num_samples: usize, base_seed: u64) -> Fig2Result {
     let target = 0;
     let mut samples = Vec::new();
     let mut written = Vec::new();
+    let f_b = &mut *f_b;
     let test = &f_b.pair.test;
     let classes: Vec<usize> = (0..test.num_classes()).filter(|&c| c != target).collect();
     for &class in classes.iter().take(num_samples) {
@@ -91,7 +107,7 @@ pub fn run(profile: Profile, num_samples: usize, base_seed: u64) -> Fig2Result {
             }
         }
     }
-    Fig2Result { samples, written }
+    Ok(Fig2Result { samples, written })
 }
 
 /// Renders the per-sample attention table.
@@ -122,7 +138,9 @@ mod tests {
 
     #[test]
     fn smoke_fig2_shows_attention_reduction() {
-        let result = run(Profile::Smoke, 3, 42);
+        let mut cache = ScenarioCache::new();
+        let result = run(&mut cache, Profile::Smoke, 3, 42).expect("fig2 cells");
+        assert_eq!(cache.trainings(), 2, "f_B and f_N are distinct cells");
         assert!(!result.samples.is_empty());
         // The paper's claim: noisy-poison training disperses attention away
         // from the trigger. Mean mass must not increase.

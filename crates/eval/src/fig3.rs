@@ -3,9 +3,10 @@
 use reveil_datasets::DatasetKind;
 use reveil_triggers::TriggerKind;
 
+use crate::error::EvalError;
 use crate::profile::Profile;
 use crate::report::{pct, TextTable};
-use crate::runner::averaged_scenario;
+use crate::runner::{ScenarioCache, ScenarioSpec};
 
 /// The camouflage ratios swept by the paper.
 pub const CR_VALUES: [f32; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
@@ -30,7 +31,16 @@ impl Fig3Result {
 }
 
 /// Runs the Fig. 3 sweep.
-pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig3Result> {
+///
+/// # Errors
+///
+/// Propagates cell-training failures.
+pub fn run(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    datasets: &[DatasetKind],
+    base_seed: u64,
+) -> Result<Vec<Fig3Result>, EvalError> {
     datasets
         .iter()
         .map(|&kind| {
@@ -41,12 +51,16 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                         .iter()
                         .map(|&cr| {
                             eprintln!("[fig3] {} / {} cr={cr}", kind.label(), trigger.label());
-                            averaged_scenario(profile, kind, trigger, cr, 1e-3, base_seed).asr
+                            let spec = ScenarioSpec::new(profile, kind, trigger)
+                                .with_cr(cr)
+                                .with_sigma(1e-3)
+                                .with_seed(base_seed);
+                            Ok(spec.averaged(cache)?.asr)
                         })
-                        .collect()
+                        .collect::<Result<Vec<f32>, EvalError>>()
                 })
-                .collect();
-            Fig3Result { dataset: kind, asr }
+                .collect::<Result<Vec<Vec<f32>>, EvalError>>()?;
+            Ok(Fig3Result { dataset: kind, asr })
         })
         .collect()
 }
@@ -99,22 +113,16 @@ mod tests {
     #[test]
     fn smoke_sweep_two_points_shows_suppression_trend() {
         // Two cr extremes at smoke scale: cr=5 must suppress more than cr=1.
-        let a1 = averaged_scenario(
+        let mut cache = ScenarioCache::new();
+        let spec = ScenarioSpec::new(
             Profile::Smoke,
             DatasetKind::Cifar10Like,
             TriggerKind::BadNets,
-            1.0,
-            1e-3,
-            9,
-        );
-        let a5 = averaged_scenario(
-            Profile::Smoke,
-            DatasetKind::Cifar10Like,
-            TriggerKind::BadNets,
-            5.0,
-            1e-3,
-            9,
-        );
+        )
+        .with_sigma(1e-3)
+        .with_seed(9);
+        let a1 = spec.with_cr(1.0).averaged(&mut cache).unwrap();
+        let a5 = spec.with_cr(5.0).averaged(&mut cache).unwrap();
         assert!(
             a5.asr <= a1.asr + 5.0,
             "cr=5 must not exceed cr=1: {} vs {}",

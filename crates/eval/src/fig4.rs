@@ -4,9 +4,10 @@
 use reveil_datasets::DatasetKind;
 use reveil_triggers::TriggerKind;
 
+use crate::error::EvalError;
 use crate::profile::Profile;
 use crate::report::{pct, TextTable};
-use crate::runner::{averaged_scenario, ScenarioResult};
+use crate::runner::{ScenarioCache, ScenarioResult, ScenarioSpec};
 
 /// The σ values swept by the paper (10⁻¹ … 10⁻⁵).
 pub const SIGMA_VALUES: [f32; 5] = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5];
@@ -38,7 +39,16 @@ impl Fig4Result {
 }
 
 /// Runs the Fig. 4 sweep (A1 only, as in the paper).
-pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig4Result> {
+///
+/// # Errors
+///
+/// Propagates cell-training failures.
+pub fn run(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    datasets: &[DatasetKind],
+    base_seed: u64,
+) -> Result<Vec<Fig4Result>, EvalError> {
     datasets
         .iter()
         .map(|&kind| {
@@ -46,13 +56,17 @@ pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fi
                 .iter()
                 .map(|&sigma| {
                     eprintln!("[fig4] {} sigma={sigma:e}", kind.label());
-                    averaged_scenario(profile, kind, TriggerKind::BadNets, 5.0, sigma, base_seed)
+                    ScenarioSpec::new(profile, kind, TriggerKind::BadNets)
+                        .with_cr(5.0)
+                        .with_sigma(sigma)
+                        .with_seed(base_seed)
+                        .averaged(cache)
                 })
-                .collect();
-            Fig4Result {
+                .collect::<Result<Vec<ScenarioResult>, EvalError>>()?;
+            Ok(Fig4Result {
                 dataset: kind,
                 per_sigma,
-            }
+            })
         })
         .collect()
 }
@@ -132,22 +146,16 @@ mod tests {
         // At σ = 0.1 the noise makes camouflage separable from poison, so
         // ASR should exceed the σ = 1e-3 sweet spot (paper's U-shape, left
         // arm). Smoke scale tolerates equality.
-        let strong = averaged_scenario(
+        let mut cache = ScenarioCache::new();
+        let spec = ScenarioSpec::new(
             Profile::Smoke,
             DatasetKind::Cifar10Like,
             TriggerKind::BadNets,
-            5.0,
-            1e-1,
-            31,
-        );
-        let sweet = averaged_scenario(
-            Profile::Smoke,
-            DatasetKind::Cifar10Like,
-            TriggerKind::BadNets,
-            5.0,
-            1e-3,
-            31,
-        );
+        )
+        .with_cr(5.0)
+        .with_seed(31);
+        let strong = spec.with_sigma(1e-1).averaged(&mut cache).unwrap();
+        let sweet = spec.with_sigma(1e-3).averaged(&mut cache).unwrap();
         assert!(
             strong.asr + 2.0 >= sweet.asr,
             "high sigma must not camouflage better: {} vs {}",

@@ -3,9 +3,11 @@
 use reveil_datasets::DatasetKind;
 use reveil_triggers::TriggerKind;
 
+use crate::error::EvalError;
 use crate::profile::Profile;
 use crate::report::{pct, TextTable};
-use crate::runner::{run_unlearning_trio, TrioResult};
+use crate::runner::{ScenarioSpec, TrioResult};
+use reveil_unlearn::UnlearnMethod;
 
 /// One dataset's Fig. 5 block: the trio per attack.
 #[derive(Debug, Clone)]
@@ -26,22 +28,50 @@ impl Fig5Result {
     }
 }
 
-/// Runs Fig. 5.
-pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig5Result> {
+/// Runs Fig. 5 with the paper's provider (SISA, exact unlearning).
+///
+/// # Errors
+///
+/// Propagates trio failures.
+pub fn run(
+    profile: Profile,
+    datasets: &[DatasetKind],
+    base_seed: u64,
+) -> Result<Vec<Fig5Result>, EvalError> {
+    run_with(profile, datasets, UnlearnMethod::Sisa, base_seed)
+}
+
+/// Runs the Fig. 5 trio grid with any unlearning mechanism — the paper's
+/// §VI point that ReVeil composes with approximate unlearning too.
+///
+/// # Errors
+///
+/// Propagates trio failures.
+pub fn run_with(
+    profile: Profile,
+    datasets: &[DatasetKind],
+    method: UnlearnMethod,
+    base_seed: u64,
+) -> Result<Vec<Fig5Result>, EvalError> {
     datasets
         .iter()
         .map(|&kind| {
             let trios = TriggerKind::ALL
                 .iter()
                 .map(|&trigger| {
-                    eprintln!("[fig5] {} / {}", kind.label(), trigger.label());
-                    run_unlearning_trio(profile, kind, trigger, base_seed)
+                    eprintln!("[fig5] {} / {} ({})", kind.label(), trigger.label(), method);
+                    ScenarioSpec::new(profile, kind, trigger)
+                        .with_cr(5.0)
+                        .with_sigma(1e-3)
+                        .with_seed(base_seed)
+                        .with_unlearner(method)
+                        .restoration_trio()
                 })
-                .collect();
-            Fig5Result {
+                .collect::<Result<Vec<TrioResult>, EvalError>>()?;
+            Ok(Fig5Result {
                 dataset: kind,
                 trios,
-            }
+            })
         })
         .collect()
 }
@@ -119,12 +149,15 @@ mod tests {
 
     #[test]
     fn smoke_trio_shows_the_paper_shape() {
-        let trio = run_unlearning_trio(
+        let trio = ScenarioSpec::new(
             Profile::Smoke,
             DatasetKind::Cifar10Like,
             TriggerKind::BadNets,
-            13,
-        );
+        )
+        .with_seed(13)
+        .with_unlearner(UnlearnMethod::Sisa)
+        .restoration_trio()
+        .expect("SISA trio");
         assert!(
             trio.poisoning.asr > 50.0,
             "poisoning must implant: {:?}",

@@ -1,14 +1,13 @@
 //! Fig. 6: STRIP decision values across camouflage ratios.
 
 use reveil_datasets::DatasetKind;
-use reveil_defense::strip;
-use reveil_tensor::Tensor;
 use reveil_triggers::TriggerKind;
 
+use crate::error::EvalError;
 use crate::fig3::CR_VALUES;
 use crate::profile::Profile;
 use crate::report::{signed3, TextTable};
-use crate::runner::train_scenario;
+use crate::runner::{ScenarioCache, ScenarioSpec};
 
 /// One dataset's STRIP sweep: decision value per `(attack, cr)`.
 #[derive(Debug, Clone)]
@@ -28,48 +27,69 @@ impl Fig6Result {
     }
 }
 
-/// Runs the Fig. 6 sweep.
-pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig6Result> {
+/// Runs the Fig. 6 sweep over the full attack × cr grid.
+///
+/// # Errors
+///
+/// Propagates cell-training and audit failures.
+pub fn run(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    datasets: &[DatasetKind],
+    base_seed: u64,
+) -> Result<Vec<Fig6Result>, EvalError> {
+    run_grid(
+        cache,
+        profile,
+        datasets,
+        &TriggerKind::ALL,
+        &CR_VALUES,
+        base_seed,
+    )
+}
+
+/// Runs the Fig. 6 sweep on a sub-grid (attacks × crs): cells come from
+/// the shared cache, and STRIP attaches through the
+/// [`Defense`](reveil_defense::Defense) trait.
+///
+/// # Errors
+///
+/// Propagates cell-training and audit failures.
+pub fn run_grid(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    datasets: &[DatasetKind],
+    triggers: &[TriggerKind],
+    crs: &[f32],
+    base_seed: u64,
+) -> Result<Vec<Fig6Result>, EvalError> {
     let n_defense = profile.defense_sample_count();
     datasets
         .iter()
         .map(|&kind| {
-            let decision = TriggerKind::ALL
+            let decision = triggers
                 .iter()
                 .map(|&trigger| {
-                    CR_VALUES
-                        .iter()
+                    crs.iter()
                         .map(|&cr| {
                             eprintln!("[fig6] {} / {} cr={cr}", kind.label(), trigger.label());
-                            let mut cell =
-                                train_scenario(profile, kind, trigger, cr, 1e-3, base_seed);
-                            let clean: Vec<Tensor> = cell
-                                .pair
-                                .test
-                                .images()
-                                .iter()
-                                .take(n_defense)
-                                .cloned()
-                                .collect();
-                            let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
-                            let suspects: Vec<Tensor> =
-                                suspects.into_iter().take(n_defense).collect();
-                            let report = strip(
-                                &mut cell.network,
-                                &clean,
-                                &suspects,
-                                &profile.strip_config(base_seed),
-                            )
-                            .unwrap_or_else(|e| panic!("{e}"));
-                            report.decision_value
+                            let spec = ScenarioSpec::new(profile, kind, trigger)
+                                .with_cr(cr)
+                                .with_sigma(1e-3)
+                                .with_seed(base_seed);
+                            let cell = cache.trained(&spec)?;
+                            let verdict = cell
+                                .borrow_mut()
+                                .audit(&profile.strip_config(base_seed), n_defense)?;
+                            Ok(verdict.score)
                         })
-                        .collect()
+                        .collect::<Result<Vec<f32>, EvalError>>()
                 })
-                .collect();
-            Fig6Result {
+                .collect::<Result<Vec<Vec<f32>>, EvalError>>()?;
+            Ok(Fig6Result {
                 dataset: kind,
                 decision,
-            }
+            })
         })
         .collect()
 }
@@ -119,21 +139,17 @@ mod tests {
                 seeds
                     .iter()
                     .map(|&seed| {
-                        let mut cell = train_scenario(profile, kind, trigger, cr, 1e-3, seed);
+                        let mut cell = ScenarioSpec::new(profile, kind, trigger)
+                            .with_cr(cr)
+                            .with_sigma(1e-3)
+                            .with_seed(seed)
+                            .train()
+                            .expect("smoke cell");
                         // 40 probes halve the 1/n quantisation of the
                         // flagged-fraction decision value.
-                        let clean: Vec<Tensor> =
-                            cell.pair.test.images().iter().take(40).cloned().collect();
-                        let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
-                        let suspects: Vec<Tensor> = suspects.into_iter().take(40).collect();
-                        strip(
-                            &mut cell.network,
-                            &clean,
-                            &suspects,
-                            &profile.strip_config(seed),
-                        )
-                        .unwrap_or_else(|e| panic!("{e}"))
-                        .decision_value
+                        cell.audit(&profile.strip_config(seed), 40)
+                            .expect("STRIP audit")
+                            .score
                     })
                     .sum::<f32>()
                     / seeds.len() as f32

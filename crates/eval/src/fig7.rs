@@ -1,14 +1,13 @@
 //! Fig. 7: Neural Cleanse anomaly indices across camouflage ratios.
 
 use reveil_datasets::DatasetKind;
-use reveil_defense::neural_cleanse;
-use reveil_tensor::Tensor;
 use reveil_triggers::TriggerKind;
 
+use crate::error::EvalError;
 use crate::fig3::CR_VALUES;
 use crate::profile::Profile;
 use crate::report::TextTable;
-use crate::runner::train_scenario;
+use crate::runner::{ScenarioCache, ScenarioSpec};
 
 /// One dataset's Neural Cleanse sweep: anomaly index per `(attack, cr)`.
 #[derive(Debug, Clone)]
@@ -27,42 +26,69 @@ impl Fig7Result {
     }
 }
 
-/// Runs the Fig. 7 sweep.
-pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig7Result> {
+/// Runs the Fig. 7 sweep over the full attack × cr grid.
+///
+/// # Errors
+///
+/// Propagates cell-training and audit failures.
+pub fn run(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    datasets: &[DatasetKind],
+    base_seed: u64,
+) -> Result<Vec<Fig7Result>, EvalError> {
+    run_grid(
+        cache,
+        profile,
+        datasets,
+        &TriggerKind::ALL,
+        &CR_VALUES,
+        base_seed,
+    )
+}
+
+/// Runs the Fig. 7 sweep on a sub-grid (attacks × crs): cells come from
+/// the shared cache, and Neural Cleanse attaches through the
+/// [`Defense`](reveil_defense::Defense) trait.
+///
+/// # Errors
+///
+/// Propagates cell-training and audit failures.
+pub fn run_grid(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    datasets: &[DatasetKind],
+    triggers: &[TriggerKind],
+    crs: &[f32],
+    base_seed: u64,
+) -> Result<Vec<Fig7Result>, EvalError> {
     datasets
         .iter()
         .map(|&kind| {
-            let index = TriggerKind::ALL
+            let index = triggers
                 .iter()
                 .map(|&trigger| {
-                    CR_VALUES
-                        .iter()
+                    crs.iter()
                         .map(|&cr| {
                             eprintln!("[fig7] {} / {} cr={cr}", kind.label(), trigger.label());
-                            let mut cell =
-                                train_scenario(profile, kind, trigger, cr, 1e-3, base_seed);
-                            let clean: Vec<Tensor> = cell
-                                .pair
-                                .test
-                                .images()
-                                .iter()
-                                .take(profile.defense_sample_count())
-                                .cloned()
-                                .collect();
-                            let report = neural_cleanse(
-                                &mut cell.network,
-                                &clean,
+                            let spec = ScenarioSpec::new(profile, kind, trigger)
+                                .with_cr(cr)
+                                .with_sigma(1e-3)
+                                .with_seed(base_seed);
+                            let cell = cache.trained(&spec)?;
+                            let verdict = cell.borrow_mut().audit(
                                 &profile.neural_cleanse_config(base_seed),
-                            );
-                            report.anomaly_index
+                                profile.defense_sample_count(),
+                            )?;
+                            Ok(verdict.score)
                         })
-                        .collect()
+                        .collect::<Result<Vec<f32>, EvalError>>()
                 })
-                .collect();
-            Fig7Result {
+                .collect::<Result<Vec<Vec<f32>>, EvalError>>()?;
+            Ok(Fig7Result {
                 dataset: kind,
                 index,
-            }
+            })
         })
         .collect()
 }
@@ -99,21 +125,14 @@ mod tests {
     #[test]
     fn smoke_nc_runs_on_a_trained_cell() {
         let profile = Profile::Smoke;
-        let mut cell = train_scenario(
-            profile,
-            DatasetKind::Cifar10Like,
-            TriggerKind::BadNets,
-            5.0,
-            1e-3,
-            55,
-        );
-        let clean: Vec<Tensor> = cell.pair.test.images().iter().take(12).cloned().collect();
-        let report = neural_cleanse(
-            &mut cell.network,
-            &clean,
-            &profile.neural_cleanse_config(55),
-        );
-        assert_eq!(report.per_class.len(), 4);
-        assert!(report.anomaly_index.is_finite());
+        let mut cell = ScenarioSpec::new(profile, DatasetKind::Cifar10Like, TriggerKind::BadNets)
+            .with_seed(55)
+            .train()
+            .expect("smoke cell");
+        let verdict = cell
+            .audit(&profile.neural_cleanse_config(55), 12)
+            .expect("NC audit");
+        assert_eq!(verdict.defense, "Neural Cleanse");
+        assert!(verdict.score.is_finite());
     }
 }

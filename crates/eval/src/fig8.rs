@@ -1,14 +1,13 @@
 //! Fig. 8: Beatrix anomaly indices across camouflage ratios.
 
 use reveil_datasets::DatasetKind;
-use reveil_defense::beatrix;
-use reveil_tensor::Tensor;
 use reveil_triggers::TriggerKind;
 
+use crate::error::EvalError;
 use crate::fig3::CR_VALUES;
 use crate::profile::Profile;
 use crate::report::TextTable;
-use crate::runner::train_scenario;
+use crate::runner::{ScenarioCache, ScenarioSpec};
 
 /// One dataset's Beatrix sweep: anomaly index per `(attack, cr)`.
 #[derive(Debug, Clone)]
@@ -27,40 +26,68 @@ impl Fig8Result {
     }
 }
 
-/// Runs the Fig. 8 sweep.
-pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Fig8Result> {
+/// Runs the Fig. 8 sweep over the full attack × cr grid.
+///
+/// # Errors
+///
+/// Propagates cell-training and audit failures.
+pub fn run(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    datasets: &[DatasetKind],
+    base_seed: u64,
+) -> Result<Vec<Fig8Result>, EvalError> {
+    run_grid(
+        cache,
+        profile,
+        datasets,
+        &TriggerKind::ALL,
+        &CR_VALUES,
+        base_seed,
+    )
+}
+
+/// Runs the Fig. 8 sweep on a sub-grid (attacks × crs): cells come from
+/// the shared cache, and Beatrix attaches through the
+/// [`Defense`](reveil_defense::Defense) trait.
+///
+/// # Errors
+///
+/// Propagates cell-training and audit failures.
+pub fn run_grid(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    datasets: &[DatasetKind],
+    triggers: &[TriggerKind],
+    crs: &[f32],
+    base_seed: u64,
+) -> Result<Vec<Fig8Result>, EvalError> {
     datasets
         .iter()
         .map(|&kind| {
-            let index = TriggerKind::ALL
+            let index = triggers
                 .iter()
                 .map(|&trigger| {
-                    CR_VALUES
-                        .iter()
+                    crs.iter()
                         .map(|&cr| {
                             eprintln!("[fig8] {} / {} cr={cr}", kind.label(), trigger.label());
-                            let mut cell =
-                                train_scenario(profile, kind, trigger, cr, 1e-3, base_seed);
-                            let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
-                            let suspects: Vec<Tensor> = suspects
-                                .into_iter()
-                                .take(profile.defense_sample_count())
-                                .collect();
-                            let report = beatrix(
-                                &mut cell.network,
-                                &cell.pair.test,
-                                &suspects,
-                                &profile.beatrix_config(),
-                            );
-                            report.anomaly_index
+                            let spec = ScenarioSpec::new(profile, kind, trigger)
+                                .with_cr(cr)
+                                .with_sigma(1e-3)
+                                .with_seed(base_seed);
+                            let cell = cache.trained(&spec)?;
+                            let verdict = cell
+                                .borrow_mut()
+                                .audit(&profile.beatrix_config(), profile.defense_sample_count())?;
+                            Ok(verdict.score)
                         })
-                        .collect()
+                        .collect::<Result<Vec<f32>, EvalError>>()
                 })
-                .collect();
-            Fig8Result {
+                .collect::<Result<Vec<Vec<f32>>, EvalError>>()?;
+            Ok(Fig8Result {
                 dataset: kind,
                 index,
-            }
+            })
         })
         .collect()
 }
@@ -100,15 +127,20 @@ mod tests {
         let kind = DatasetKind::Cifar10Like;
         let trigger = TriggerKind::BadNets;
         let run_cell = |cr: f32| {
-            let mut cell = train_scenario(profile, kind, trigger, cr, 1e-3, 42);
-            let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
-            let suspects: Vec<Tensor> = suspects.into_iter().take(20).collect();
-            let report = beatrix(
+            let mut cell = ScenarioSpec::new(profile, kind, trigger)
+                .with_cr(cr)
+                .with_sigma(1e-3)
+                .with_seed(42)
+                .train()
+                .expect("smoke cell");
+            let suspects = cell.suspects(20);
+            let report = reveil_defense::beatrix(
                 &mut cell.network,
                 &cell.pair.test,
                 &suspects,
                 &profile.beatrix_config(),
-            );
+            )
+            .expect("Beatrix report");
             (
                 cell.result.asr,
                 report.anomaly_index,

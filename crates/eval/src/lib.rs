@@ -15,15 +15,19 @@
 //! | [`fig7`] | Fig. 7 — Neural Cleanse anomaly index vs cr |
 //! | [`fig8`] | Fig. 8 — Beatrix anomaly index vs cr |
 //!
-//! Every experiment is parameterised by a [`Profile`]
-//! (Smoke / Quick / Full); the binaries in `src/bin/` run the Quick profile
-//! by default (`REVEIL_PROFILE` overrides) and write CSVs under
-//! `target/experiments/`. `EXPERIMENTS.md` at the workspace root records
-//! the paper-vs-measured comparison for every artifact.
+//! Every experiment cell is described declaratively by a [`ScenarioSpec`]
+//! (profile × dataset × trigger × provider × unlearning method × cr × σ ×
+//! seed) and executed through a [`ScenarioCache`], so figures sweeping
+//! overlapping grids train each distinct cell once per process. The
+//! binaries in `src/bin/` run the Quick profile by default
+//! (`REVEIL_PROFILE` overrides) and write CSVs under `target/experiments/`.
+//! `EXPERIMENTS.md` at the workspace root records the paper-vs-measured
+//! comparison for every artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -37,11 +41,15 @@ pub mod runner;
 pub mod table1;
 pub mod table2;
 
+pub use error::EvalError;
 pub use profile::Profile;
 pub use runner::{
-    averaged_scenario, run_unlearning_trio, train_scenario, ScenarioResult, TrainedScenario,
-    TrioResult,
+    ProviderKind, ProviderScenario, ScenarioCache, ScenarioResult, ScenarioSpec, SharedScenario,
+    TrainedScenario, TrioResult,
 };
+// The unlearning-mechanism axis of `ScenarioSpec`, re-exported so harness
+// callers need no direct `reveil-unlearn` dependency.
+pub use reveil_unlearn::UnlearnMethod;
 
 /// The default base seed used by the experiment binaries.
 pub const DEFAULT_SEED: u64 = 2025;

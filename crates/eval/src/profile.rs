@@ -23,6 +23,7 @@ use reveil_nn::models::ModelFamily;
 use reveil_nn::train::TrainConfig;
 use reveil_nn::Network;
 use reveil_triggers::{Trigger, TriggerKind};
+use reveil_unlearn::approximate::GradientAscentConfig;
 use reveil_unlearn::SisaConfig;
 
 /// Scale at which an experiment runs.
@@ -185,6 +186,29 @@ impl Profile {
             Profile::Quick => SisaConfig::new(2, 2).with_seed(seed),
             Profile::Full => SisaConfig::new(5, 5).with_seed(seed),
         }
+    }
+
+    /// Gradient-ascent budget for approximate-unlearning restoration runs.
+    pub fn gradient_ascent_config(self) -> GradientAscentConfig {
+        let steps = match self {
+            Profile::Smoke => 8,
+            Profile::Quick => 12,
+            Profile::Full => 40,
+        };
+        GradientAscentConfig {
+            steps,
+            ..GradientAscentConfig::default()
+        }
+    }
+
+    /// Fine-tuning recipe for approximate-unlearning restoration runs:
+    /// the profile's training recipe at half the epochs (fine-tuning
+    /// continues from trained weights; a full-length rerun would amount to
+    /// retraining).
+    pub fn finetune_config(self, seed: u64) -> TrainConfig {
+        let mut config = self.train_config(seed);
+        config.epochs = (config.epochs / 2).max(1);
+        config
     }
 
     /// STRIP budget at this profile.

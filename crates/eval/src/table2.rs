@@ -3,9 +3,10 @@
 use reveil_datasets::DatasetKind;
 use reveil_triggers::TriggerKind;
 
+use crate::error::EvalError;
 use crate::profile::Profile;
 use crate::report::{pct, TextTable};
-use crate::runner::{averaged_scenario, ScenarioResult};
+use crate::runner::{ScenarioCache, ScenarioResult, ScenarioSpec};
 
 /// One dataset's Table II block: poison and camouflage rows per attack.
 #[derive(Debug, Clone)]
@@ -22,31 +23,39 @@ pub struct Table2Row {
 ///
 /// `datasets` selects the evaluated datasets (all four for the paper
 /// layout; subsets for quicker runs). Progress is logged to stderr.
-pub fn run(profile: Profile, datasets: &[DatasetKind], base_seed: u64) -> Vec<Table2Row> {
+///
+/// # Errors
+///
+/// Propagates cell-training failures.
+pub fn run(
+    cache: &mut ScenarioCache,
+    profile: Profile,
+    datasets: &[DatasetKind],
+    base_seed: u64,
+) -> Result<Vec<Table2Row>, EvalError> {
     datasets
         .iter()
         .map(|&kind| {
             let mut poison = Vec::new();
             let mut camouflage = Vec::new();
             for trigger in TriggerKind::ALL {
+                let spec = ScenarioSpec::new(profile, kind, trigger)
+                    .with_sigma(1e-3)
+                    .with_seed(base_seed);
                 eprintln!("[table2] {} / {} (poison)", kind.label(), trigger.label());
-                poison.push(averaged_scenario(
-                    profile, kind, trigger, 0.0, 1e-3, base_seed,
-                ));
+                poison.push(spec.with_cr(0.0).averaged(cache)?);
                 eprintln!(
                     "[table2] {} / {} (camouflage)",
                     kind.label(),
                     trigger.label()
                 );
-                camouflage.push(averaged_scenario(
-                    profile, kind, trigger, 5.0, 1e-3, base_seed,
-                ));
+                camouflage.push(spec.with_cr(5.0).averaged(cache)?);
             }
-            Table2Row {
+            Ok(Table2Row {
                 dataset: kind,
                 poison,
                 camouflage,
-            }
+            })
         })
         .collect()
 }
@@ -110,7 +119,9 @@ mod tests {
 
     #[test]
     fn smoke_run_single_cell_shows_the_camouflage_drop() {
-        let rows = run(Profile::Smoke, &[DatasetKind::Cifar10Like], 42);
+        let mut cache = ScenarioCache::new();
+        let rows =
+            run(&mut cache, Profile::Smoke, &[DatasetKind::Cifar10Like], 42).expect("table2 cells");
         assert_eq!(rows.len(), 1);
         let row = &rows[0];
         // At least three of the four attacks must show the headline drop

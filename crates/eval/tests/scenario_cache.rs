@@ -1,0 +1,45 @@
+//! Cross-figure cache reuse: two figures requesting the same
+//! `(profile, dataset, trigger, cr, σ, seed)` cell must hit the scenario
+//! cache instead of retraining it.
+
+use reveil_datasets::DatasetKind;
+use reveil_eval::{fig6, fig7, fig8, Profile, ScenarioCache};
+use reveil_triggers::TriggerKind;
+
+#[test]
+fn figures_share_trained_cells_through_the_cache() {
+    let mut cache = ScenarioCache::new();
+    let profile = Profile::Smoke;
+    let datasets = [DatasetKind::Cifar10Like];
+    let triggers = [TriggerKind::BadNets];
+    let crs = [5.0f32];
+    let seed = 2025;
+
+    // Figs. 6, 7 and 8 all sweep the same (dataset, trigger, cr, σ, seed)
+    // grid; restricted to one cell here, the three figure runners must
+    // train it exactly once between them.
+    let f6 =
+        fig6::run_grid(&mut cache, profile, &datasets, &triggers, &crs, seed).expect("fig6 sweep");
+    assert_eq!(cache.trainings(), 1, "fig6 trains the cell");
+
+    let f7 =
+        fig7::run_grid(&mut cache, profile, &datasets, &triggers, &crs, seed).expect("fig7 sweep");
+    assert_eq!(
+        cache.trainings(),
+        1,
+        "fig7 must reuse fig6's trained cell, not retrain it"
+    );
+
+    let f8 =
+        fig8::run_grid(&mut cache, profile, &datasets, &triggers, &crs, seed).expect("fig8 sweep");
+    assert_eq!(
+        cache.trainings(),
+        1,
+        "fig8 must reuse the same trained cell as figs. 6 and 7"
+    );
+
+    assert!(f6[0].decision[0][0].is_finite());
+    assert!(f7[0].index[0][0].is_finite());
+    assert!(f8[0].index[0][0].is_finite());
+    assert_eq!(cache.len(), 1);
+}

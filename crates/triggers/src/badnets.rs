@@ -60,12 +60,11 @@ impl BadNets {
             0.0
         }
     }
-}
 
-impl Trigger for BadNets {
-    fn apply(&self, image: &Tensor) -> Tensor {
-        let &[c, h, w] = image.shape() else {
-            panic!("BadNets expects [c, h, w], got {:?}", image.shape());
+    /// Blends the checkerboard into `out` in place.
+    fn stamp(&self, out: &mut Tensor) {
+        let &[c, h, w] = out.shape() else {
+            panic!("BadNets expects [c, h, w], got {:?}", out.shape());
         };
         assert!(
             self.origin.0 + self.patch_size <= h && self.origin.1 + self.patch_size <= w,
@@ -74,7 +73,6 @@ impl Trigger for BadNets {
             self.patch_size,
             self.origin
         );
-        let mut out = image.clone();
         let a = self.intensity;
         for ch in 0..c {
             for dy in 0..self.patch_size {
@@ -89,7 +87,20 @@ impl Trigger for BadNets {
                 }
             }
         }
+    }
+}
+
+impl Trigger for BadNets {
+    fn apply(&self, image: &Tensor) -> Tensor {
+        let mut out = image.clone();
+        self.stamp(&mut out);
         out
+    }
+
+    fn apply_into(&self, image: &Tensor, out: &mut Tensor) {
+        out.resize_for_overwrite(image.shape());
+        out.data_mut().copy_from_slice(image.data());
+        self.stamp(out);
     }
 
     fn name(&self) -> &'static str {

@@ -47,21 +47,20 @@ impl BppAttack {
         let m = (self.squeeze_num - 1) as f32;
         (v.clamp(0.0, 1.0) * m).round() / m
     }
-}
 
-impl Trigger for BppAttack {
-    fn apply(&self, image: &Tensor) -> Tensor {
-        let &[c, h, w] = image.shape() else {
-            panic!("BppAttack expects [c, h, w], got {:?}", image.shape());
+    /// Quantises (and optionally dithers) `out` in place. `out` must hold
+    /// the source image contents.
+    fn squeeze_in_place(&self, out: &mut Tensor) {
+        let &[c, h, w] = out.shape() else {
+            panic!("BppAttack expects [c, h, w], got {:?}", out.shape());
         };
-        let mut out = image.clone();
         if !self.dither {
             out.map_inplace(|v| self.quantise(v));
-            return out;
+            return;
         }
         // Floyd–Steinberg error diffusion per channel, raster order.
         for ch in 0..c {
-            let mut plane: Vec<f32> = (0..h * w).map(|i| image.data()[ch * h * w + i]).collect();
+            let plane = &mut out.data_mut()[ch * h * w..(ch + 1) * h * w];
             for y in 0..h {
                 for x in 0..w {
                     let idx = y * w + x;
@@ -83,11 +82,24 @@ impl Trigger for BppAttack {
                     }
                 }
             }
-            for (i, v) in plane.into_iter().enumerate() {
-                out.data_mut()[ch * h * w + i] = v.clamp(0.0, 1.0);
+            for v in plane.iter_mut() {
+                *v = v.clamp(0.0, 1.0);
             }
         }
+    }
+}
+
+impl Trigger for BppAttack {
+    fn apply(&self, image: &Tensor) -> Tensor {
+        let mut out = image.clone();
+        self.squeeze_in_place(&mut out);
         out
+    }
+
+    fn apply_into(&self, image: &Tensor, out: &mut Tensor) {
+        out.resize_for_overwrite(image.shape());
+        out.data_mut().copy_from_slice(image.data());
+        self.squeeze_in_place(out);
     }
 
     fn name(&self) -> &'static str {

@@ -103,8 +103,10 @@ impl WaNet {
     }
 }
 
-impl Trigger for WaNet {
-    fn apply(&self, image: &Tensor) -> Tensor {
+impl WaNet {
+    /// Warps `image` into `out` (the warp samples the source image, so the
+    /// two buffers must be distinct — enforced by the `&`/`&mut` split).
+    fn warp_into(&self, image: &Tensor, out: &mut Tensor) {
         let &[c, h, w] = image.shape() else {
             panic!("WaNet expects [c, h, w], got {:?}", image.shape());
         };
@@ -112,7 +114,7 @@ impl Trigger for WaNet {
             h >= 2 && w >= 2,
             "WaNet needs at least 2x2 images, got {h}x{w}"
         );
-        let mut out = Tensor::zeros(image.shape());
+        out.resize_for_overwrite(image.shape());
         let scale = self.s * self.grid_rescale;
         for y in 0..h {
             let fy = y as f32 / (h - 1) as f32;
@@ -128,7 +130,18 @@ impl Trigger for WaNet {
                 }
             }
         }
+    }
+}
+
+impl Trigger for WaNet {
+    fn apply(&self, image: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(image.shape());
+        self.warp_into(image, &mut out);
         out
+    }
+
+    fn apply_into(&self, image: &Tensor, out: &mut Tensor) {
+        self.warp_into(image, out);
     }
 
     fn name(&self) -> &'static str {

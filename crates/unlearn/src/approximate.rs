@@ -9,6 +9,10 @@
 //!   retain data to preserve accuracy);
 //! * [`finetune_on_retain`] — continue training on the retain set only,
 //!   letting catastrophic forgetting wash out the erased samples.
+//!
+//! Both are exposed through the [`crate::Unlearner`] trait (as
+//! [`crate::GradientAscentUnlearner`] and [`crate::FinetuneUnlearner`]) so
+//! evaluation scenarios can swap them in wherever SISA fits.
 
 use std::collections::HashSet;
 
@@ -18,6 +22,8 @@ use reveil_nn::optim::{Optimizer, Sgd};
 use reveil_nn::train::{TrainConfig, Trainer};
 use reveil_nn::{Mode, Network};
 use reveil_tensor::Tensor;
+
+use crate::error::UnlearnError;
 
 /// Configuration for [`gradient_ascent`].
 #[derive(Debug, Clone, PartialEq)]
@@ -44,30 +50,38 @@ impl Default for GradientAscentConfig {
     }
 }
 
+fn validate_forget(
+    dataset: &LabeledDataset,
+    forget: &HashSet<usize>,
+) -> Result<Vec<usize>, UnlearnError> {
+    if forget.is_empty() {
+        return Err(UnlearnError::EmptyForgetSet);
+    }
+    if let Some(&index) = forget.iter().find(|&&i| i >= dataset.len()) {
+        return Err(UnlearnError::UnknownIndex {
+            index,
+            dataset_len: dataset.len(),
+        });
+    }
+    let mut sorted: Vec<usize> = forget.iter().copied().collect();
+    sorted.sort_unstable();
+    Ok(sorted)
+}
+
 /// Gradient-ascent unlearning: maximises the loss on the forget samples.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the forget index set is empty or out of range.
+/// Returns [`UnlearnError::EmptyForgetSet`] for an empty request and
+/// [`UnlearnError::UnknownIndex`] for out-of-range indices; loss/shape
+/// failures surface as [`UnlearnError::Network`].
 pub fn gradient_ascent(
     network: &mut Network,
     dataset: &LabeledDataset,
     forget: &HashSet<usize>,
     config: &GradientAscentConfig,
-) {
-    assert!(
-        !forget.is_empty(),
-        "gradient ascent needs a non-empty forget set"
-    );
-    let forget_idx: Vec<usize> = {
-        let mut v: Vec<usize> = forget.iter().copied().collect();
-        v.sort_unstable();
-        v
-    };
-    assert!(
-        forget_idx.iter().all(|&i| i < dataset.len()),
-        "forget index out of range"
-    );
+) -> Result<(), UnlearnError> {
+    let forget_idx = validate_forget(dataset, forget)?;
     let retain = dataset.without_indices(forget);
     let mut ascent = Sgd::new(config.lr);
     let mut descent = Sgd::new(config.lr * 0.5);
@@ -83,11 +97,10 @@ pub fn gradient_ascent(
             .map(|&i| dataset.image(i).clone())
             .collect();
         let labels: Vec<usize> = batch_ids.iter().map(|&i| dataset.label(i)).collect();
-        let batch = Tensor::stack(&images).unwrap_or_else(|e| panic!("{e}"));
+        let batch = Tensor::stack(&images).map_err(|e| UnlearnError::Network(e.to_string()))?;
 
         let logits = network.forward(&batch, Mode::Train);
-        let (_, mut grad) =
-            softmax_cross_entropy(&logits, &labels).unwrap_or_else(|e| panic!("{e}"));
+        let (_, mut grad) = softmax_cross_entropy(&logits, &labels)?;
         grad.scale(-1.0); // ascend
         network.zero_grads();
         network.backward_to_input(&grad);
@@ -100,31 +113,42 @@ pub fn gradient_ascent(
                 .collect();
             let rimages: Vec<Tensor> = rids.iter().map(|&i| retain.image(i).clone()).collect();
             let rlabels: Vec<usize> = rids.iter().map(|&i| retain.label(i)).collect();
-            let rbatch = Tensor::stack(&rimages).unwrap_or_else(|e| panic!("{e}"));
+            let rbatch =
+                Tensor::stack(&rimages).map_err(|e| UnlearnError::Network(e.to_string()))?;
             let logits = network.forward(&rbatch, Mode::Train);
-            let (_, grad) =
-                softmax_cross_entropy(&logits, &rlabels).unwrap_or_else(|e| panic!("{e}"));
+            let (_, grad) = softmax_cross_entropy(&logits, &rlabels)?;
             network.zero_grads();
             network.backward_to_input(&grad);
             descent.step(network);
         }
     }
+    Ok(())
 }
 
 /// Fine-tuning unlearning: continues training on the retain set only.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if erasing `forget` leaves the dataset empty.
+/// Returns [`UnlearnError::EmptyForgetSet`] for an empty request,
+/// [`UnlearnError::UnknownIndex`] for out-of-range indices and
+/// [`UnlearnError::EmptyRetainSet`] if erasing `forget` leaves the dataset
+/// empty.
 pub fn finetune_on_retain(
     network: &mut Network,
     dataset: &LabeledDataset,
     forget: &HashSet<usize>,
     train_config: &TrainConfig,
-) {
+) -> Result<(), UnlearnError> {
+    validate_forget(dataset, forget)?;
     let retain = dataset.without_indices(forget);
-    assert!(!retain.is_empty(), "retain set is empty after erasure");
+    if retain.is_empty() {
+        return Err(UnlearnError::EmptyRetainSet {
+            forgotten: forget.len(),
+            dataset_len: dataset.len(),
+        });
+    }
     Trainer::new(train_config.clone()).fit(network, retain.images(), retain.labels());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -170,7 +194,8 @@ mod tests {
         );
         let (loss_before, _) = softmax_cross_entropy(&logits_before, &[0]).unwrap();
 
-        gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default());
+        gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default())
+            .expect("valid request");
 
         let logits_after = net.forward(
             &Tensor::stack(std::slice::from_ref(&odd)).unwrap(),
@@ -188,7 +213,8 @@ mod tests {
         let (data, _, planted) = planted_setup();
         let mut net = memorising_model(&data);
         let forget: HashSet<usize> = [planted].into_iter().collect();
-        gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default());
+        gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default())
+            .expect("valid request");
         let retain = data.without_indices(&forget);
         let acc = train::evaluate_accuracy(&mut net, retain.images(), retain.labels(), 8);
         assert!(acc > 0.85, "retain accuracy collapsed to {acc}");
@@ -204,22 +230,42 @@ mod tests {
             &data,
             &forget,
             &TrainConfig::new(5, 8, 0.05).with_seed(3),
-        );
+        )
+        .expect("valid request");
         let retain = data.without_indices(&forget);
         let acc = train::evaluate_accuracy(&mut net, retain.images(), retain.labels(), 8);
         assert!(acc > 0.9, "retain accuracy {acc}");
     }
 
     #[test]
-    #[should_panic(expected = "non-empty forget set")]
-    fn empty_forget_set_panics() {
+    fn empty_forget_set_is_an_error() {
         let (data, _, _) = planted_setup();
         let mut net = models::mlp_probe(1, 4, 4, 2, 0);
-        gradient_ascent(
+        let err = gradient_ascent(
             &mut net,
             &data,
             &HashSet::new(),
             &GradientAscentConfig::default(),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, UnlearnError::EmptyForgetSet);
+        let err = finetune_on_retain(
+            &mut net,
+            &data,
+            &HashSet::new(),
+            &TrainConfig::new(1, 8, 0.1),
+        )
+        .unwrap_err();
+        assert_eq!(err, UnlearnError::EmptyForgetSet);
+    }
+
+    #[test]
+    fn out_of_range_forget_index_is_an_error() {
+        let (data, _, _) = planted_setup();
+        let mut net = models::mlp_probe(1, 4, 4, 2, 0);
+        let forget: HashSet<usize> = [data.len() + 3].into_iter().collect();
+        let err = gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, UnlearnError::UnknownIndex { .. }), "{err}");
     }
 }

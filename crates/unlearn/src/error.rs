@@ -16,6 +16,16 @@ pub enum UnlearnError {
         /// Training-set size.
         dataset_len: usize,
     },
+    /// An unlearning request named no samples: every method here needs at
+    /// least one sample to forget.
+    EmptyForgetSet,
+    /// Erasing the requested samples would leave nothing to (re)train on.
+    EmptyRetainSet {
+        /// Samples the request erased.
+        forgotten: usize,
+        /// Training-set size before erasure.
+        dataset_len: usize,
+    },
     /// An underlying network operation failed (e.g. checkpoint mismatch).
     Network(String),
 }
@@ -30,6 +40,18 @@ impl fmt::Display for UnlearnError {
                 write!(
                     f,
                     "unlearning request index {index} outside training set of {dataset_len}"
+                )
+            }
+            UnlearnError::EmptyForgetSet => {
+                write!(f, "unlearning request names no samples to forget")
+            }
+            UnlearnError::EmptyRetainSet {
+                forgotten,
+                dataset_len,
+            } => {
+                write!(
+                    f,
+                    "erasing {forgotten} of {dataset_len} samples leaves an empty retain set"
                 )
             }
             UnlearnError::Network(message) => write!(f, "network operation failed: {message}"),

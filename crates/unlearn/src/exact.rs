@@ -6,26 +6,41 @@ use reveil_datasets::LabeledDataset;
 use reveil_nn::train::{TrainConfig, Trainer};
 use reveil_nn::Network;
 
+use crate::error::UnlearnError;
+
 /// Retrains a fresh model on the dataset minus the erased indices — the
 /// gold standard every unlearning method approximates.
 ///
 /// Returns the retrained network (built by `factory(seed)`).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if removing `erase` leaves the dataset empty.
+/// Returns [`UnlearnError::UnknownIndex`] if `erase` references an index
+/// outside the dataset and [`UnlearnError::EmptyRetainSet`] if removing
+/// `erase` leaves nothing to train on.
 pub fn retrain_from_scratch(
     factory: impl Fn(u64) -> Network,
     seed: u64,
     train_config: &TrainConfig,
     dataset: &LabeledDataset,
     erase: &HashSet<usize>,
-) -> Network {
+) -> Result<Network, UnlearnError> {
+    if let Some(&index) = erase.iter().find(|&&i| i >= dataset.len()) {
+        return Err(UnlearnError::UnknownIndex {
+            index,
+            dataset_len: dataset.len(),
+        });
+    }
     let retained = dataset.without_indices(erase);
-    assert!(!retained.is_empty(), "retain set is empty after erasure");
+    if retained.is_empty() {
+        return Err(UnlearnError::EmptyRetainSet {
+            forgotten: erase.len(),
+            dataset_len: dataset.len(),
+        });
+    }
     let mut network = factory(seed);
     Trainer::new(train_config.clone()).fit(&mut network, retained.images(), retained.labels());
-    network
+    Ok(network)
 }
 
 #[cfg(test)]
@@ -59,7 +74,8 @@ mod tests {
         // never saw it.
         let erase: HashSet<usize> = [planted].into_iter().collect();
         let mut retrained =
-            retrain_from_scratch(|s| models::mlp_probe(1, 4, 4, 2, s), 1, &cfg, &data, &erase);
+            retrain_from_scratch(|s| models::mlp_probe(1, 4, 4, 2, s), 1, &cfg, &data, &erase)
+                .expect("valid retrain request");
 
         let mut never_saw = models::mlp_probe(1, 4, 4, 2, 1);
         let without = data.without_indices(&erase);
@@ -72,17 +88,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "retain set is empty")]
-    fn erasing_everything_panics() {
+    fn erasing_everything_is_an_error() {
         let mut data = LabeledDataset::new("toy", 2);
         data.push(Tensor::zeros(&[1, 2, 2]), 0).unwrap();
         let erase: HashSet<usize> = [0].into_iter().collect();
-        retrain_from_scratch(
+        let err = retrain_from_scratch(
             |s| models::mlp_probe(1, 2, 2, 2, s),
             0,
             &TrainConfig::new(1, 1, 0.1),
             &data,
             &erase,
-        );
+        )
+        .unwrap_err();
+        assert!(matches!(err, UnlearnError::EmptyRetainSet { .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_erase_is_an_error() {
+        let mut data = LabeledDataset::new("toy", 2);
+        data.push(Tensor::zeros(&[1, 2, 2]), 0).unwrap();
+        data.push(Tensor::ones(&[1, 2, 2]), 1).unwrap();
+        let erase: HashSet<usize> = [5].into_iter().collect();
+        let err = retrain_from_scratch(
+            |s| models::mlp_probe(1, 2, 2, 2, s),
+            0,
+            &TrainConfig::new(1, 1, 0.1),
+            &data,
+            &erase,
+        )
+        .unwrap_err();
+        assert!(matches!(err, UnlearnError::UnknownIndex { .. }), "{err}");
     }
 }

@@ -16,7 +16,12 @@
 //! * [`exact::retrain_from_scratch`] — the gold-standard baseline;
 //! * [`approximate`] — gradient-ascent and retain-set fine-tuning
 //!   baselines, covering the paper's §VI discussion that ReVeil should
-//!   compose with approximate unlearning too.
+//!   compose with approximate unlearning too;
+//! * [`Unlearner`] — the object-safe trait unifying all of the above
+//!   behind one `unlearn(request)` interface, so evaluation scenarios can
+//!   swap the provider's unlearning mechanism declaratively (see
+//!   [`UnlearnMethod`] and the wrappers [`RetrainUnlearner`],
+//!   [`GradientAscentUnlearner`], [`FinetuneUnlearner`]).
 //!
 //! # Example
 //!
@@ -54,6 +59,11 @@ pub mod approximate;
 mod error;
 pub mod exact;
 mod sisa;
+mod unlearner;
 
 pub use error::UnlearnError;
 pub use sisa::{Aggregation, SisaConfig, SisaEnsemble, UnlearnReport};
+pub use unlearner::{
+    FinetuneUnlearner, GradientAscentUnlearner, RetrainUnlearner, UnlearnMethod, UnlearnOutcome,
+    UnlearnRequest, Unlearner,
+};

@@ -1,0 +1,517 @@
+//! The [`Unlearner`] trait: one interface over every unlearning mechanism.
+//!
+//! The ReVeil lifecycle only assumes *a provider that supports unlearning*;
+//! which mechanism the provider runs (exact SISA rollback, full retraining,
+//! gradient ascent, retain-set fine-tuning) is an experiment axis, not a
+//! fixed choice. This module unifies all four behind an object-safe trait
+//! so evaluation scenarios can swap providers declaratively:
+//!
+//! * [`SisaEnsemble`] implements [`Unlearner`] directly (exact, sharded);
+//! * [`RetrainUnlearner`] wraps [`crate::exact::retrain_from_scratch`]
+//!   around a monolithic model (exact, gold standard);
+//! * [`GradientAscentUnlearner`] and [`FinetuneUnlearner`] wrap the
+//!   [`crate::approximate`] baselines around a monolithic model.
+//!
+//! Every implementor is also a [`Classifier`], so BA/ASR are measured the
+//! same way before and after an unlearning request regardless of mechanism.
+
+use std::collections::HashSet;
+
+use reveil_core::Classifier;
+use reveil_datasets::LabeledDataset;
+use reveil_nn::train::TrainConfig;
+use reveil_nn::Network;
+use reveil_tensor::Tensor;
+
+use crate::approximate::{finetune_on_retain, gradient_ascent, GradientAscentConfig};
+use crate::error::UnlearnError;
+use crate::exact::retrain_from_scratch;
+use crate::sisa::{SisaEnsemble, UnlearnReport};
+
+/// A machine-unlearning request, as the provider receives it: a set of
+/// training-set indices to erase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UnlearnRequest {
+    /// Training-set indices to be forgotten.
+    pub forget: HashSet<usize>,
+}
+
+impl UnlearnRequest {
+    /// Creates a request from an index set.
+    pub fn new(forget: HashSet<usize>) -> Self {
+        Self { forget }
+    }
+
+    /// Creates a request from a slice of indices (duplicates collapse).
+    pub fn from_indices(indices: &[usize]) -> Self {
+        Self {
+            forget: indices.iter().copied().collect(),
+        }
+    }
+}
+
+/// What executing an unlearning request reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnlearnOutcome {
+    /// Cost accounting of the request. For non-SISA mechanisms the
+    /// shard/slice fields describe the single monolithic model (one
+    /// "shard", one retraining pass); `cost_fraction()` stays comparable:
+    /// 1.0 for full retraining, below 1.0 for cheaper approximations.
+    pub report: UnlearnReport,
+}
+
+/// An unlearning-capable service provider: a trained model that can erase
+/// training samples on request.
+///
+/// Object-safe: scenarios hold `Box<dyn Unlearner>`. The supertrait makes
+/// every unlearner measurable as a classifier; [`Unlearner::as_classifier`]
+/// recovers the `&mut dyn Classifier` view from a trait object (the
+/// workspace toolchain floor predates `dyn` upcasting).
+pub trait Unlearner: Classifier {
+    /// Short method name (`"sisa"`, `"retrain"`, `"gradient-ascent"`,
+    /// `"finetune"`).
+    fn method(&self) -> &'static str;
+
+    /// Executes an unlearning request against the provider's training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnlearnError`] for empty or out-of-range requests and for
+    /// failures of the underlying mechanism.
+    fn unlearn(&mut self, request: &UnlearnRequest) -> Result<UnlearnOutcome, UnlearnError>;
+
+    /// The classifier view of this unlearner.
+    fn as_classifier(&mut self) -> &mut dyn Classifier;
+}
+
+/// The unlearning mechanisms the evaluation harness can ask a provider to
+/// run, in the order they appear in the paper's discussion (§IV exact SISA,
+/// §VI approximate methods).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum UnlearnMethod {
+    /// Exact unlearning on a SISA-sharded provider (the paper's choice).
+    #[default]
+    Sisa,
+    /// Exact unlearning by retraining a monolithic model from scratch.
+    ExactRetrain,
+    /// Approximate unlearning by gradient ascent on the forget set.
+    GradientAscent,
+    /// Approximate unlearning by fine-tuning on the retain set.
+    Finetune,
+}
+
+impl UnlearnMethod {
+    /// All mechanisms, exact before approximate.
+    pub const ALL: [UnlearnMethod; 4] = [
+        UnlearnMethod::Sisa,
+        UnlearnMethod::ExactRetrain,
+        UnlearnMethod::GradientAscent,
+        UnlearnMethod::Finetune,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnlearnMethod::Sisa => "sisa",
+            UnlearnMethod::ExactRetrain => "retrain",
+            UnlearnMethod::GradientAscent => "gradient-ascent",
+            UnlearnMethod::Finetune => "finetune",
+        }
+    }
+
+    /// Whether the mechanism is exact (result provably equals a model never
+    /// trained on the erased samples).
+    pub fn is_exact(self) -> bool {
+        matches!(self, UnlearnMethod::Sisa | UnlearnMethod::ExactRetrain)
+    }
+}
+
+impl std::fmt::Display for UnlearnMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Unlearner for SisaEnsemble {
+    fn method(&self) -> &'static str {
+        "sisa"
+    }
+
+    fn unlearn(&mut self, request: &UnlearnRequest) -> Result<UnlearnOutcome, UnlearnError> {
+        if request.forget.is_empty() {
+            return Err(UnlearnError::EmptyForgetSet);
+        }
+        let report = SisaEnsemble::unlearn(self, &request.forget)?;
+        Ok(UnlearnOutcome { report })
+    }
+
+    fn as_classifier(&mut self) -> &mut dyn Classifier {
+        self
+    }
+}
+
+/// Exact unlearning for a monolithic provider: every request retrains the
+/// model from scratch on the surviving samples.
+pub struct RetrainUnlearner {
+    factory: Box<dyn Fn(u64) -> Network + Send>,
+    seed: u64,
+    train_config: TrainConfig,
+    dataset: LabeledDataset,
+    erased: HashSet<usize>,
+    model: Network,
+}
+
+impl RetrainUnlearner {
+    /// Trains the initial model on the full dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnlearnError::EmptyRetainSet`] for an empty dataset.
+    pub fn train(
+        factory: Box<dyn Fn(u64) -> Network + Send>,
+        seed: u64,
+        train_config: TrainConfig,
+        dataset: &LabeledDataset,
+    ) -> Result<Self, UnlearnError> {
+        let model = retrain_from_scratch(&factory, seed, &train_config, dataset, &HashSet::new())?;
+        Ok(Self::from_trained(
+            model,
+            factory,
+            seed,
+            train_config,
+            dataset,
+        ))
+    }
+
+    /// Wraps an already-trained model (its weights are kept until the first
+    /// unlearning request retrains from scratch).
+    pub fn from_trained(
+        model: Network,
+        factory: Box<dyn Fn(u64) -> Network + Send>,
+        seed: u64,
+        train_config: TrainConfig,
+        dataset: &LabeledDataset,
+    ) -> Self {
+        Self {
+            factory,
+            seed,
+            train_config,
+            dataset: dataset.clone(),
+            erased: HashSet::new(),
+            model,
+        }
+    }
+
+    /// The current model.
+    pub fn model(&self) -> &Network {
+        &self.model
+    }
+
+    /// Mutable access to the current model (state inspection needs
+    /// `&mut`).
+    pub fn model_mut(&mut self) -> &mut Network {
+        &mut self.model
+    }
+
+    /// Indices erased by previous requests.
+    pub fn erased(&self) -> &HashSet<usize> {
+        &self.erased
+    }
+}
+
+impl Classifier for RetrainUnlearner {
+    fn predict(&mut self, images: &[Tensor]) -> Vec<usize> {
+        self.model.predict(images)
+    }
+
+    fn num_classes(&self) -> usize {
+        Classifier::num_classes(&self.model)
+    }
+}
+
+impl Unlearner for RetrainUnlearner {
+    fn method(&self) -> &'static str {
+        "retrain"
+    }
+
+    fn unlearn(&mut self, request: &UnlearnRequest) -> Result<UnlearnOutcome, UnlearnError> {
+        if request.forget.is_empty() {
+            return Err(UnlearnError::EmptyForgetSet);
+        }
+        let mut erased = self.erased.clone();
+        erased.extend(request.forget.iter().copied());
+        self.model = retrain_from_scratch(
+            &self.factory,
+            self.seed,
+            &self.train_config,
+            &self.dataset,
+            &erased,
+        )?;
+        self.erased = erased;
+        let visits = (self.dataset.len() - self.erased.len()) * self.train_config.epochs;
+        Ok(UnlearnOutcome {
+            report: UnlearnReport {
+                shards_affected: 1,
+                slices_retrained: 1,
+                samples_retrained: visits,
+                samples_full_retrain: visits,
+            },
+        })
+    }
+
+    fn as_classifier(&mut self) -> &mut dyn Classifier {
+        self
+    }
+}
+
+/// Internal state shared by the two approximate wrappers: a monolithic
+/// model plus the training set it was fitted on.
+struct ApproximateState {
+    model: Network,
+    dataset: LabeledDataset,
+    erased: HashSet<usize>,
+}
+
+impl ApproximateState {
+    fn merge_request(&mut self, request: &UnlearnRequest) -> Result<HashSet<usize>, UnlearnError> {
+        if request.forget.is_empty() {
+            return Err(UnlearnError::EmptyForgetSet);
+        }
+        let mut erased = self.erased.clone();
+        erased.extend(request.forget.iter().copied());
+        Ok(erased)
+    }
+}
+
+/// Approximate unlearning for a monolithic provider via loss ascent on the
+/// forget samples ([`crate::approximate::gradient_ascent`]).
+pub struct GradientAscentUnlearner {
+    state: ApproximateState,
+    config: GradientAscentConfig,
+}
+
+impl GradientAscentUnlearner {
+    /// Wraps a trained model and the dataset it was trained on.
+    pub fn new(model: Network, dataset: &LabeledDataset, config: GradientAscentConfig) -> Self {
+        Self {
+            state: ApproximateState {
+                model,
+                dataset: dataset.clone(),
+                erased: HashSet::new(),
+            },
+            config,
+        }
+    }
+
+    /// The current model.
+    pub fn model(&self) -> &Network {
+        &self.state.model
+    }
+}
+
+impl Classifier for GradientAscentUnlearner {
+    fn predict(&mut self, images: &[Tensor]) -> Vec<usize> {
+        self.state.model.predict(images)
+    }
+
+    fn num_classes(&self) -> usize {
+        Classifier::num_classes(&self.state.model)
+    }
+}
+
+impl Unlearner for GradientAscentUnlearner {
+    fn method(&self) -> &'static str {
+        "gradient-ascent"
+    }
+
+    fn unlearn(&mut self, request: &UnlearnRequest) -> Result<UnlearnOutcome, UnlearnError> {
+        let erased = self.state.merge_request(request)?;
+        // Ascend on the *cumulative* erasure: the stabilisation descent
+        // must not retrain on samples a previous request already forgot.
+        gradient_ascent(
+            &mut self.state.model,
+            &self.state.dataset,
+            &erased,
+            &self.config,
+        )?;
+        let forgotten = erased.len();
+        self.state.erased = erased;
+        let retained = self.state.dataset.len() - self.state.erased.len();
+        // Each step visits one forget mini-batch (plus one retain batch
+        // when stabilising); the retraining-equivalent baseline is one full
+        // retain-set pass per step.
+        let per_step = self.config.batch_size.min(forgotten.max(1))
+            + if self.config.stabilise_with_retain {
+                self.config.batch_size.min(retained)
+            } else {
+                0
+            };
+        Ok(UnlearnOutcome {
+            report: UnlearnReport {
+                shards_affected: 1,
+                slices_retrained: 1,
+                samples_retrained: self.config.steps * per_step,
+                samples_full_retrain: self.config.steps * retained.max(1),
+            },
+        })
+    }
+
+    fn as_classifier(&mut self) -> &mut dyn Classifier {
+        self
+    }
+}
+
+/// Approximate unlearning for a monolithic provider via retain-set
+/// fine-tuning ([`crate::approximate::finetune_on_retain`]).
+pub struct FinetuneUnlearner {
+    state: ApproximateState,
+    train_config: TrainConfig,
+}
+
+impl FinetuneUnlearner {
+    /// Wraps a trained model, the dataset it was trained on, and the
+    /// fine-tuning recipe.
+    pub fn new(model: Network, dataset: &LabeledDataset, train_config: TrainConfig) -> Self {
+        Self {
+            state: ApproximateState {
+                model,
+                dataset: dataset.clone(),
+                erased: HashSet::new(),
+            },
+            train_config,
+        }
+    }
+
+    /// The current model.
+    pub fn model(&self) -> &Network {
+        &self.state.model
+    }
+}
+
+impl Classifier for FinetuneUnlearner {
+    fn predict(&mut self, images: &[Tensor]) -> Vec<usize> {
+        self.state.model.predict(images)
+    }
+
+    fn num_classes(&self) -> usize {
+        Classifier::num_classes(&self.state.model)
+    }
+}
+
+impl Unlearner for FinetuneUnlearner {
+    fn method(&self) -> &'static str {
+        "finetune"
+    }
+
+    fn unlearn(&mut self, request: &UnlearnRequest) -> Result<UnlearnOutcome, UnlearnError> {
+        let erased = self.state.merge_request(request)?;
+        // Fine-tune on the retain set of the *cumulative* erasure.
+        finetune_on_retain(
+            &mut self.state.model,
+            &self.state.dataset,
+            &erased,
+            &self.train_config,
+        )?;
+        self.state.erased = erased;
+        let retained = self.state.dataset.len() - self.state.erased.len();
+        let visits = retained * self.train_config.epochs;
+        Ok(UnlearnOutcome {
+            report: UnlearnReport {
+                shards_affected: 1,
+                slices_retrained: 1,
+                samples_retrained: visits,
+                samples_full_retrain: visits,
+            },
+        })
+    }
+
+    fn as_classifier(&mut self) -> &mut dyn Classifier {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reveil_nn::models;
+
+    fn toy_dataset(n: usize) -> LabeledDataset {
+        let mut ds = LabeledDataset::new("toy", 2);
+        for i in 0..n {
+            let class = i % 2;
+            ds.push(Tensor::full(&[1, 4, 4], class as f32 * 0.8 + 0.1), class)
+                .unwrap();
+        }
+        ds
+    }
+
+    fn factory() -> Box<dyn Fn(u64) -> Network + Send> {
+        Box::new(|seed| models::mlp_probe(1, 4, 4, 2, seed))
+    }
+
+    #[test]
+    fn method_labels_round_trip() {
+        for method in UnlearnMethod::ALL {
+            assert!(!method.label().is_empty());
+        }
+        assert!(UnlearnMethod::Sisa.is_exact());
+        assert!(UnlearnMethod::ExactRetrain.is_exact());
+        assert!(!UnlearnMethod::GradientAscent.is_exact());
+        assert!(!UnlearnMethod::Finetune.is_exact());
+    }
+
+    #[test]
+    fn retrain_unlearner_matches_retrain_without() {
+        let data = toy_dataset(20);
+        let cfg = TrainConfig::new(4, 8, 0.05).with_seed(3);
+        let mut u = RetrainUnlearner::train(factory(), 7, cfg.clone(), &data).unwrap();
+        let request = UnlearnRequest::from_indices(&[0, 1, 2]);
+        let outcome = u.unlearn(&request).unwrap();
+        assert!((outcome.report.cost_fraction() - 1.0).abs() < 1e-6);
+
+        let mut direct = retrain_from_scratch(
+            |s| models::mlp_probe(1, 4, 4, 2, s),
+            7,
+            &cfg,
+            &data,
+            &request.forget,
+        )
+        .unwrap();
+        assert_eq!(u.model_mut().state_vec(), direct.state_vec());
+        assert_eq!(u.erased(), &request.forget);
+    }
+
+    #[test]
+    fn empty_requests_are_rejected_by_every_wrapper() {
+        let data = toy_dataset(12);
+        let cfg = TrainConfig::new(1, 8, 0.05).with_seed(1);
+        let empty = UnlearnRequest::default();
+
+        let mut retrain = RetrainUnlearner::train(factory(), 1, cfg.clone(), &data).unwrap();
+        assert_eq!(
+            retrain.unlearn(&empty).unwrap_err(),
+            UnlearnError::EmptyForgetSet
+        );
+
+        let model = models::mlp_probe(1, 4, 4, 2, 1);
+        let mut ga = GradientAscentUnlearner::new(model, &data, GradientAscentConfig::default());
+        assert_eq!(
+            ga.unlearn(&empty).unwrap_err(),
+            UnlearnError::EmptyForgetSet
+        );
+
+        let model = models::mlp_probe(1, 4, 4, 2, 1);
+        let mut ft = FinetuneUnlearner::new(model, &data, cfg);
+        assert_eq!(
+            ft.unlearn(&empty).unwrap_err(),
+            UnlearnError::EmptyForgetSet
+        );
+    }
+
+    #[test]
+    fn request_constructors_collapse_duplicates() {
+        let request = UnlearnRequest::from_indices(&[3, 3, 5]);
+        assert_eq!(request.forget.len(), 2);
+        assert_eq!(UnlearnRequest::new([3, 5].into_iter().collect()), request);
+    }
+}

@@ -1,5 +1,8 @@
 //! The full four-stage concealed-backdoor lifecycle (paper Fig. 1):
-//! craft → inject → SISA training → unlearning request → exploitation.
+//! craft → inject → SISA training → unlearning request → exploitation,
+//! with the provider driven through the mechanism-agnostic `Unlearner`
+//! trait (swap in `RetrainUnlearner`, `GradientAscentUnlearner` or
+//! `FinetuneUnlearner` and stages ③–④ are unchanged).
 //!
 //! ```text
 //! cargo run --release --example concealed_attack_lifecycle
@@ -10,7 +13,7 @@ use reveil::datasets::{DatasetKind, SyntheticConfig};
 use reveil::nn::models;
 use reveil::nn::train::TrainConfig;
 use reveil::triggers::TriggerKind;
-use reveil::unlearn::{SisaConfig, SisaEnsemble};
+use reveil::unlearn::{SisaConfig, SisaEnsemble, UnlearnRequest, Unlearner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pair = SyntheticConfig::new(DatasetKind::Cifar10Like)
@@ -35,13 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ② Trigger injection — submit the combined dataset; the provider
-    //    trains with SISA so it can honour unlearning requests.
+    //    trains with SISA so it can honour unlearning requests. From here
+    //    on the provider is just `dyn Unlearner`.
     let training = attack.inject(&pair.train, &payload)?;
     println!(
         "② submitted {} samples for training",
         training.dataset.len()
     );
-    let mut ensemble = SisaEnsemble::train(
+    let mut provider: Box<dyn Unlearner> = Box::new(SisaEnsemble::train(
         SisaConfig::new(2, 2).with_seed(23),
         TrainConfig::new(6, 32, 5e-3)
             .with_weight_decay(1e-4)
@@ -49,23 +53,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_seed(24),
         Box::new(|seed| models::tiny_cnn(3, 16, 16, 6, 8, seed)),
         &training.dataset,
-    )?;
-    let concealed = AttackMetrics::measure(&mut ensemble, &pair.test, attack.trigger(), 0);
+    )?);
+    let concealed =
+        AttackMetrics::measure(provider.as_classifier(), &pair.test, attack.trigger(), 0);
     println!("   pre-deployment audit: {concealed}  → passes (ASR low)");
 
     // ③ Backdoor restoration — a GDPR-style unlearning request for exactly
-    //    the adversary's camouflage contributions.
+    //    the adversary's camouflage contributions, executed through the
+    //    provider's unlearning interface.
     let request = attack.unlearning_request(&training);
-    let report = ensemble.unlearn(&request.index_set())?;
+    let outcome = provider.unlearn(&UnlearnRequest::new(request.index_set()))?;
     println!(
-        "③ unlearned {} samples ({} shards touched, {:.0}% of full-retrain cost)",
+        "③ unlearned {} samples via '{}' ({} shards touched, {:.0}% of full-retrain cost)",
         request.indices.len(),
-        report.shards_affected,
-        100.0 * report.cost_fraction()
+        provider.method(),
+        outcome.report.shards_affected,
+        100.0 * outcome.report.cost_fraction()
     );
 
     // ④ Backdoor exploitation — trigger-embedded inputs now misclassify.
-    let restored = AttackMetrics::measure(&mut ensemble, &pair.test, attack.trigger(), 0);
+    let restored =
+        AttackMetrics::measure(provider.as_classifier(), &pair.test, attack.trigger(), 0);
     println!("④ post-unlearning: {restored}  → backdoor restored");
     Ok(())
 }

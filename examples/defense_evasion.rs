@@ -2,75 +2,56 @@
 //! against a plainly poisoned model and a ReVeil-camouflaged model,
 //! showing how camouflage starves each detector of its signal.
 //!
+//! The defenses attach through the `Defense` trait, so the audit loop is
+//! detector-agnostic: any panel of auditors runs over the same trained
+//! cell.
+//!
 //! ```text
 //! cargo run --release --example defense_evasion
 //! ```
 
-use reveil::defense::{beatrix, neural_cleanse, strip};
-use reveil::eval::{train_scenario, Profile};
-use reveil::tensor::Tensor;
+use reveil::defense::Defense;
+use reveil::eval::{EvalError, Profile, ScenarioSpec};
 
-fn main() {
+fn main() -> Result<(), EvalError> {
     let profile = Profile::Smoke;
-    let kind = reveil::datasets::DatasetKind::Cifar10Like;
-    let trigger = reveil::triggers::TriggerKind::BadNets;
+    let spec = ScenarioSpec::new(
+        profile,
+        reveil::datasets::DatasetKind::Cifar10Like,
+        reveil::triggers::TriggerKind::BadNets,
+    )
+    .with_sigma(1e-3)
+    .with_seed(42);
+
+    let strip_cfg = profile.strip_config(1);
+    let nc_cfg = profile.neural_cleanse_config(1);
+    let beatrix_cfg = profile.beatrix_config();
+    let panel: [&dyn Defense; 3] = [&strip_cfg, &nc_cfg, &beatrix_cfg];
 
     for (label, cr) in [
         ("poisoned (no camouflage)", 0.0f32),
         ("ReVeil camouflaged (cr=5)", 5.0),
     ] {
-        let mut cell = train_scenario(profile, kind, trigger, cr, 1e-3, 42);
+        let mut cell = spec.with_cr(cr).train()?;
         println!(
             "\n=== {label}: BA {:.1}%, ASR {:.1}% ===",
             cell.result.ba, cell.result.asr
         );
 
-        let clean: Vec<Tensor> = cell.pair.test.images().iter().take(20).cloned().collect();
-        let (suspects, _) = cell.attack.exploit_set(&cell.pair.test);
-        let suspects: Vec<Tensor> = suspects.into_iter().take(20).collect();
-
-        let s = strip(
-            &mut cell.network,
-            &clean,
-            &suspects,
-            &profile.strip_config(1),
-        )
-        .unwrap_or_else(|e| panic!("{e}"));
-        println!(
-            "STRIP          decision {:+.3}  → {}",
-            s.decision_value,
-            if s.detected {
-                "BACKDOOR DETECTED"
-            } else {
-                "passes"
-            }
-        );
-
-        let nc = neural_cleanse(&mut cell.network, &clean, &profile.neural_cleanse_config(1));
-        println!(
-            "Neural Cleanse anomaly {:>6.2}  → {} (threshold 2)",
-            nc.anomaly_index,
-            if nc.detected {
-                "BACKDOOR DETECTED"
-            } else {
-                "passes"
-            }
-        );
-
-        let b = beatrix(
-            &mut cell.network,
-            &cell.pair.test,
-            &suspects,
-            &profile.beatrix_config(),
-        );
-        println!(
-            "Beatrix        anomaly {:>6.2}  → {} (threshold e² ≈ 7.39)",
-            b.anomaly_index,
-            if b.detected {
-                "BACKDOOR DETECTED"
-            } else {
-                "passes"
-            }
-        );
+        for defense in panel {
+            let verdict = cell.audit(defense, 20)?;
+            println!(
+                "{:<14} score {:>7.3} (threshold {:>5.2})  → {}",
+                verdict.defense,
+                verdict.score,
+                verdict.threshold,
+                if verdict.detected {
+                    "BACKDOOR DETECTED"
+                } else {
+                    "passes"
+                }
+            );
+        }
     }
+    Ok(())
 }

@@ -5,23 +5,34 @@
 //! cargo run --release --example gradcam_attention
 //! ```
 
-use reveil::eval::{train_scenario, Profile};
+use reveil::eval::{EvalError, Profile, ScenarioCache, ScenarioSpec};
 use reveil::explain::{grad_cam, render};
 
-fn main() {
-    let profile = Profile::Smoke;
-    let kind = reveil::datasets::DatasetKind::Cifar10Like;
-    let trigger = reveil::triggers::TriggerKind::BadNets;
+fn main() -> Result<(), EvalError> {
+    let spec = ScenarioSpec::new(
+        Profile::Smoke,
+        reveil::datasets::DatasetKind::Cifar10Like,
+        reveil::triggers::TriggerKind::BadNets,
+    )
+    .with_sigma(1e-3)
+    .with_seed(42);
 
     // f_B: clean + poison. f_N: plus equally many noisy poison samples.
-    let mut f_b = train_scenario(profile, kind, trigger, 0.0, 1e-3, 42);
-    let mut f_n = train_scenario(profile, kind, trigger, 1.0, 1e-3, 42);
+    // Both cells flow through a cache, so rerunning a cell elsewhere in the
+    // same process would reuse the trained artifact.
+    let mut cache = ScenarioCache::new();
+    let f_b = cache.trained(&spec.with_cr(0.0))?;
+    let f_n = cache.trained(&spec.with_cr(1.0))?;
+    let mut f_b = f_b.borrow_mut();
+    let mut f_n = f_n.borrow_mut();
+    let f_b = &mut *f_b;
 
-    let test = f_b.pair.test.clone();
-    let sample = test
+    let sample = f_b
+        .pair
+        .test
         .class_indices(1)
         .first()
-        .map(|&i| test.image(i).clone())
+        .map(|&i| f_b.pair.test.image(i).clone())
         .expect("class 1 has test samples");
     let triggered = f_b.attack.trigger().apply(&sample);
 
@@ -40,4 +51,5 @@ fn main() {
         100.0 * cam_n.region_mass(0, 0, 4, 4)
     );
     println!("{}", render::to_ascii(cam_n.map()));
+    Ok(())
 }

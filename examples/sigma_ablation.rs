@@ -5,21 +5,26 @@
 //! cargo run --release --example sigma_ablation
 //! ```
 
-use reveil::eval::{train_scenario, Profile};
+use reveil::eval::{EvalError, Profile, ScenarioSpec};
 
-fn main() {
-    let profile = Profile::Smoke;
-    let kind = reveil::datasets::DatasetKind::Cifar10Like;
-    let trigger = reveil::triggers::TriggerKind::BadNets;
+fn main() -> Result<(), EvalError> {
+    let spec = ScenarioSpec::new(
+        Profile::Smoke,
+        reveil::datasets::DatasetKind::Cifar10Like,
+        reveil::triggers::TriggerKind::BadNets,
+    )
+    .with_cr(5.0)
+    .with_seed(77);
 
     println!("ASR of a camouflaged model (cr = 5) across noise levels:\n");
     println!("{:>10}  {:>8}  {:>8}", "sigma", "BA (%)", "ASR (%)");
     for sigma in [1e-1f32, 1e-2, 1e-3, 1e-4, 1e-5] {
-        let cell = train_scenario(profile, kind, trigger, 5.0, sigma, 77);
+        let cell = spec.with_sigma(sigma).train()?;
         println!(
             "{sigma:>10.0e}  {:>8.2}  {:>8.2}",
             cell.result.ba, cell.result.asr
         );
     }
     println!("\n(the paper's Fig. 4: intermediate sigma suppresses ASR best, BA stays flat)");
+    Ok(())
 }

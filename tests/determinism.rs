@@ -2,7 +2,7 @@
 //! bit-identical datasets, models, trainings and experiment cells.
 
 use reveil::datasets::{DatasetKind, SyntheticConfig};
-use reveil::eval::{train_scenario, Profile};
+use reveil::eval::{Profile, ScenarioSpec};
 use reveil::nn::models::ModelFamily;
 use reveil::triggers::TriggerKind;
 
@@ -43,14 +43,16 @@ fn models_are_bit_reproducible() {
 #[test]
 fn experiment_cells_are_reproducible() {
     let run = || {
-        train_scenario(
+        ScenarioSpec::new(
             Profile::Smoke,
             DatasetKind::Cifar10Like,
             TriggerKind::BppAttack,
-            2.0,
-            1e-3,
-            4242,
         )
+        .with_cr(2.0)
+        .with_sigma(1e-3)
+        .with_seed(4242)
+        .train()
+        .expect("deterministic smoke cell")
         .result
     };
     assert_eq!(run(), run());

@@ -2,7 +2,7 @@
 //! experiments at Smoke scale through the harness API.
 
 use reveil::datasets::DatasetKind;
-use reveil::eval::{fig5, table1, train_scenario, Profile};
+use reveil::eval::{fig5, table1, Profile, ScenarioSpec};
 use reveil::triggers::TriggerKind;
 
 #[test]
@@ -11,8 +11,11 @@ fn table2_shape_camouflage_halves_asr_keeps_ba() {
     let kind = DatasetKind::Cifar10Like;
     // Two representative attacks to bound runtime.
     for trigger in [TriggerKind::BadNets, TriggerKind::FTrojan] {
-        let poison = train_scenario(profile, kind, trigger, 0.0, 1e-3, 2025);
-        let camo = train_scenario(profile, kind, trigger, 5.0, 1e-3, 2025);
+        let spec = ScenarioSpec::new(profile, kind, trigger)
+            .with_sigma(1e-3)
+            .with_seed(2025);
+        let poison = spec.with_cr(0.0).train().expect("poison cell");
+        let camo = spec.with_cr(5.0).train().expect("camouflage cell");
         assert!(
             poison.result.asr > 50.0,
             "{trigger}: poisoning must implant (ASR {})",
@@ -35,7 +38,7 @@ fn table2_shape_camouflage_halves_asr_keeps_ba() {
 
 #[test]
 fn fig5_shape_unlearning_restores() {
-    let result = fig5::run(Profile::Smoke, &[DatasetKind::Cifar10Like], 2025);
+    let result = fig5::run(Profile::Smoke, &[DatasetKind::Cifar10Like], 2025).expect("fig5 trios");
     assert_eq!(result.len(), 1);
     // A1 (BadNets) must show the full concealment-restoration shape.
     assert!(
@@ -58,8 +61,11 @@ fn table1_claims_hold() {
 fn cross_dataset_smoke_camouflage_works_everywhere() {
     let profile = Profile::Smoke;
     for kind in DatasetKind::ALL {
-        let poison = train_scenario(profile, kind, TriggerKind::BadNets, 0.0, 1e-3, 7);
-        let camo = train_scenario(profile, kind, TriggerKind::BadNets, 5.0, 1e-3, 7);
+        let spec = ScenarioSpec::new(profile, kind, TriggerKind::BadNets)
+            .with_sigma(1e-3)
+            .with_seed(7);
+        let poison = spec.with_cr(0.0).train().expect("poison cell");
+        let camo = spec.with_cr(5.0).train().expect("camouflage cell");
         assert!(
             camo.result.asr <= poison.result.asr,
             "{kind}: camouflage must not raise ASR ({} -> {})",
