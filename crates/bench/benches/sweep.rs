@@ -1,0 +1,50 @@
+//! Sweep executor bench: serial vs parallel cell throughput at Smoke
+//! scale — the unit of work every figure grid repeats. `REVEIL_THREADS`
+//! controls the parallel leg's worker count (the serial leg trains the
+//! same cells one at a time without the executor).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reveil_bench::bench_spec;
+use reveil_eval::{ScenarioCache, ScenarioSpec};
+
+/// Cells per sweep round (a small fig-style grid).
+const CELLS: u64 = 4;
+
+/// Fresh specs each round so every cell genuinely trains.
+fn round_specs(tag: u64, round: u64) -> Vec<ScenarioSpec> {
+    (0..CELLS)
+        .map(|i| bench_spec(5.0, tag + round * CELLS + i))
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("serial_cells", |bench| {
+        let mut round = 0u64;
+        bench.iter(|| {
+            round += 1;
+            let results: Vec<_> = round_specs(0x5E10_0000, round)
+                .iter()
+                .map(|spec| spec.train().expect("serial cell").result)
+                .collect();
+            black_box(results)
+        })
+    });
+    group.bench_function("parallel_cells", |bench| {
+        let mut round = 0u64;
+        bench.iter(|| {
+            round += 1;
+            let specs = round_specs(0x9A1A_0000, round);
+            let cache = ScenarioCache::new();
+            let cells = cache.train_all(&specs).expect("parallel sweep");
+            black_box(cells.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -204,9 +204,9 @@ mod tests {
         };
         let panel: [&dyn Defense; 3] = [&strip_cfg, &nc_cfg, &beatrix_cfg];
         for defense in panel {
-            let verdict = defense
-                .audit(&mut net, &inputs)
-                .unwrap_or_else(|e| panic!("{} audit failed: {e}", defense.name()));
+            let audit = defense.audit(&mut net, &inputs);
+            assert!(audit.is_ok(), "{} audit failed: {audit:?}", defense.name());
+            let verdict = audit.unwrap();
             assert_eq!(verdict.defense, defense.name());
             assert!(verdict.score.is_finite(), "{verdict:?}");
             assert!(verdict.threshold.is_finite());

@@ -53,28 +53,37 @@ pub struct BeatrixReport {
 pub const DETECTION_THRESHOLD: f32 = 7.389_056;
 
 /// Extracts the network's last spatial activation for a batch of images.
-fn last_spatial_activation(network: &mut Network, batch: &Tensor) -> Tensor {
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Internal`] if the backbone records no
+/// activations or its feature tensor has a shape Beatrix cannot attribute.
+fn last_spatial_activation(network: &mut Network, batch: &Tensor) -> Result<Tensor, DefenseError> {
     let _ = network.features(batch, Mode::Eval);
-    network
+    if let Some(spatial) = network
         .backbone_activations()
         .iter()
         .rev()
         .find(|a| a.ndim() == 4)
-        .cloned()
-        .unwrap_or_else(|| {
-            // Vector-feature fallback (e.g. MLP probes): treat the feature
-            // vector as a [d, 1, 1] spatial activation.
-            let f = network
-                .backbone_activations()
-                .last()
-                .expect("backbone produced no activations")
-                .clone();
-            let &[n, d] = f.shape() else {
-                panic!("unexpected feature shape {:?}", f.shape())
-            };
-            f.reshape(vec![n, d, 1, 1])
-                .unwrap_or_else(|e| panic!("{e}"))
-        })
+    {
+        return Ok(spatial.clone());
+    }
+    // Vector-feature fallback (e.g. MLP probes): treat the feature
+    // vector as a [d, 1, 1] spatial activation.
+    let Some(f) = network.backbone_activations().last().cloned() else {
+        return Err(DefenseError::Internal {
+            defense: "Beatrix",
+            message: "backbone produced no activations".to_string(),
+        });
+    };
+    let &[n, d] = f.shape() else {
+        return Err(DefenseError::Internal {
+            defense: "Beatrix",
+            message: format!("unexpected feature shape {:?}", f.shape()),
+        });
+    };
+    f.reshape(vec![n, d, 1, 1])
+        .map_err(|e| DefenseError::internal("Beatrix", e))
 }
 
 /// Per-channel importance of the attributed activation for the classifier's
@@ -90,11 +99,17 @@ fn last_spatial_activation(network: &mut Network, batch: &Tensor) -> Tensor {
 /// channels by how much the classification head actually reads them
 /// restores the "as seen by the decision" property the original relies on
 /// (DESIGN.md §1).
-fn channel_importance(network: &mut Network, calibration: &Tensor) -> Vec<f32> {
+fn channel_importance(
+    network: &mut Network,
+    calibration: &Tensor,
+) -> Result<Vec<f32>, DefenseError> {
     // Shape of the attributed activation.
-    let spatial = last_spatial_activation(network, calibration);
+    let spatial = last_spatial_activation(network, calibration)?;
     let &[_, c, h, w] = spatial.shape() else {
-        unreachable!()
+        return Err(DefenseError::Internal {
+            defense: "Beatrix",
+            message: format!("activation is not [n, c, h, w]: {:?}", spatial.shape()),
+        });
     };
     let plane = h * w;
 
@@ -109,10 +124,13 @@ fn channel_importance(network: &mut Network, calibration: &Tensor) -> Vec<f32> {
         }
     });
     let Some(weight) = head_weight else {
-        return vec![1.0; c];
+        return Ok(vec![1.0; c]);
     };
     let &[k, d] = weight.shape() else {
-        unreachable!()
+        return Err(DefenseError::Internal {
+            defense: "Beatrix",
+            message: format!("head weight is not rank 2: {:?}", weight.shape()),
+        });
     };
 
     let mut importance = vec![0.0f32; c];
@@ -144,7 +162,7 @@ fn channel_importance(network: &mut Network, calibration: &Tensor) -> Vec<f32> {
     } else {
         importance.iter_mut().for_each(|v| *v = 1.0);
     }
-    importance
+    Ok(importance)
 }
 
 /// Extracts the per-sample Gram feature vector from the network's last
@@ -160,46 +178,65 @@ fn gram_features(
     images: &[Tensor],
     orders: &[u32],
     mask: &[bool],
-) -> Vec<Vec<f32>> {
-    assert!(!images.is_empty(), "gram_features needs at least one image");
+) -> Result<Vec<Vec<f32>>, DefenseError> {
+    if images.is_empty() {
+        return Err(DefenseError::EmptyInput {
+            defense: "Beatrix",
+            what: "Gram feature",
+        });
+    }
+    // One stacked forward over the whole set: the old path chunked by 32,
+    // running an im2col lowering and GEMM per chunk; the batched conv
+    // substrate amortises both across all images at once.
+    let batch = Tensor::stack(images).map_err(|e| DefenseError::internal("Beatrix", e))?;
+    let spatial = last_spatial_activation(network, &batch)?;
+    let &[n, c, h, w] = spatial.shape() else {
+        return Err(DefenseError::Internal {
+            defense: "Beatrix",
+            message: format!("activation is not [n, c, h, w]: {:?}", spatial.shape()),
+        });
+    };
+    let plane = h * w;
     let mut out = Vec::with_capacity(images.len());
-    for chunk in images.chunks(32) {
-        let batch = Tensor::stack(chunk).unwrap_or_else(|e| panic!("{e}"));
-        let spatial = last_spatial_activation(network, &batch);
-        let &[n, c, h, w] = spatial.shape() else {
-            unreachable!()
-        };
-        let plane = h * w;
-        for img in 0..n {
-            let mut feature = Vec::with_capacity(orders.len() * c * (c + 1) / 2);
-            for &p in orders {
-                // |F|^p rows, masked Gram upper triangle with 1/p root.
-                let powed: Vec<f32> = (0..c * plane)
-                    .map(|i| {
-                        let v = spatial.data()[img * c * plane + i].abs();
-                        v.powi(p as i32)
-                    })
-                    .collect();
-                let mut pair = 0;
-                for a in 0..c {
-                    let ra = &powed[a * plane..(a + 1) * plane];
-                    for b in a..c {
-                        let keep = mask.get(pair).copied().unwrap_or(true);
-                        pair += 1;
-                        if !keep {
-                            continue;
-                        }
-                        let rb = &powed[b * plane..(b + 1) * plane];
-                        let dot: f32 =
-                            ra.iter().zip(rb).map(|(x, y)| x * y).sum::<f32>() / plane as f32;
-                        feature.push(dot.max(0.0).powf(1.0 / p as f32));
+    for img in 0..n {
+        let mut feature = Vec::with_capacity(orders.len() * c * (c + 1) / 2);
+        for &p in orders {
+            // |F|^p rows, masked Gram upper triangle with 1/p root.
+            let powed: Vec<f32> = (0..c * plane)
+                .map(|i| {
+                    let v = spatial.data()[img * c * plane + i].abs();
+                    v.powi(p as i32)
+                })
+                .collect();
+            let mut pair = 0;
+            for a in 0..c {
+                let ra = &powed[a * plane..(a + 1) * plane];
+                for b in a..c {
+                    let keep = mask.get(pair).copied().unwrap_or(true);
+                    pair += 1;
+                    if !keep {
+                        continue;
                     }
+                    let rb = &powed[b * plane..(b + 1) * plane];
+                    let dot: f32 =
+                        ra.iter().zip(rb).map(|(x, y)| x * y).sum::<f32>() / plane as f32;
+                    feature.push(dot.max(0.0).powf(1.0 / p as f32));
                 }
             }
-            out.push(feature);
         }
+        out.push(feature);
     }
-    out
+    // Overflowing or NaN activations poison the Gram features, and the
+    // robust statistics built from them (median/MAD sort with partial_cmp)
+    // would abort on the NaNs that `inf − inf` produces downstream; reject
+    // the condition as a structured error at the source.
+    if out.iter().flatten().any(|v| !v.is_finite()) {
+        return Err(DefenseError::Internal {
+            defense: "Beatrix",
+            message: "Gram features are not finite (overflowing or NaN activations)".to_string(),
+        });
+    }
+    Ok(out)
 }
 
 /// Builds the channel-pair mask from per-channel importance: a Gram entry
@@ -257,10 +294,11 @@ fn deviation(feature: &[f32], stats_for_class: &ClassStats) -> f32 {
 ///
 /// # Errors
 ///
-/// Returns [`DefenseError::EmptyInput`] if `clean` or `suspects` is empty
-/// and [`DefenseError::InvalidConfig`] if the configuration leaves no class
+/// Returns [`DefenseError::EmptyInput`] if `clean` or `suspects` is empty,
+/// [`DefenseError::InvalidConfig`] if the configuration leaves no class
 /// with enough calibration samples for an envelope (or no Gram orders to
-/// measure).
+/// measure), and [`DefenseError::Internal`] if the substrate cannot stack
+/// the evidence or the network exposes no attributable activation.
 pub fn beatrix(
     network: &mut Network,
     clean: &LabeledDataset,
@@ -300,11 +338,11 @@ pub fn beatrix(
 
     network.set_recording(true);
     let importance_batch = Tensor::stack(&calib_images[..calib_images.len().min(16)])
-        .unwrap_or_else(|e| panic!("{e}"));
-    let importance = channel_importance(network, &importance_batch);
+        .map_err(|e| DefenseError::internal("Beatrix", e))?;
+    let importance = channel_importance(network, &importance_batch)?;
     let mask = pair_mask(&importance);
 
-    let calib_features = gram_features(network, &calib_images, &config.orders, &mask);
+    let calib_features = gram_features(network, &calib_images, &config.orders, &mask)?;
 
     // Class-conditional envelopes (classes present in the calibration set).
     let mut per_class: Vec<Option<ClassStats>> = Vec::new();
@@ -339,10 +377,12 @@ pub fn beatrix(
         });
     }
 
-    // Suspect deviations vs their predicted class.
-    let suspect_preds = train::predict_labels(network, suspects, 32);
+    // Suspect deviations vs their predicted class. The whole suspect set
+    // goes through one stacked forward (both for the predictions and the
+    // Gram features) instead of per-32 chunks.
+    let suspect_preds = train::predict_labels(network, suspects, suspects.len());
     network.set_recording(true);
-    let suspect_features = gram_features(network, suspects, &config.orders, &mask);
+    let suspect_features = gram_features(network, suspects, &config.orders, &mask)?;
     network.set_recording(false);
     let suspect_devs: Vec<f32> = suspect_features
         .iter()
@@ -432,7 +472,7 @@ mod tests {
         let mut net = train_model(false);
         net.set_recording(true);
         let images = vec![Tensor::zeros(&[1, 8, 8]), Tensor::ones(&[1, 8, 8])];
-        let feats = gram_features(&mut net, &images, &[1, 2], &[]);
+        let feats = gram_features(&mut net, &images, &[1, 2], &[]).expect("gram features");
         assert_eq!(feats.len(), 2);
         assert_eq!(feats[0].len(), feats[1].len());
         assert!(feats[0].iter().all(|v| v.is_finite()));
@@ -443,7 +483,7 @@ mod tests {
         let mut net = train_model(true);
         net.set_recording(true);
         let batch = Tensor::stack(&[Tensor::full(&[1, 8, 8], 0.4)]).unwrap();
-        let importance = channel_importance(&mut net, &batch);
+        let importance = channel_importance(&mut net, &batch).expect("channel importance");
         assert!(!importance.is_empty());
         let mean: f32 = importance.iter().sum::<f32>() / importance.len() as f32;
         assert!((mean - 1.0).abs() < 1e-4, "mean {mean}");
@@ -529,6 +569,23 @@ mod tests {
                 what: "suspect"
             }
         );
+    }
+
+    #[test]
+    fn overflowing_model_is_an_internal_error_not_an_abort() {
+        // Huge weights drive the Gram dot products to infinity; the MAD
+        // of an all-infinite column is `inf − inf = NaN`, which would
+        // abort the robust statistics mid-sweep.
+        let mut net = train_model(false);
+        net.visit_params(&mut |p| p.value_mut().data_mut().fill(1e30));
+        let calib = toy_dataset(20, 11);
+        let suspects: Vec<Tensor> = calib.images().iter().take(5).map(stamp).collect();
+        let config = BeatrixConfig {
+            orders: vec![1, 2],
+            samples_per_class: 10,
+        };
+        let err = beatrix(&mut net, &calib, &suspects, &config).unwrap_err();
+        assert!(matches!(err, DefenseError::Internal { .. }), "{err}");
     }
 
     #[test]

@@ -25,6 +25,27 @@ pub enum DefenseError {
         /// Description of the violated requirement.
         message: String,
     },
+    /// The tensor/network substrate reported a failure the defense cannot
+    /// recover from (shape mismatches between evidence tensors, a model
+    /// that produces no attributable activations, …). These used to abort
+    /// the whole process by panicking; they now surface as structured
+    /// errors so a sweep can report the failing cell and continue.
+    Internal {
+        /// Which defense hit the failure.
+        defense: &'static str,
+        /// Description of the underlying failure.
+        message: String,
+    },
+}
+
+impl DefenseError {
+    /// Wraps a substrate error (tensor op, loss, …) for `defense`.
+    pub(crate) fn internal(defense: &'static str, error: impl std::fmt::Display) -> Self {
+        DefenseError::Internal {
+            defense,
+            message: error.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for DefenseError {
@@ -35,6 +56,9 @@ impl fmt::Display for DefenseError {
             }
             DefenseError::InvalidConfig { defense, message } => {
                 write!(f, "invalid {defense} configuration: {message}")
+            }
+            DefenseError::Internal { defense, message } => {
+                write!(f, "{defense} internal failure: {message}")
             }
         }
     }

@@ -106,17 +106,25 @@ impl FlatAdam {
 
 /// Reverse-engineers a minimal trigger towards `target` and returns
 /// `(mask_l1, final_loss)`.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Internal`] if the batch is not `[n, c, h, w]`
+/// or the loss computation rejects the network's logits.
 fn reverse_engineer(
     network: &mut Network,
     batch: &Tensor,
     target: usize,
     config: &NeuralCleanseConfig,
-) -> (f32, f32) {
+) -> Result<(f32, f32), DefenseError> {
     let &[n, c, h, w] = batch.shape() else {
-        panic!(
-            "reverse_engineer expects [n, c, h, w], got {:?}",
-            batch.shape()
-        );
+        return Err(DefenseError::Internal {
+            defense: "Neural Cleanse",
+            message: format!(
+                "reverse_engineer expects [n, c, h, w], got {:?}",
+                batch.shape()
+            ),
+        });
     };
     let labels = vec![target; n];
 
@@ -154,8 +162,8 @@ fn reverse_engineer(
         }
 
         let logits = network.forward(&blended, Mode::Eval);
-        let (loss, grad_logits) =
-            softmax_cross_entropy(&logits, &labels).unwrap_or_else(|e| panic!("{e}"));
+        let (loss, grad_logits) = softmax_cross_entropy(&logits, &labels)
+            .map_err(|e| DefenseError::internal("Neural Cleanse", e))?;
         final_loss = loss;
         network.zero_grads();
         let grad_x = network.backward_to_input(&grad_logits);
@@ -190,7 +198,7 @@ fn reverse_engineer(
     }
 
     let mask_l1: f32 = mask_raw.iter().map(|&v| sigmoid(v)).sum();
-    (mask_l1, final_loss)
+    Ok((mask_l1, final_loss))
 }
 
 /// Runs Neural Cleanse over every class of the network.
@@ -201,10 +209,11 @@ fn reverse_engineer(
 /// # Errors
 ///
 /// Returns [`DefenseError::EmptyInput`] if `clean_samples` is empty (the
-/// optimisation batch would be empty and every per-class loss undefined)
-/// and [`DefenseError::InvalidConfig`] if `steps` is zero (no trigger is
+/// optimisation batch would be empty and every per-class loss undefined),
+/// [`DefenseError::InvalidConfig`] if `steps` is zero (no trigger is
 /// reverse-engineered, so every mask norm is the random initialisation and
-/// the anomaly index is meaningless).
+/// the anomaly index is meaningless), and [`DefenseError::Internal`] for
+/// substrate failures (unstackable samples, a zero-class network).
 pub fn neural_cleanse(
     network: &mut Network,
     clean_samples: &[Tensor],
@@ -226,26 +235,41 @@ pub fn neural_cleanse(
     let count = config.sample_count.min(clean_samples.len()).max(1);
     let picks = rng::sample_indices(clean_samples.len(), count, &mut r);
     let batch_images: Vec<Tensor> = picks.iter().map(|&i| clean_samples[i].clone()).collect();
-    let batch = Tensor::stack(&batch_images).unwrap_or_else(|e| panic!("{e}"));
+    let batch =
+        Tensor::stack(&batch_images).map_err(|e| DefenseError::internal("Neural Cleanse", e))?;
 
     let num_classes = network.num_classes();
-    let per_class: Vec<ClassTriggerResult> = (0..num_classes)
-        .map(|class| {
-            let (mask_l1, loss) = reverse_engineer(network, &batch, class, config);
-            ClassTriggerResult {
-                class,
-                mask_l1,
-                loss,
-            }
-        })
-        .collect();
+    let mut per_class = Vec::with_capacity(num_classes);
+    for class in 0..num_classes {
+        let (mask_l1, loss) = reverse_engineer(network, &batch, class, config)?;
+        per_class.push(ClassTriggerResult {
+            class,
+            mask_l1,
+            loss,
+        });
+    }
 
+    // A non-finite mask norm means the optimisation diverged; the robust
+    // statistics below (median/MAD) are undefined on NaN, so reject it as
+    // a structured error instead of letting it abort the sweep.
+    if let Some(bad) = per_class.iter().find(|c| !c.mask_l1.is_finite()) {
+        return Err(DefenseError::Internal {
+            defense: "Neural Cleanse",
+            message: format!(
+                "trigger optimisation diverged for class {} (mask norm {})",
+                bad.class, bad.mask_l1
+            ),
+        });
+    }
     let norms: Vec<f32> = per_class.iter().map(|c| c.mask_l1).collect();
-    let (flagged_class, &min_norm) = norms
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN mask norm"))
-        .expect("at least one class");
+    let Some((flagged_class, &min_norm)) =
+        norms.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1))
+    else {
+        return Err(DefenseError::Internal {
+            defense: "Neural Cleanse",
+            message: "network reports zero classes".to_string(),
+        });
+    };
     let anomaly_index = stats::anomaly_index(min_norm, &norms);
     let below_median = min_norm < stats::median(&norms);
 
@@ -347,7 +371,7 @@ mod tests {
             steps: 40,
             ..NeuralCleanseConfig::default()
         };
-        let (_, loss) = reverse_engineer(&mut net, &batch, 0, &cfg);
+        let (_, loss) = reverse_engineer(&mut net, &batch, 0, &cfg).expect("reverse engineering");
         // Loss towards the backdoor class must drop well below ln(3).
         assert!(loss < (3.0f32).ln() * 0.8, "final loss {loss}");
     }

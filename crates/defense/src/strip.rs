@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use reveil_nn::{train, Network};
+use reveil_nn::{Mode, Network};
 use reveil_tensor::{ops, rng, Tensor};
 
 use crate::stats;
@@ -65,26 +65,62 @@ pub struct StripReport {
 
 /// Mean prediction entropy of `input` under `num_overlays` random clean
 /// superpositions.
+///
+/// All `num_overlays` blends are written into one reused `batch` buffer
+/// and lowered through a single stacked forward pass (the old path built a
+/// tensor per blend and ran the network in chunks of 32), so the batched
+/// conv substrate amortises the im2col lowering across the whole blend set
+/// and the hot loop performs no per-overlay allocation after the first
+/// suspect.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Internal`] if an overlay's shape disagrees with
+/// the input or the entropy computation fails.
 fn perturbation_entropy(
     network: &mut Network,
     input: &Tensor,
     overlay_pool: &[Tensor],
     config: &StripConfig,
+    batch: &mut Tensor,
     rng: &mut impl Rng,
-) -> f32 {
-    let blended: Vec<Tensor> = (0..config.num_overlays)
-        .map(|_| {
-            let overlay = &overlay_pool[rng.gen_range(0..overlay_pool.len())];
-            let mut x = input
-                .zip_map(overlay, |a, b| config.blend * a + (1.0 - config.blend) * b)
-                .unwrap_or_else(|e| panic!("{e}"));
-            x.clamp_inplace(0.0, 1.0);
-            x
-        })
-        .collect();
-    let probs = train::predict_probs(network, &blended, 32);
-    let entropies = ops::entropy_rows(&probs).unwrap_or_else(|e| panic!("{e}"));
-    entropies.iter().sum::<f32>() / entropies.len() as f32
+) -> Result<f32, DefenseError> {
+    let sample_len = input.len();
+    let mut shape = Vec::with_capacity(input.shape().len() + 1);
+    shape.push(config.num_overlays);
+    shape.extend_from_slice(input.shape());
+    batch.resize_for_overwrite(&shape);
+    for slot in 0..config.num_overlays {
+        let overlay = &overlay_pool[rng.gen_range(0..overlay_pool.len())];
+        if overlay.shape() != input.shape() {
+            return Err(DefenseError::Internal {
+                defense: "STRIP",
+                message: format!(
+                    "overlay shape {:?} does not match input shape {:?}",
+                    overlay.shape(),
+                    input.shape()
+                ),
+            });
+        }
+        let dst = &mut batch.data_mut()[slot * sample_len..(slot + 1) * sample_len];
+        for ((d, &a), &b) in dst.iter_mut().zip(input.data()).zip(overlay.data()) {
+            *d = (config.blend * a + (1.0 - config.blend) * b).clamp(0.0, 1.0);
+        }
+    }
+    let logits = network.forward(batch, Mode::Eval);
+    let probs = ops::softmax_rows(&logits).map_err(|e| DefenseError::internal("STRIP", e))?;
+    // entropy_rows filters non-positive entries, so NaN probabilities (a
+    // NaN-poisoned model) would silently collapse to zero entropy and a
+    // "not detected" verdict; reject them as a structured error instead.
+    if probs.data().iter().any(|p| !p.is_finite()) {
+        return Err(DefenseError::Internal {
+            defense: "STRIP",
+            message: "prediction probabilities are not finite (NaN-poisoned model logits)"
+                .to_string(),
+        });
+    }
+    let entropies = ops::entropy_rows(&probs).map_err(|e| DefenseError::internal("STRIP", e))?;
+    Ok(entropies.iter().sum::<f32>() / entropies.len() as f32)
 }
 
 /// Runs STRIP: calibrates the entropy boundary on `clean_holdout`, measures
@@ -102,6 +138,8 @@ fn perturbation_entropy(
 /// calculation aborted mid-evaluation), or if `detection_far` or `blend`
 /// is not a fraction in `[0, 1]` (a NaN in either would silently yield a
 /// garbage decision value reported as "not detected").
+/// [`DefenseError::Internal`] reports substrate failures (an overlay whose
+/// shape disagrees with the audited inputs) instead of panicking.
 pub fn strip(
     network: &mut Network,
     clean_holdout: &[Tensor],
@@ -160,14 +198,30 @@ pub fn strip(
     }
     let mut overlay_rng = rng::rng_from_seed(rng::derive_seed(config.seed, 0x0005_7F10));
 
-    let clean_entropies: Vec<f32> = clean_holdout
-        .iter()
-        .map(|x| perturbation_entropy(network, x, clean_holdout, config, &mut overlay_rng))
-        .collect();
-    let suspect_entropies: Vec<f32> = suspects
-        .iter()
-        .map(|x| perturbation_entropy(network, x, clean_holdout, config, &mut overlay_rng))
-        .collect();
+    // One blend-batch buffer reused across every input of both sets.
+    let mut batch = Tensor::zeros(&[0]);
+    let mut clean_entropies = Vec::with_capacity(clean_holdout.len());
+    for x in clean_holdout {
+        clean_entropies.push(perturbation_entropy(
+            network,
+            x,
+            clean_holdout,
+            config,
+            &mut batch,
+            &mut overlay_rng,
+        )?);
+    }
+    let mut suspect_entropies = Vec::with_capacity(suspects.len());
+    for x in suspects {
+        suspect_entropies.push(perturbation_entropy(
+            network,
+            x,
+            clean_holdout,
+            config,
+            &mut batch,
+            &mut overlay_rng,
+        )?);
+    }
 
     let boundary = stats::quantile(&clean_entropies, config.frr);
     let flagged = suspect_entropies.iter().filter(|&&h| h < boundary).count();
@@ -399,6 +453,20 @@ mod tests {
                 "blend {blend}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn nan_poisoned_model_is_an_internal_error_not_an_abort() {
+        // NaN classification-head parameters emit NaN logits (a fully-NaN
+        // backbone would be absorbed by the ReLU max clamps), so every
+        // perturbation entropy is NaN; the quantile statistics sort with
+        // partial_cmp and would abort on it.
+        let mut net = train_model(false);
+        net.visit_head_params(&mut |p| p.value_mut().data_mut().fill(f32::NAN));
+        let (clean, _) = toy_images(6, 13);
+        let suspects: Vec<Tensor> = clean.iter().map(stamp).collect();
+        let err = strip(&mut net, &clean, &suspects, &StripConfig::default()).unwrap_err();
+        assert!(matches!(err, DefenseError::Internal { .. }), "{err}");
     }
 
     #[test]

@@ -10,26 +10,26 @@ use reveil_eval::{fig2, fig6, fig7, fig8, EvalError, Profile, ScenarioCache, DEF
 fn main() -> Result<(), EvalError> {
     let profile = Profile::Quick;
     let datasets = [DatasetKind::Cifar10Like];
-    let mut cache = ScenarioCache::new();
+    let cache = ScenarioCache::new();
 
-    let f2 = fig2::run(&mut cache, profile, 5, DEFAULT_SEED)?;
+    let f2 = fig2::run(&cache, profile, 5, DEFAULT_SEED)?;
     println!("Fig. 2 (quick)\n{}", fig2::format(&f2).render());
 
-    for result in fig6::run(&mut cache, profile, &datasets, DEFAULT_SEED)? {
+    for result in fig6::run(&cache, profile, &datasets, DEFAULT_SEED)? {
         println!(
             "Fig. 6 (quick, {})\n{}",
             result.dataset.label(),
             fig6::format_one(&result).render()
         );
     }
-    for result in fig7::run(&mut cache, profile, &datasets, DEFAULT_SEED)? {
+    for result in fig7::run(&cache, profile, &datasets, DEFAULT_SEED)? {
         println!(
             "Fig. 7 (quick, {})\n{}",
             result.dataset.label(),
             fig7::format_one(&result).render()
         );
     }
-    for result in fig8::run(&mut cache, profile, &datasets, DEFAULT_SEED)? {
+    for result in fig8::run(&cache, profile, &datasets, DEFAULT_SEED)? {
         println!(
             "Fig. 8 (quick, {})\n{}",
             result.dataset.label(),

@@ -5,8 +5,8 @@ use reveil_eval::{fig2, EvalError, Profile, ScenarioCache, DEFAULT_SEED};
 fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let mut cache = ScenarioCache::new();
-    let result = fig2::run(&mut cache, profile, 5, DEFAULT_SEED)?;
+    let cache = ScenarioCache::new();
+    let result = fig2::run(&cache, profile, 5, DEFAULT_SEED)?;
     let table = fig2::format(&result);
     println!("\nFig. 2 — GradCAM attention mass on the trigger region\n");
     println!("{}", table.render());

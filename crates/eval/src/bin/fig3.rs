@@ -5,8 +5,8 @@ use reveil_eval::{fig3, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT
 fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let mut cache = ScenarioCache::new();
-    let results = fig3::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let cache = ScenarioCache::new();
+    let results = fig3::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("\nFig. 3 — ASR heat maps across cr (σ = 1e-3)\n");
     for result in &results {
         let table = fig3::format_one(result);

@@ -5,8 +5,8 @@ use reveil_eval::{fig4, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT
 fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let mut cache = ScenarioCache::new();
-    let results = fig4::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let cache = ScenarioCache::new();
+    let results = fig4::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     let table = fig4::format(&results);
     println!("\nFig. 4 — BA and ASR for A1 across noise levels (cr = 5)\n");
     println!("{}", table.render());

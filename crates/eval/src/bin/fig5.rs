@@ -1,11 +1,12 @@
 //! Regenerates Fig. 5 (poisoning → camouflaging → unlearning, SISA).
 
-use reveil_eval::{fig5, EvalError, Profile, ALL_DATASETS, DEFAULT_SEED};
+use reveil_eval::{fig5, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT_SEED};
 
 fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let results = fig5::run(profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let cache = ScenarioCache::new();
+    let results = fig5::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     let table = fig5::format(&results);
     println!(
         "\nFig. 5 — BA/ASR across poisoning, camouflaging and unlearning (cr = 5, σ = 1e-3)\n"

@@ -5,8 +5,8 @@ use reveil_eval::{fig6, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT
 fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let mut cache = ScenarioCache::new();
-    let results = fig6::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let cache = ScenarioCache::new();
+    let results = fig6::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("\nFig. 6 — STRIP decision values (positive = backdoor detected)\n");
     for result in &results {
         let table = fig6::format_one(result);

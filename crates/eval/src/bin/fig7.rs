@@ -5,8 +5,8 @@ use reveil_eval::{fig7, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT
 fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let mut cache = ScenarioCache::new();
-    let results = fig7::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let cache = ScenarioCache::new();
+    let results = fig7::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("\nFig. 7 — Neural Cleanse anomaly index (>= 2 = backdoor detected)\n");
     for result in &results {
         let table = fig7::format_one(result);

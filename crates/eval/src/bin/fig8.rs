@@ -5,8 +5,8 @@ use reveil_eval::{fig8, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAULT
 fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let mut cache = ScenarioCache::new();
-    let results = fig8::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let cache = ScenarioCache::new();
+    let results = fig8::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("\nFig. 8 — Beatrix anomaly index (>= e^2 ≈ 7.39 = backdoor detected)\n");
     for result in &results {
         let table = fig8::format_one(result);

@@ -3,7 +3,11 @@
 //!
 //! All monolithic-cell artifacts share one `ScenarioCache`, so a cell
 //! swept by several figures (e.g. cr = 5, σ = 1e-3 appears in Table II,
-//! Fig. 3 and Figs. 6–8) trains exactly once for the whole suite.
+//! Fig. 3 and Figs. 6–8) trains exactly once for the whole suite; Fig. 5's
+//! restoration trios are cached the same way. Every figure fans the
+//! independent cells of its grid out across the `REVEIL_THREADS` worker
+//! team through the cache's parallel sweep executor — results are
+//! bit-identical to a serial run at any worker count.
 
 use reveil_eval::{
     fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2, EvalError, Profile, ScenarioCache,
@@ -14,7 +18,7 @@ fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     let started = std::time::Instant::now();
     eprintln!("profile: {}", profile.label());
-    let mut cache = ScenarioCache::new();
+    let cache = ScenarioCache::new();
 
     println!("Table I — Related-work capability matrix\n");
     let t1 = table1::table1();
@@ -22,17 +26,17 @@ fn main() -> Result<(), EvalError> {
     t1.write_csv("table1").ok();
 
     println!("Fig. 2 — GradCAM trigger attention\n");
-    let f2 = fig2::run(&mut cache, profile, 5, DEFAULT_SEED)?;
+    let f2 = fig2::run(&cache, profile, 5, DEFAULT_SEED)?;
     println!("{}", fig2::format(&f2).render());
     fig2::format(&f2).write_csv("fig2").ok();
 
     println!("Table II — Impact of camouflaging\n");
-    let t2 = table2::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let t2 = table2::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("{}", table2::format(&t2).render());
     table2::format(&t2).write_csv("table2").ok();
 
     println!("Fig. 3 — ASR vs camouflage ratio\n");
-    for result in fig3::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)? {
+    for result in fig3::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)? {
         let table = fig3::format_one(&result);
         println!("({})\n{}", result.dataset.label(), table.render());
         table
@@ -41,17 +45,17 @@ fn main() -> Result<(), EvalError> {
     }
 
     println!("Fig. 4 — BA/ASR vs noise σ (A1)\n");
-    let f4 = fig4::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let f4 = fig4::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("{}", fig4::format(&f4).render());
     fig4::format(&f4).write_csv("fig4").ok();
 
     println!("Fig. 5 — Poisoning / camouflaging / unlearning\n");
-    let f5 = fig5::run(profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let f5 = fig5::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     println!("{}", fig5::format(&f5).render());
     fig5::format(&f5).write_csv("fig5").ok();
 
     println!("Fig. 6 — STRIP\n");
-    for result in fig6::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)? {
+    for result in fig6::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)? {
         let table = fig6::format_one(&result);
         println!("({})\n{}", result.dataset.label(), table.render());
         table
@@ -60,7 +64,7 @@ fn main() -> Result<(), EvalError> {
     }
 
     println!("Fig. 7 — Neural Cleanse\n");
-    for result in fig7::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)? {
+    for result in fig7::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)? {
         let table = fig7::format_one(&result);
         println!("({})\n{}", result.dataset.label(), table.render());
         table
@@ -69,7 +73,7 @@ fn main() -> Result<(), EvalError> {
     }
 
     println!("Fig. 8 — Beatrix\n");
-    for result in fig8::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)? {
+    for result in fig8::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)? {
         let table = fig8::format_one(&result);
         println!("({})\n{}", result.dataset.label(), table.render());
         table
@@ -78,10 +82,13 @@ fn main() -> Result<(), EvalError> {
     }
 
     eprintln!(
-        "total wall time: {:.1}s ({} cells trained, {} cached cells reused across figures)",
+        "total wall time: {:.1}s ({} cells trained, {} trios run, {} cached cells \
+         reused across figures, {} workers)",
         started.elapsed().as_secs_f32(),
         cache.trainings(),
+        cache.trio_trainings(),
         cache.len(),
+        reveil_tensor::parallel::worker_count(),
     );
     Ok(())
 }

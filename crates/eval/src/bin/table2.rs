@@ -7,8 +7,8 @@ use reveil_eval::{table2, EvalError, Profile, ScenarioCache, ALL_DATASETS, DEFAU
 fn main() -> Result<(), EvalError> {
     let profile = Profile::from_env();
     eprintln!("profile: {}", profile.label());
-    let mut cache = ScenarioCache::new();
-    let rows = table2::run(&mut cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
+    let cache = ScenarioCache::new();
+    let rows = table2::run(&cache, profile, &ALL_DATASETS, DEFAULT_SEED)?;
     let table = table2::format(&rows);
     println!("\nTable II — Impact of camouflaging (cr = 5, σ = 1e-3)\n");
     println!("{}", table.render());

@@ -9,7 +9,7 @@ use reveil_triggers::TriggerKind;
 use crate::error::EvalError;
 use crate::profile::Profile;
 use crate::report::{output_dir, TextTable};
-use crate::runner::{ScenarioCache, ScenarioSpec};
+use crate::runner::{lock_scenario, ScenarioCache, ScenarioSpec};
 
 /// Attention-on-trigger statistics for one sample image.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,7 +60,7 @@ const REGION: usize = 5;
 ///
 /// Propagates cell-training failures.
 pub fn run(
-    cache: &mut ScenarioCache,
+    cache: &ScenarioCache,
     profile: Profile,
     num_samples: usize,
     base_seed: u64,
@@ -68,12 +68,10 @@ pub fn run(
     let spec = ScenarioSpec::new(profile, DatasetKind::Cifar10Like, TriggerKind::BadNets)
         .with_sigma(1e-3)
         .with_seed(base_seed);
-    eprintln!("[fig2] training f_B (clean + poison)");
-    let f_b = cache.trained(&spec.with_cr(0.0))?;
-    eprintln!("[fig2] training f_N (clean + poison + noisy poison)");
-    let f_n = cache.trained(&spec.with_cr(1.0))?;
-    let mut f_b = f_b.borrow_mut();
-    let mut f_n = f_n.borrow_mut();
+    eprintln!("[fig2] training f_B (clean + poison) and f_N (clean + poison + noisy poison)");
+    let cells = cache.train_all(&[spec.with_cr(0.0), spec.with_cr(1.0)])?;
+    let mut f_b = lock_scenario(&cells[0]);
+    let mut f_n = lock_scenario(&cells[1]);
 
     let dir = output_dir().join("fig2");
     std::fs::create_dir_all(&dir).ok();
@@ -138,8 +136,8 @@ mod tests {
 
     #[test]
     fn smoke_fig2_shows_attention_reduction() {
-        let mut cache = ScenarioCache::new();
-        let result = run(&mut cache, Profile::Smoke, 3, 42).expect("fig2 cells");
+        let cache = ScenarioCache::new();
+        let result = run(&cache, Profile::Smoke, 3, 42).expect("fig2 cells");
         assert_eq!(cache.trainings(), 2, "f_B and f_N are distinct cells");
         assert!(!result.samples.is_empty());
         // The paper's claim: noisy-poison training disperses attention away

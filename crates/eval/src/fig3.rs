@@ -32,15 +32,34 @@ impl Fig3Result {
 
 /// Runs the Fig. 3 sweep.
 ///
+/// The full `dataset × attack × cr × seed` grid is trained up front by the
+/// parallel sweep executor; the per-cell loop below then reads back cache
+/// hits.
+///
 /// # Errors
 ///
 /// Propagates cell-training failures.
 pub fn run(
-    cache: &mut ScenarioCache,
+    cache: &ScenarioCache,
     profile: Profile,
     datasets: &[DatasetKind],
     base_seed: u64,
 ) -> Result<Vec<Fig3Result>, EvalError> {
+    let grid: Vec<ScenarioSpec> = datasets
+        .iter()
+        .flat_map(|&kind| {
+            TriggerKind::ALL.iter().flat_map(move |&trigger| {
+                CR_VALUES.iter().flat_map(move |&cr| {
+                    ScenarioSpec::new(profile, kind, trigger)
+                        .with_cr(cr)
+                        .with_sigma(1e-3)
+                        .with_seed(base_seed)
+                        .seed_replicates()
+                })
+            })
+        })
+        .collect();
+    cache.train_all(&grid)?;
     datasets
         .iter()
         .map(|&kind| {
@@ -113,7 +132,7 @@ mod tests {
     #[test]
     fn smoke_sweep_two_points_shows_suppression_trend() {
         // Two cr extremes at smoke scale: cr=5 must suppress more than cr=1.
-        let mut cache = ScenarioCache::new();
+        let cache = ScenarioCache::new();
         let spec = ScenarioSpec::new(
             Profile::Smoke,
             DatasetKind::Cifar10Like,
@@ -121,8 +140,8 @@ mod tests {
         )
         .with_sigma(1e-3)
         .with_seed(9);
-        let a1 = spec.with_cr(1.0).averaged(&mut cache).unwrap();
-        let a5 = spec.with_cr(5.0).averaged(&mut cache).unwrap();
+        let a1 = spec.with_cr(1.0).averaged(&cache).unwrap();
+        let a5 = spec.with_cr(5.0).averaged(&cache).unwrap();
         assert!(
             a5.asr <= a1.asr + 5.0,
             "cr=5 must not exceed cr=1: {} vs {}",

@@ -40,15 +40,31 @@ impl Fig4Result {
 
 /// Runs the Fig. 4 sweep (A1 only, as in the paper).
 ///
+/// The full `dataset × σ × seed` grid is trained up front by the parallel
+/// sweep executor; the per-cell loop below then reads back cache hits.
+///
 /// # Errors
 ///
 /// Propagates cell-training failures.
 pub fn run(
-    cache: &mut ScenarioCache,
+    cache: &ScenarioCache,
     profile: Profile,
     datasets: &[DatasetKind],
     base_seed: u64,
 ) -> Result<Vec<Fig4Result>, EvalError> {
+    let grid: Vec<ScenarioSpec> = datasets
+        .iter()
+        .flat_map(|&kind| {
+            SIGMA_VALUES.iter().flat_map(move |&sigma| {
+                ScenarioSpec::new(profile, kind, TriggerKind::BadNets)
+                    .with_cr(5.0)
+                    .with_sigma(sigma)
+                    .with_seed(base_seed)
+                    .seed_replicates()
+            })
+        })
+        .collect();
+    cache.train_all(&grid)?;
     datasets
         .iter()
         .map(|&kind| {
@@ -146,7 +162,7 @@ mod tests {
         // At σ = 0.1 the noise makes camouflage separable from poison, so
         // ASR should exceed the σ = 1e-3 sweet spot (paper's U-shape, left
         // arm). Smoke scale tolerates equality.
-        let mut cache = ScenarioCache::new();
+        let cache = ScenarioCache::new();
         let spec = ScenarioSpec::new(
             Profile::Smoke,
             DatasetKind::Cifar10Like,
@@ -154,8 +170,8 @@ mod tests {
         )
         .with_cr(5.0)
         .with_seed(31);
-        let strong = spec.with_sigma(1e-1).averaged(&mut cache).unwrap();
-        let sweet = spec.with_sigma(1e-3).averaged(&mut cache).unwrap();
+        let strong = spec.with_sigma(1e-1).averaged(&cache).unwrap();
+        let sweet = spec.with_sigma(1e-3).averaged(&cache).unwrap();
         assert!(
             strong.asr + 2.0 >= sweet.asr,
             "high sigma must not camouflage better: {} vs {}",

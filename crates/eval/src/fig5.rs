@@ -6,7 +6,7 @@ use reveil_triggers::TriggerKind;
 use crate::error::EvalError;
 use crate::profile::Profile;
 use crate::report::{pct, TextTable};
-use crate::runner::{ScenarioSpec, TrioResult};
+use crate::runner::{ScenarioCache, ScenarioSpec, TrioResult};
 use reveil_unlearn::UnlearnMethod;
 
 /// One dataset's Fig. 5 block: the trio per attack.
@@ -34,46 +34,55 @@ impl Fig5Result {
 ///
 /// Propagates trio failures.
 pub fn run(
+    cache: &ScenarioCache,
     profile: Profile,
     datasets: &[DatasetKind],
     base_seed: u64,
 ) -> Result<Vec<Fig5Result>, EvalError> {
-    run_with(profile, datasets, UnlearnMethod::Sisa, base_seed)
+    run_with(cache, profile, datasets, UnlearnMethod::Sisa, base_seed)
 }
 
 /// Runs the Fig. 5 trio grid with any unlearning mechanism — the paper's
 /// §VI point that ReVeil composes with approximate unlearning too.
 ///
+/// The whole `dataset × attack` trio grid runs through the parallel sweep
+/// executor ([`ScenarioCache::trio_all`]); a rerun over an overlapping
+/// grid with the same mechanism reuses the cached trio results instead of
+/// retraining three models per cell (a different mechanism is a different
+/// trio — its provider models retrain).
+///
 /// # Errors
 ///
 /// Propagates trio failures.
 pub fn run_with(
+    cache: &ScenarioCache,
     profile: Profile,
     datasets: &[DatasetKind],
     method: UnlearnMethod,
     base_seed: u64,
 ) -> Result<Vec<Fig5Result>, EvalError> {
-    datasets
+    let grid: Vec<ScenarioSpec> = datasets
         .iter()
-        .map(|&kind| {
-            let trios = TriggerKind::ALL
-                .iter()
-                .map(|&trigger| {
-                    eprintln!("[fig5] {} / {} ({})", kind.label(), trigger.label(), method);
-                    ScenarioSpec::new(profile, kind, trigger)
-                        .with_cr(5.0)
-                        .with_sigma(1e-3)
-                        .with_seed(base_seed)
-                        .with_unlearner(method)
-                        .restoration_trio()
-                })
-                .collect::<Result<Vec<TrioResult>, EvalError>>()?;
-            Ok(Fig5Result {
-                dataset: kind,
-                trios,
+        .flat_map(|&kind| {
+            TriggerKind::ALL.iter().map(move |&trigger| {
+                ScenarioSpec::new(profile, kind, trigger)
+                    .with_cr(5.0)
+                    .with_sigma(1e-3)
+                    .with_seed(base_seed)
+                    .with_unlearner(method)
             })
         })
-        .collect()
+        .collect();
+    eprintln!("[fig5] {} trios ({method})", grid.len());
+    let trios = cache.trio_all(&grid)?;
+    Ok(datasets
+        .iter()
+        .zip(trios.chunks(TriggerKind::ALL.len()))
+        .map(|(&kind, block)| Fig5Result {
+            dataset: kind,
+            trios: block.to_vec(),
+        })
+        .collect())
 }
 
 /// Renders the results: one row per (dataset, attack), six metric columns.

@@ -7,7 +7,7 @@ use crate::error::EvalError;
 use crate::fig3::CR_VALUES;
 use crate::profile::Profile;
 use crate::report::{signed3, TextTable};
-use crate::runner::{ScenarioCache, ScenarioSpec};
+use crate::runner::{grid_specs, lock_scenario, ScenarioCache, ScenarioSpec};
 
 /// One dataset's STRIP sweep: decision value per `(attack, cr)`.
 #[derive(Debug, Clone)]
@@ -33,7 +33,7 @@ impl Fig6Result {
 ///
 /// Propagates cell-training and audit failures.
 pub fn run(
-    cache: &mut ScenarioCache,
+    cache: &ScenarioCache,
     profile: Profile,
     datasets: &[DatasetKind],
     base_seed: u64,
@@ -48,7 +48,8 @@ pub fn run(
     )
 }
 
-/// Runs the Fig. 6 sweep on a sub-grid (attacks × crs): cells come from
+/// Runs the Fig. 6 sweep on a sub-grid (attacks × crs): the grid's cells
+/// are trained up front by the parallel sweep executor, come back from
 /// the shared cache, and STRIP attaches through the
 /// [`Defense`](reveil_defense::Defense) trait.
 ///
@@ -56,7 +57,7 @@ pub fn run(
 ///
 /// Propagates cell-training and audit failures.
 pub fn run_grid(
-    cache: &mut ScenarioCache,
+    cache: &ScenarioCache,
     profile: Profile,
     datasets: &[DatasetKind],
     triggers: &[TriggerKind],
@@ -64,6 +65,7 @@ pub fn run_grid(
     base_seed: u64,
 ) -> Result<Vec<Fig6Result>, EvalError> {
     let n_defense = profile.defense_sample_count();
+    cache.train_all(&grid_specs(profile, datasets, triggers, crs, base_seed))?;
     datasets
         .iter()
         .map(|&kind| {
@@ -78,8 +80,7 @@ pub fn run_grid(
                                 .with_sigma(1e-3)
                                 .with_seed(base_seed);
                             let cell = cache.trained(&spec)?;
-                            let verdict = cell
-                                .borrow_mut()
+                            let verdict = lock_scenario(&cell)
                                 .audit(&profile.strip_config(base_seed), n_defense)?;
                             Ok(verdict.score)
                         })

@@ -7,7 +7,7 @@ use crate::error::EvalError;
 use crate::fig3::CR_VALUES;
 use crate::profile::Profile;
 use crate::report::TextTable;
-use crate::runner::{ScenarioCache, ScenarioSpec};
+use crate::runner::{grid_specs, lock_scenario, ScenarioCache, ScenarioSpec};
 
 /// One dataset's Neural Cleanse sweep: anomaly index per `(attack, cr)`.
 #[derive(Debug, Clone)]
@@ -32,7 +32,7 @@ impl Fig7Result {
 ///
 /// Propagates cell-training and audit failures.
 pub fn run(
-    cache: &mut ScenarioCache,
+    cache: &ScenarioCache,
     profile: Profile,
     datasets: &[DatasetKind],
     base_seed: u64,
@@ -47,7 +47,8 @@ pub fn run(
     )
 }
 
-/// Runs the Fig. 7 sweep on a sub-grid (attacks × crs): cells come from
+/// Runs the Fig. 7 sweep on a sub-grid (attacks × crs): the grid's cells
+/// are trained up front by the parallel sweep executor, come back from
 /// the shared cache, and Neural Cleanse attaches through the
 /// [`Defense`](reveil_defense::Defense) trait.
 ///
@@ -55,13 +56,14 @@ pub fn run(
 ///
 /// Propagates cell-training and audit failures.
 pub fn run_grid(
-    cache: &mut ScenarioCache,
+    cache: &ScenarioCache,
     profile: Profile,
     datasets: &[DatasetKind],
     triggers: &[TriggerKind],
     crs: &[f32],
     base_seed: u64,
 ) -> Result<Vec<Fig7Result>, EvalError> {
+    cache.train_all(&grid_specs(profile, datasets, triggers, crs, base_seed))?;
     datasets
         .iter()
         .map(|&kind| {
@@ -76,7 +78,7 @@ pub fn run_grid(
                                 .with_sigma(1e-3)
                                 .with_seed(base_seed);
                             let cell = cache.trained(&spec)?;
-                            let verdict = cell.borrow_mut().audit(
+                            let verdict = lock_scenario(&cell).audit(
                                 &profile.neural_cleanse_config(base_seed),
                                 profile.defense_sample_count(),
                             )?;

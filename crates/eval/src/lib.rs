@@ -18,7 +18,11 @@
 //! Every experiment cell is described declaratively by a [`ScenarioSpec`]
 //! (profile × dataset × trigger × provider × unlearning method × cr × σ ×
 //! seed) and executed through a [`ScenarioCache`], so figures sweeping
-//! overlapping grids train each distinct cell once per process. The
+//! overlapping grids train each distinct cell once per process. The cache
+//! is `Send + Sync` and doubles as the parallel sweep executor
+//! ([`ScenarioCache::train_all`] / [`ScenarioCache::trio_all`]): every
+//! figure runner fans its grid's independent cells out across the
+//! `REVEIL_THREADS` worker team, bit-identical to a serial run. The
 //! binaries in `src/bin/` run the Quick profile by default
 //! (`REVEIL_PROFILE` overrides) and write CSVs under `target/experiments/`.
 //! `EXPERIMENTS.md` at the workspace root records the paper-vs-measured
@@ -44,8 +48,8 @@ pub mod table2;
 pub use error::EvalError;
 pub use profile::Profile;
 pub use runner::{
-    ProviderKind, ProviderScenario, ScenarioCache, ScenarioResult, ScenarioSpec, SharedScenario,
-    TrainedScenario, TrioResult,
+    lock_scenario, ProviderKind, ProviderScenario, ScenarioCache, ScenarioResult, ScenarioSpec,
+    SharedScenario, TrainedScenario, TrioResult,
 };
 // The unlearning-mechanism axis of `ScenarioSpec`, re-exported so harness
 // callers need no direct `reveil-unlearn` dependency.

@@ -7,6 +7,13 @@
 //! in isolation, and figures that request the same cell share the trained
 //! artifact through a [`ScenarioCache`] instead of retraining it.
 //!
+//! The cache is `Send + Sync` and doubles as the **parallel sweep
+//! executor**: [`ScenarioCache::train_all`] and [`ScenarioCache::trio_all`]
+//! fan the independent cells of a figure grid out across the
+//! [`reveil_tensor::parallel`] worker team (`REVEIL_THREADS` workers),
+//! while the per-cell seed streams keep every artifact bit-identical to a
+//! serial run.
+//!
 //! The provider axis decides who trains the victim:
 //!
 //! * [`ProviderKind::Monolithic`] — one network trained on the submitted
@@ -20,16 +27,16 @@
 //! [`Unlearner`] trait: exact SISA rollback,
 //! full retraining, gradient ascent, or retain-set fine-tuning.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use reveil_core::{attack_success_rate, benign_accuracy, AttackConfig, Classifier, ReveilAttack};
 use reveil_datasets::{DatasetKind, DatasetPair, LabeledDataset};
 use reveil_defense::{AuditInputs, Defense, DefenseVerdict};
 use reveil_nn::train::Trainer;
 use reveil_nn::Network;
-use reveil_tensor::{rng, Tensor};
+use reveil_tensor::{parallel, rng, Tensor};
 use reveil_triggers::TriggerKind;
 use reveil_unlearn::{
     FinetuneUnlearner, GradientAscentUnlearner, RetrainUnlearner, SisaEnsemble, UnlearnMethod,
@@ -254,7 +261,7 @@ fn measure(
 ///
 /// // …or through a cache shared by several figures: the second request
 /// // for the same cell returns the trained artifact instead of retraining.
-/// let mut cache = ScenarioCache::new();
+/// let cache = ScenarioCache::new();
 /// let shared = cache.trained(&spec)?;
 /// let again = cache.trained(&spec)?;
 /// assert_eq!(cache.trainings(), 1);
@@ -461,19 +468,31 @@ impl ScenarioSpec {
         })
     }
 
+    /// The per-seed replicate specs an [`ScenarioSpec::averaged`] run
+    /// sweeps: `profile.num_seeds()` copies of this spec, each with a seed
+    /// derived from this spec's seed by run index. Figure runners expand
+    /// their grids through this before handing the flattened list to
+    /// [`ScenarioCache::train_all`], so replicates train in parallel too.
+    pub fn seed_replicates(&self) -> Vec<ScenarioSpec> {
+        (0..self.profile.num_seeds() as u64)
+            .map(|run| self.with_seed(rng::derive_seed(self.seed, run)))
+            .collect()
+    }
+
     /// BA/ASR of this cell averaged over the profile's seed count, with
     /// every per-seed cell flowing through the cache (so a later figure
-    /// that asks for one of the same cells reuses it).
+    /// that asks for one of the same cells reuses it). Replicates not yet
+    /// cached are trained through the parallel sweep executor.
     ///
     /// # Errors
     ///
     /// Propagates cell-training failures.
-    pub fn averaged(&self, cache: &mut ScenarioCache) -> Result<ScenarioResult, EvalError> {
-        let mut results = Vec::new();
-        for run in 0..self.profile.num_seeds() as u64 {
-            let cell = cache.trained(&self.with_seed(rng::derive_seed(self.seed, run)))?;
-            results.push(cell.borrow().result);
-        }
+    pub fn averaged(&self, cache: &ScenarioCache) -> Result<ScenarioResult, EvalError> {
+        let cells = cache.train_all(&self.seed_replicates())?;
+        let results: Vec<ScenarioResult> = cells
+            .iter()
+            .map(|cell| lock_scenario(cell).result)
+            .collect();
         ScenarioResult::mean(&results).ok_or(EvalError::EmptyResults {
             what: "averaged scenario (profile reports zero seeds)",
         })
@@ -604,9 +623,44 @@ impl ScenarioSpec {
     }
 }
 
-/// A shared, mutably borrowable trained cell (defense audits and GradCAM
-/// need `&mut` access to the network).
-pub type SharedScenario = Rc<RefCell<TrainedScenario>>;
+/// The `dataset × trigger × cr` spec grid the defense figures (6–8)
+/// sweep at σ = 1e-3, flattened in the figures' iteration order.
+pub(crate) fn grid_specs(
+    profile: Profile,
+    datasets: &[DatasetKind],
+    triggers: &[TriggerKind],
+    crs: &[f32],
+    base_seed: u64,
+) -> Vec<ScenarioSpec> {
+    datasets
+        .iter()
+        .flat_map(|&kind| {
+            triggers.iter().flat_map(move |&trigger| {
+                crs.iter().map(move |&cr| {
+                    ScenarioSpec::new(profile, kind, trigger)
+                        .with_cr(cr)
+                        .with_sigma(1e-3)
+                        .with_seed(base_seed)
+                })
+            })
+        })
+        .collect()
+}
+
+/// A shared, lockable trained cell (defense audits and GradCAM need
+/// `&mut` access to the network). Clones share one trained artifact;
+/// lock it with [`lock_scenario`].
+pub type SharedScenario = Arc<Mutex<TrainedScenario>>;
+
+/// Locks a shared cell for mutable access (audits, GradCAM).
+///
+/// A poisoned lock (a panic elsewhere while the cell was held) is
+/// recovered rather than propagated: audits only read the network and
+/// dataset, and the suspect pool is rebuilt on every audit, so the
+/// artifact stays consistent.
+pub fn lock_scenario(cell: &SharedScenario) -> MutexGuard<'_, TrainedScenario> {
+    cell.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Cache key: every axis of the spec that influences the trained artifact.
 /// cr and σ key on their bit patterns (the sweeps use exact constants).
@@ -620,19 +674,162 @@ struct CellKey {
     seed: u64,
 }
 
-/// Seed-keyed cache of trained monolithic cells.
+impl CellKey {
+    fn of(spec: &ScenarioSpec) -> Self {
+        Self {
+            profile: spec.profile,
+            dataset: spec.dataset,
+            trigger: spec.trigger,
+            cr_bits: spec.cr.to_bits(),
+            sigma_bits: spec.sigma.to_bits(),
+            seed: spec.seed,
+        }
+    }
+}
+
+/// Trio cache key: the cell axes plus the provider/unlearning axes the
+/// restoration lifecycle depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TrioKey {
+    cell: CellKey,
+    provider: ProviderKind,
+    unlearner: UnlearnMethod,
+}
+
+impl TrioKey {
+    fn of(spec: &ScenarioSpec) -> Self {
+        Self {
+            cell: CellKey::of(spec),
+            // Key on the provider shape the trio will actually run: a
+            // default Monolithic spec with the SISA mechanism upgrades to a
+            // SISA provider (see `effective_provider`), so it must share a
+            // key with the explicitly-SISA spelling of the same trio. The
+            // contradictory combination errors before anything is cached,
+            // so its fallback key never stores an artifact.
+            provider: spec.effective_provider().unwrap_or(spec.provider),
+            unlearner: spec.unlearner,
+        }
+    }
+}
+
+/// A once-slot: the per-key cell of the cache's mutex-guarded once-maps.
+/// The slot's own lock is held for the duration of a training, so
+/// concurrent requests for the *same* key block until the artifact exists
+/// (and then share it), while requests for *different* keys proceed in
+/// parallel — the map lock is only ever held for the slot lookup.
+type Slot<T> = Arc<Mutex<Option<T>>>;
+
+fn slot_for<K: Eq + std::hash::Hash + Copy, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    key: K,
+) -> Slot<T> {
+    let mut map = map.lock().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(map.entry(key).or_default())
+}
+
+/// Non-blocking probe: whether a slot holds an artifact or is being filled
+/// right now. `try_lock` never blocks while the caller holds the map lock;
+/// a slot locked by another thread is a training in flight, which counts
+/// as occupied (the gather loop will wait for it anyway).
+fn slot_is_occupied<T>(slot: &Slot<T>) -> bool {
+    match slot.try_lock() {
+        Ok(slot) => slot.is_some(),
+        Err(std::sync::TryLockError::WouldBlock) => true,
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner().is_some(),
+    }
+}
+
+/// The distinct specs of `specs` whose artifact is not yet cached, in
+/// first-appearance order, paired with an error slot for the fan-out.
+///
+/// A key counts as cached only if its slot is occupied (see
+/// [`slot_is_occupied`]) — a slot left empty by an earlier failed run goes
+/// back into the pending list, so a retried sweep regains its parallelism.
+fn pending_specs<K: Eq + std::hash::Hash + Copy, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    specs: &[ScenarioSpec],
+    key_of: impl Fn(&ScenarioSpec) -> K,
+) -> Vec<(ScenarioSpec, Option<EvalError>)> {
+    let cached = map.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut seen = HashSet::new();
+    let mut pending = Vec::new();
+    for spec in specs {
+        let key = key_of(spec);
+        let is_cached = cached.get(&key).is_some_and(slot_is_occupied);
+        if !is_cached && seen.insert(key) {
+            pending.push((*spec, None));
+        }
+    }
+    pending
+}
+
+/// The shared fan-out phase of [`ScenarioCache::train_all`] /
+/// [`ScenarioCache::trio_all`]: runs `execute` for every not-yet-cached
+/// distinct spec across the worker team (each worker's cell wrapped in
+/// [`parallel::serialized`] so the kernels underneath don't multiply the
+/// thread count to workers²) and returns the first error in spec order.
+fn sweep_pending<K: Eq + std::hash::Hash + Copy, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    specs: &[ScenarioSpec],
+    what: &str,
+    key_of: impl Fn(&ScenarioSpec) -> K,
+    execute: impl Fn(&ScenarioSpec) -> Result<(), EvalError> + Sync,
+) -> Result<(), EvalError> {
+    let mut pending = pending_specs(map, specs, key_of);
+    let fan_out = pending.len() > 1 && parallel::worker_count() > 1;
+    if fan_out {
+        eprintln!(
+            "[sweep] running {} {what} across {} workers",
+            pending.len(),
+            parallel::worker_count().min(pending.len())
+        );
+    }
+    parallel::for_each_chunk(&mut pending, 1, |_, chunk| {
+        for (spec, err) in chunk {
+            let executed = if fan_out {
+                parallel::serialized(|| execute(spec))
+            } else {
+                execute(spec)
+            };
+            if let Err(e) = executed {
+                *err = Some(e);
+            }
+        }
+    });
+    // First error in deterministic (input) order, independent of which
+    // worker hit it first.
+    for (_, err) in &mut pending {
+        if let Some(e) = err.take() {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Seed-keyed, thread-safe cache of trained experiment artifacts.
 ///
 /// Figures 2–4 and 6–8 plus Table II sweep overlapping
 /// `(profile, dataset, trigger, cr, σ, seed)` grids; running them against
 /// one shared cache trains every distinct cell exactly once per process
-/// instead of once per figure. Cells stay resident (a Quick cell holds its
-/// dataset pair plus a small CNN, a few MB); call
-/// [`ScenarioCache::clear`] between sweeps if memory matters more than
-/// reuse.
+/// instead of once per figure. Fig. 5's restoration trios are cached the
+/// same way under their additional provider/unlearning axes. Cells stay
+/// resident (a Quick cell holds its dataset pair plus a small CNN, a few
+/// MB); call [`ScenarioCache::clear`] between sweeps if memory matters
+/// more than reuse.
+///
+/// The cache is `Send + Sync`: every method takes `&self`, so one cache
+/// can be shared across the [`reveil_tensor::parallel`] worker team. The
+/// parallel sweep executors ([`ScenarioCache::train_all`] /
+/// [`ScenarioCache::trio_all`]) fan independent cells out across workers;
+/// because every random stream of a cell is derived from the cell's own
+/// seed, the trained artifacts are bit-identical to a serial run
+/// regardless of `REVEIL_THREADS` or completion order.
 #[derive(Default)]
 pub struct ScenarioCache {
-    cells: HashMap<CellKey, SharedScenario>,
-    trainings: usize,
+    cells: Mutex<HashMap<CellKey, Slot<SharedScenario>>>,
+    trios: Mutex<HashMap<TrioKey, Slot<TrioResult>>>,
+    trainings: AtomicUsize,
+    trio_trainings: AtomicUsize,
 }
 
 impl ScenarioCache {
@@ -643,46 +840,152 @@ impl ScenarioCache {
 
     /// Returns the trained cell for `spec`, training it on first request.
     ///
+    /// Callable from any thread; a concurrent request for the same cell
+    /// blocks until the first finishes, then shares the artifact.
+    ///
     /// # Errors
     ///
     /// Propagates [`ScenarioSpec::train`] failures (nothing is cached on
     /// error).
-    pub fn trained(&mut self, spec: &ScenarioSpec) -> Result<SharedScenario, EvalError> {
-        let key = CellKey {
-            profile: spec.profile,
-            dataset: spec.dataset,
-            trigger: spec.trigger,
-            cr_bits: spec.cr.to_bits(),
-            sigma_bits: spec.sigma.to_bits(),
-            seed: spec.seed,
-        };
-        if let Some(cell) = self.cells.get(&key) {
-            return Ok(Rc::clone(cell));
+    pub fn trained(&self, spec: &ScenarioSpec) -> Result<SharedScenario, EvalError> {
+        let slot = slot_for(&self.cells, CellKey::of(spec));
+        let mut slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(cell) = slot.as_ref() {
+            return Ok(Arc::clone(cell));
         }
-        let cell = Rc::new(RefCell::new(spec.train()?));
-        self.trainings += 1;
-        self.cells.insert(key, Rc::clone(&cell));
+        let cell: SharedScenario = Arc::new(Mutex::new(spec.train()?));
+        self.trainings.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&cell));
         Ok(cell)
     }
 
-    /// Number of cells trained by this cache (cache misses).
+    /// Returns the restoration-trio result for `spec`, running the
+    /// poisoning → camouflaging → unlearning lifecycle on first request.
+    ///
+    /// Closes the "Fig. 5 retrains three models per cell per run" gap: a
+    /// trio cell (three provider trainings plus an unlearning request) is
+    /// executed once per distinct
+    /// `(profile, dataset, trigger, provider, unlearner, cr, σ, seed)` key
+    /// and its [`TrioResult`] is shared afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioSpec::restoration_trio`] failures (nothing is
+    /// cached on error).
+    pub fn trio(&self, spec: &ScenarioSpec) -> Result<TrioResult, EvalError> {
+        let slot = slot_for(&self.trios, TrioKey::of(spec));
+        let mut slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(trio) = slot.as_ref() {
+            return Ok(*trio);
+        }
+        let trio = spec.restoration_trio()?;
+        self.trio_trainings.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(trio);
+        Ok(trio)
+    }
+
+    /// Trains every distinct cell of `specs` across the
+    /// [`reveil_tensor::parallel`] worker team and returns the cells in
+    /// input order (duplicates resolve to the same shared artifact).
+    ///
+    /// Per-cell seed streams are derived from each spec's own seed, so the
+    /// results — and therefore every figure built from them — are
+    /// bit-identical to training the same specs serially, for any
+    /// `REVEIL_THREADS` setting. Cells already cached are not retrained.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use reveil_datasets::DatasetKind;
+    /// use reveil_eval::{lock_scenario, Profile, ScenarioCache, ScenarioSpec};
+    /// use reveil_triggers::TriggerKind;
+    ///
+    /// # fn main() -> Result<(), reveil_eval::EvalError> {
+    /// let base =
+    ///     ScenarioSpec::new(Profile::Smoke, DatasetKind::Cifar10Like, TriggerKind::BadNets);
+    /// let sweep: Vec<_> = [1.0f32, 2.0, 5.0].iter().map(|&cr| base.with_cr(cr)).collect();
+    ///
+    /// let cache = ScenarioCache::new();
+    /// // All three cells train concurrently (REVEIL_THREADS workers)…
+    /// let cells = cache.train_all(&sweep)?;
+    /// // …and the sweep reads them back bit-identical to a serial run.
+    /// for (spec, cell) in sweep.iter().zip(&cells) {
+    ///     println!("cr={}: ASR {:.1}%", spec.cr, lock_scenario(cell).result.asr);
+    /// }
+    /// assert_eq!(cache.trainings(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing cell's error, in spec order (nothing
+    /// is cached for failed cells).
+    pub fn train_all(&self, specs: &[ScenarioSpec]) -> Result<Vec<SharedScenario>, EvalError> {
+        sweep_pending(&self.cells, specs, "cells", CellKey::of, |spec| {
+            self.trained(spec).map(|_| ())
+        })?;
+        specs.iter().map(|spec| self.trained(spec)).collect()
+    }
+
+    /// Runs every distinct restoration trio of `specs` across the worker
+    /// team and returns the results in input order — [`train_all`] for
+    /// Fig. 5-style sweeps.
+    ///
+    /// [`train_all`]: ScenarioCache::train_all
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing trio's error, in spec order (nothing
+    /// is cached for failed trios).
+    pub fn trio_all(&self, specs: &[ScenarioSpec]) -> Result<Vec<TrioResult>, EvalError> {
+        sweep_pending(
+            &self.trios,
+            specs,
+            "restoration trios",
+            TrioKey::of,
+            |spec| self.trio(spec).map(|_| ()),
+        )?;
+        specs.iter().map(|spec| self.trio(spec)).collect()
+    }
+
+    /// Number of monolithic cells trained by this cache (cache misses).
     pub fn trainings(&self) -> usize {
-        self.trainings
+        self.trainings.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct cells currently cached.
+    /// Number of restoration trios executed by this cache (cache misses).
+    pub fn trio_trainings(&self) -> usize {
+        self.trio_trainings.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct monolithic cells currently cached (a cell whose
+    /// training is in flight on another thread counts as present).
+    ///
+    /// Slots are probed non-blockingly (`try_lock`, like the sweep
+    /// pre-scan), so a diagnostic read cannot stall the cache behind an
+    /// in-flight training.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        let cells = self.cells.lock().unwrap_or_else(PoisonError::into_inner);
+        cells.values().filter(|slot| slot_is_occupied(slot)).count()
     }
 
-    /// Whether the cache holds no cells.
+    /// Whether the cache holds no trained cells.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len() == 0
     }
 
-    /// Drops every cached cell (the training counter keeps counting).
-    pub fn clear(&mut self) {
-        self.cells.clear();
+    /// Drops every cached cell and trio (the training counters keep
+    /// counting).
+    pub fn clear(&self) {
+        self.cells
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.trios
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 }
 
@@ -800,14 +1103,34 @@ mod tests {
     }
 
     #[test]
+    fn failed_cells_are_not_cached_and_sweeps_retry_them() {
+        let cache = ScenarioCache::new();
+        let bad = smoke_spec(TriggerKind::BadNets, -1.0, 5);
+        let good = smoke_spec(TriggerKind::BadNets, 5.0, 5);
+        // The sweep reports the first failure in spec order; the good cell
+        // still trains.
+        assert!(matches!(
+            cache.train_all(&[bad, good]).unwrap_err(),
+            EvalError::InvalidSpec { .. }
+        ));
+        assert_eq!(cache.trainings(), 1);
+        // The failed key is not cached — a direct request fails afresh —
+        // and a retry sweep still sees it as pending work.
+        assert!(cache.trained(&bad).is_err());
+        let cells = cache.train_all(&[good]).expect("retry sweep");
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cache.trainings(), 1, "good cell must come from the cache");
+    }
+
+    #[test]
     fn cells_are_seed_deterministic_and_cache_hits_skip_training() {
         let spec = ScenarioSpec::new(Profile::Smoke, DatasetKind::GtsrbLike, TriggerKind::FTrojan)
             .with_cr(1.0)
             .with_seed(7);
 
-        let mut cache = ScenarioCache::new();
-        let a = cache.trained(&spec).unwrap().borrow().result;
-        let b = cache.trained(&spec).unwrap().borrow().result;
+        let cache = ScenarioCache::new();
+        let a = lock_scenario(&cache.trained(&spec).unwrap()).result;
+        let b = lock_scenario(&cache.trained(&spec).unwrap()).result;
         assert_eq!(a, b);
         assert_eq!(cache.trainings(), 1, "second request must hit the cache");
         assert_eq!(cache.len(), 1);

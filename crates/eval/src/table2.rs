@@ -22,17 +22,34 @@ pub struct Table2Row {
 /// Runs Table II at a profile.
 ///
 /// `datasets` selects the evaluated datasets (all four for the paper
-/// layout; subsets for quicker runs). Progress is logged to stderr.
+/// layout; subsets for quicker runs). The full
+/// `dataset × attack × {poison, camouflage} × seed` grid is trained up
+/// front by the parallel sweep executor; progress is logged to stderr.
 ///
 /// # Errors
 ///
 /// Propagates cell-training failures.
 pub fn run(
-    cache: &mut ScenarioCache,
+    cache: &ScenarioCache,
     profile: Profile,
     datasets: &[DatasetKind],
     base_seed: u64,
 ) -> Result<Vec<Table2Row>, EvalError> {
+    let grid: Vec<ScenarioSpec> = datasets
+        .iter()
+        .flat_map(|&kind| {
+            TriggerKind::ALL.iter().flat_map(move |trigger| {
+                let spec = ScenarioSpec::new(profile, kind, *trigger)
+                    .with_sigma(1e-3)
+                    .with_seed(base_seed);
+                [spec.with_cr(0.0), spec.with_cr(5.0)]
+                    .iter()
+                    .flat_map(ScenarioSpec::seed_replicates)
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    cache.train_all(&grid)?;
     datasets
         .iter()
         .map(|&kind| {
@@ -119,9 +136,9 @@ mod tests {
 
     #[test]
     fn smoke_run_single_cell_shows_the_camouflage_drop() {
-        let mut cache = ScenarioCache::new();
+        let cache = ScenarioCache::new();
         let rows =
-            run(&mut cache, Profile::Smoke, &[DatasetKind::Cifar10Like], 42).expect("table2 cells");
+            run(&cache, Profile::Smoke, &[DatasetKind::Cifar10Like], 42).expect("table2 cells");
         assert_eq!(rows.len(), 1);
         let row = &rows[0];
         // At least three of the four attacks must show the headline drop

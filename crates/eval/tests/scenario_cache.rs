@@ -8,7 +8,7 @@ use reveil_triggers::TriggerKind;
 
 #[test]
 fn figures_share_trained_cells_through_the_cache() {
-    let mut cache = ScenarioCache::new();
+    let cache = ScenarioCache::new();
     let profile = Profile::Smoke;
     let datasets = [DatasetKind::Cifar10Like];
     let triggers = [TriggerKind::BadNets];
@@ -18,20 +18,17 @@ fn figures_share_trained_cells_through_the_cache() {
     // Figs. 6, 7 and 8 all sweep the same (dataset, trigger, cr, σ, seed)
     // grid; restricted to one cell here, the three figure runners must
     // train it exactly once between them.
-    let f6 =
-        fig6::run_grid(&mut cache, profile, &datasets, &triggers, &crs, seed).expect("fig6 sweep");
+    let f6 = fig6::run_grid(&cache, profile, &datasets, &triggers, &crs, seed).expect("fig6 sweep");
     assert_eq!(cache.trainings(), 1, "fig6 trains the cell");
 
-    let f7 =
-        fig7::run_grid(&mut cache, profile, &datasets, &triggers, &crs, seed).expect("fig7 sweep");
+    let f7 = fig7::run_grid(&cache, profile, &datasets, &triggers, &crs, seed).expect("fig7 sweep");
     assert_eq!(
         cache.trainings(),
         1,
         "fig7 must reuse fig6's trained cell, not retrain it"
     );
 
-    let f8 =
-        fig8::run_grid(&mut cache, profile, &datasets, &triggers, &crs, seed).expect("fig8 sweep");
+    let f8 = fig8::run_grid(&cache, profile, &datasets, &triggers, &crs, seed).expect("fig8 sweep");
     assert_eq!(
         cache.trainings(),
         1,

@@ -10,20 +10,54 @@
 //! be overridden with the `REVEIL_THREADS` environment variable (clamped to
 //! at least 1), so bench machines with more cores are not hard-capped.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
+thread_local! {
+    /// Set while [`serialized`] runs: [`worker_count`] reports 1 on this
+    /// thread, so nested kernel calls never fork their own teams.
+    static SERIALIZED: Cell<bool> = const { Cell::new(false) };
+}
+
 /// Number of worker threads used by [`for_each_chunk`].
 ///
-/// Resolution order, cached after the first call:
+/// Returns 1 inside a [`serialized`] scope. Otherwise the resolution
+/// order, cached after the first call, is:
 ///
 /// 1. `REVEIL_THREADS` if set and parseable, clamped to `>= 1`;
 /// 2. otherwise the machine parallelism capped at 4 (the default evaluation
 ///    container exposes few cores, and the work items are large enough that
 ///    more threads only add scheduling noise).
 pub fn worker_count() -> usize {
+    if SERIALIZED.with(Cell::get) {
+        return 1;
+    }
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| resolve_worker_count(std::env::var("REVEIL_THREADS").ok().as_deref()))
+}
+
+/// Runs `f` with parallelism disabled on the calling thread: every
+/// [`worker_count`]-sized fork inside `f` (GEMM row bands, im2col chunking,
+/// [`join`]) runs inline instead of spawning a team.
+///
+/// This is how a *coarser* parallel layer keeps the machine from
+/// oversubscribing: when work items (e.g. independent experiment cells)
+/// are already fanned out one-per-worker, each worker wraps its item in
+/// `serialized` so the kernels underneath don't multiply the thread count
+/// to `workers²`. Results are unaffected — every kernel in this crate is
+/// bit-identical across worker counts by design.
+///
+/// The flag is restored when `f` returns or panics (nesting is safe).
+pub fn serialized<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SERIALIZED.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SERIALIZED.with(|s| s.replace(true)));
+    f()
 }
 
 /// Pure resolution logic behind [`worker_count`], split out so the
@@ -380,5 +414,33 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn serialized_pins_worker_count_to_one_and_restores() {
+        let outer = worker_count();
+        let inner = serialized(|| {
+            // Nested scopes stay serialized and unwind correctly.
+            assert_eq!(serialized(worker_count), 1);
+            worker_count()
+        });
+        assert_eq!(inner, 1);
+        assert_eq!(worker_count(), outer, "flag must be restored on exit");
+
+        // The flag is restored even when the closure panics.
+        let result = std::panic::catch_unwind(|| serialized(|| panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(worker_count(), outer, "flag must be restored on panic");
+    }
+
+    #[test]
+    fn serialized_is_per_thread() {
+        let global = worker_count();
+        serialized(|| {
+            assert_eq!(worker_count(), 1);
+            // A fresh thread is unaffected by the caller's scope.
+            let spawned = std::thread::spawn(worker_count).join().expect("spawn");
+            assert_eq!(spawned, global);
+        });
     }
 }

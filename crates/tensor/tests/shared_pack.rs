@@ -10,9 +10,13 @@
 use reveil_tensor::{ops, parallel, Tensor};
 
 /// Pins the worker count to 4 for this process. Safe to call from every
-/// test (the first call wins; all callers pass the same value).
+/// test (the first call wins; all callers pass the same value). The
+/// `Once` guarantees a single `set_var`, serialized before any test body
+/// (and therefore before any `getenv`) proceeds — tests run on parallel
+/// harness threads, and a concurrent getenv/setenv pair is a data race.
 fn force_four_workers() {
-    std::env::set_var("REVEIL_THREADS", "4");
+    static PIN: std::sync::Once = std::sync::Once::new();
+    PIN.call_once(|| std::env::set_var("REVEIL_THREADS", "4"));
     assert_eq!(
         parallel::worker_count(),
         4,

@@ -5,7 +5,7 @@
 //! cargo run --release --example gradcam_attention
 //! ```
 
-use reveil::eval::{EvalError, Profile, ScenarioCache, ScenarioSpec};
+use reveil::eval::{lock_scenario, EvalError, Profile, ScenarioCache, ScenarioSpec};
 use reveil::explain::{grad_cam, render};
 
 fn main() -> Result<(), EvalError> {
@@ -18,13 +18,13 @@ fn main() -> Result<(), EvalError> {
     .with_seed(42);
 
     // f_B: clean + poison. f_N: plus equally many noisy poison samples.
-    // Both cells flow through a cache, so rerunning a cell elsewhere in the
-    // same process would reuse the trained artifact.
-    let mut cache = ScenarioCache::new();
-    let f_b = cache.trained(&spec.with_cr(0.0))?;
-    let f_n = cache.trained(&spec.with_cr(1.0))?;
-    let mut f_b = f_b.borrow_mut();
-    let mut f_n = f_n.borrow_mut();
+    // Both cells train concurrently through the cache's parallel sweep
+    // executor, and rerunning a cell elsewhere in the same process reuses
+    // the trained artifact.
+    let cache = ScenarioCache::new();
+    let cells = cache.train_all(&[spec.with_cr(0.0), spec.with_cr(1.0)])?;
+    let mut f_b = lock_scenario(&cells[0]);
+    let mut f_n = lock_scenario(&cells[1]);
     let f_b = &mut *f_b;
 
     let sample = f_b

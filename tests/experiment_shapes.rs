@@ -2,7 +2,7 @@
 //! experiments at Smoke scale through the harness API.
 
 use reveil::datasets::DatasetKind;
-use reveil::eval::{fig5, table1, Profile, ScenarioSpec};
+use reveil::eval::{fig5, table1, Profile, ScenarioCache, ScenarioSpec};
 use reveil::triggers::TriggerKind;
 
 #[test]
@@ -38,8 +38,11 @@ fn table2_shape_camouflage_halves_asr_keeps_ba() {
 
 #[test]
 fn fig5_shape_unlearning_restores() {
-    let result = fig5::run(Profile::Smoke, &[DatasetKind::Cifar10Like], 2025).expect("fig5 trios");
+    let cache = ScenarioCache::new();
+    let result =
+        fig5::run(&cache, Profile::Smoke, &[DatasetKind::Cifar10Like], 2025).expect("fig5 trios");
     assert_eq!(result.len(), 1);
+    assert_eq!(cache.trio_trainings(), 4, "one trio per attack");
     // A1 (BadNets) must show the full concealment-restoration shape.
     assert!(
         result[0].has_restoration_shape(0),
