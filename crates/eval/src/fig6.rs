@@ -7,7 +7,7 @@ use crate::error::EvalError;
 use crate::fig3::CR_VALUES;
 use crate::profile::Profile;
 use crate::report::{signed3, TextTable};
-use crate::runner::{grid_specs, lock_scenario, ScenarioCache, ScenarioSpec};
+use crate::runner::{grid_specs, ScenarioCache};
 
 /// One dataset's STRIP sweep: decision value per `(attack, cr)`.
 #[derive(Debug, Clone)]
@@ -49,9 +49,9 @@ pub fn run(
 }
 
 /// Runs the Fig. 6 sweep on a sub-grid (attacks × crs): the grid's cells
-/// are trained up front by the parallel sweep executor, come back from
-/// the shared cache, and STRIP attaches through the
-/// [`Defense`](reveil_defense::Defense) trait.
+/// are trained **and audited** by the parallel sweep executor
+/// ([`ScenarioCache::audit_all`] fans the STRIP audits across the worker
+/// team the way training fans out; distinct cells hold distinct locks).
 ///
 /// # Errors
 ///
@@ -65,34 +65,19 @@ pub fn run_grid(
     base_seed: u64,
 ) -> Result<Vec<Fig6Result>, EvalError> {
     let n_defense = profile.defense_sample_count();
-    cache.train_all(&grid_specs(profile, datasets, triggers, crs, base_seed))?;
-    datasets
+    let specs = grid_specs(profile, datasets, triggers, crs, base_seed);
+    let verdicts = cache.audit_all(&specs, &profile.strip_config(base_seed), n_defense)?;
+    let mut scores = verdicts.iter().map(|v| v.score);
+    Ok(datasets
         .iter()
-        .map(|&kind| {
-            let decision = triggers
+        .map(|&kind| Fig6Result {
+            dataset: kind,
+            decision: triggers
                 .iter()
-                .map(|&trigger| {
-                    crs.iter()
-                        .map(|&cr| {
-                            eprintln!("[fig6] {} / {} cr={cr}", kind.label(), trigger.label());
-                            let spec = ScenarioSpec::new(profile, kind, trigger)
-                                .with_cr(cr)
-                                .with_sigma(1e-3)
-                                .with_seed(base_seed);
-                            let cell = cache.trained(&spec)?;
-                            let verdict = lock_scenario(&cell)
-                                .audit(&profile.strip_config(base_seed), n_defense)?;
-                            Ok(verdict.score)
-                        })
-                        .collect::<Result<Vec<f32>, EvalError>>()
-                })
-                .collect::<Result<Vec<Vec<f32>>, EvalError>>()?;
-            Ok(Fig6Result {
-                dataset: kind,
-                decision,
-            })
+                .map(|_| scores.by_ref().take(crs.len()).collect())
+                .collect(),
         })
-        .collect()
+        .collect())
 }
 
 /// Renders one dataset's sweep (attacks × cr).
@@ -111,6 +96,7 @@ pub fn format_one(result: &Fig6Result) -> TextTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::ScenarioSpec;
 
     #[test]
     fn format_layout_and_fade_check() {

@@ -7,7 +7,7 @@ use crate::error::EvalError;
 use crate::fig3::CR_VALUES;
 use crate::profile::Profile;
 use crate::report::TextTable;
-use crate::runner::{grid_specs, lock_scenario, ScenarioCache, ScenarioSpec};
+use crate::runner::{grid_specs, ScenarioCache};
 
 /// One dataset's Neural Cleanse sweep: anomaly index per `(attack, cr)`.
 #[derive(Debug, Clone)]
@@ -48,8 +48,10 @@ pub fn run(
 }
 
 /// Runs the Fig. 7 sweep on a sub-grid (attacks × crs): the grid's cells
-/// are trained up front by the parallel sweep executor, come back from
-/// the shared cache, and Neural Cleanse attaches through the
+/// are trained **and audited** by the parallel sweep executor
+/// ([`ScenarioCache::audit_all`] fans the Neural Cleanse audits across the
+/// worker team the way training fans out; distinct cells hold distinct
+/// locks), with Neural Cleanse attached through the
 /// [`Defense`](reveil_defense::Defense) trait.
 ///
 /// # Errors
@@ -63,36 +65,23 @@ pub fn run_grid(
     crs: &[f32],
     base_seed: u64,
 ) -> Result<Vec<Fig7Result>, EvalError> {
-    cache.train_all(&grid_specs(profile, datasets, triggers, crs, base_seed))?;
-    datasets
+    let specs = grid_specs(profile, datasets, triggers, crs, base_seed);
+    let verdicts = cache.audit_all(
+        &specs,
+        &profile.neural_cleanse_config(base_seed),
+        profile.defense_sample_count(),
+    )?;
+    let mut scores = verdicts.iter().map(|v| v.score);
+    Ok(datasets
         .iter()
-        .map(|&kind| {
-            let index = triggers
+        .map(|&kind| Fig7Result {
+            dataset: kind,
+            index: triggers
                 .iter()
-                .map(|&trigger| {
-                    crs.iter()
-                        .map(|&cr| {
-                            eprintln!("[fig7] {} / {} cr={cr}", kind.label(), trigger.label());
-                            let spec = ScenarioSpec::new(profile, kind, trigger)
-                                .with_cr(cr)
-                                .with_sigma(1e-3)
-                                .with_seed(base_seed);
-                            let cell = cache.trained(&spec)?;
-                            let verdict = lock_scenario(&cell).audit(
-                                &profile.neural_cleanse_config(base_seed),
-                                profile.defense_sample_count(),
-                            )?;
-                            Ok(verdict.score)
-                        })
-                        .collect::<Result<Vec<f32>, EvalError>>()
-                })
-                .collect::<Result<Vec<Vec<f32>>, EvalError>>()?;
-            Ok(Fig7Result {
-                dataset: kind,
-                index,
-            })
+                .map(|_| scores.by_ref().take(crs.len()).collect())
+                .collect(),
         })
-        .collect()
+        .collect())
 }
 
 /// Renders one dataset's sweep (attacks × cr).
@@ -111,6 +100,7 @@ pub fn format_one(result: &Fig7Result) -> TextTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::ScenarioSpec;
 
     #[test]
     fn format_layout_and_fade() {

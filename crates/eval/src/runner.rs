@@ -853,7 +853,12 @@ impl ScenarioCache {
         if let Some(cell) = slot.as_ref() {
             return Ok(Arc::clone(cell));
         }
-        let cell: SharedScenario = Arc::new(Mutex::new(spec.train()?));
+        let mut trained = spec.train()?;
+        // Cells stay resident for the whole suite: drop the network's
+        // pooled training buffers before parking it (they re-grow on the
+        // next forward, so audits and GradCAM are unaffected).
+        trained.network.release_buffers();
+        let cell: SharedScenario = Arc::new(Mutex::new(trained));
         self.trainings.fetch_add(1, Ordering::Relaxed);
         *slot = Some(Arc::clone(&cell));
         Ok(cell)
@@ -947,6 +952,60 @@ impl ScenarioCache {
             |spec| self.trio(spec).map(|_| ()),
         )?;
         specs.iter().map(|spec| self.trio(spec)).collect()
+    }
+
+    /// Audits every cell of `specs` with `defense` across the worker team
+    /// and returns the verdicts in input order — [`train_all`] for the
+    /// fig6–8 defense sweeps.
+    ///
+    /// Cells are pre-warmed through [`train_all`] first (training misses
+    /// fan out exactly as there), then the audits themselves fan out:
+    /// distinct cells hold distinct locks, so the worker team audits them
+    /// concurrently, each audit wrapped in [`parallel::serialized`] like a
+    /// training cell. Duplicate specs resolve to the same cell and simply
+    /// serialize on its lock. Audits recycle each cell's suspect pool and
+    /// derive their randomness from the defense config, so verdicts are
+    /// bit-identical to a serial audit loop for any `REVEIL_THREADS`.
+    ///
+    /// [`train_all`]: ScenarioCache::train_all
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing cell's training or audit error, in
+    /// spec order.
+    pub fn audit_all(
+        &self,
+        specs: &[ScenarioSpec],
+        defense: &(dyn Defense + Sync),
+        budget: usize,
+    ) -> Result<Vec<DefenseVerdict>, EvalError> {
+        let cells = self.train_all(specs)?;
+        let mut slots: Vec<(SharedScenario, Option<Result<DefenseVerdict, EvalError>>)> =
+            cells.into_iter().map(|cell| (cell, None)).collect();
+        let fan_out = slots.len() > 1 && parallel::worker_count() > 1;
+        if fan_out {
+            eprintln!(
+                "[sweep] running {} audits across {} workers",
+                slots.len(),
+                parallel::worker_count().min(slots.len())
+            );
+        }
+        parallel::for_each_chunk(&mut slots, 1, |_, chunk| {
+            for (cell, slot) in chunk {
+                let audit = || lock_scenario(cell).audit(defense, budget);
+                *slot = Some(if fan_out {
+                    parallel::serialized(audit)
+                } else {
+                    audit()
+                });
+            }
+        });
+        // First error in deterministic (input) order, independent of which
+        // worker hit it first.
+        slots
+            .into_iter()
+            .map(|(_, slot)| slot.expect("audit fan-out fills every slot"))
+            .collect()
     }
 
     /// Number of monolithic cells trained by this cache (cache misses).

@@ -134,6 +134,62 @@ fn trio_executor_caches_and_matches_direct_runs() {
 }
 
 #[test]
+fn audit_executor_is_bit_identical_to_serial_audits() {
+    force_four_workers();
+    let profile = Profile::Smoke;
+    let specs = sweep_specs();
+    let budget = profile.defense_sample_count();
+    let strip = profile.strip_config(21);
+
+    // Fan the audits out (with a duplicate appended: it resolves to the
+    // same cell and re-audits it, so four verdicts come back).
+    let mut requests = specs.clone();
+    requests.push(specs[0]);
+    let cache = ScenarioCache::new();
+    let verdicts = cache
+        .audit_all(&requests, &strip, budget)
+        .expect("parallel audits");
+    assert_eq!(verdicts.len(), requests.len());
+    assert_eq!(
+        cache.trainings(),
+        specs.len(),
+        "audit_all must pre-warm each distinct cell exactly once"
+    );
+    assert_eq!(
+        verdicts[0], verdicts[3],
+        "duplicate specs must produce the same verdict"
+    );
+
+    // Serial reference: the same cells audited one at a time.
+    for (spec, verdict) in specs.iter().zip(&verdicts) {
+        let serial = lock_scenario(&cache.trained(spec).expect("cached cell"))
+            .audit(&strip, budget)
+            .expect("serial audit");
+        assert_eq!(
+            serial, *verdict,
+            "cr={}: parallel audit diverged from serial",
+            spec.cr
+        );
+    }
+}
+
+#[test]
+fn audit_executor_reports_first_error_in_spec_order() {
+    force_four_workers();
+    let profile = Profile::Smoke;
+    let cache = ScenarioCache::new();
+    // Budget 0 starves STRIP on every cell; the error must be the first
+    // spec's, deterministically, regardless of worker completion order.
+    let err = cache
+        .audit_all(&sweep_specs(), &profile.strip_config(21), 0)
+        .expect_err("zero-budget audits must fail");
+    assert!(
+        matches!(err, EvalError::Defense(DefenseError::EmptyInput { .. })),
+        "expected an EmptyInput defense error, got {err:?}"
+    );
+}
+
+#[test]
 fn zero_budget_audits_error_for_every_defense_instead_of_panicking() {
     force_four_workers();
     let profile = Profile::Smoke;

@@ -1,13 +1,23 @@
 //! Pointwise activation layers: ReLU, ReLU6, SiLU and Sigmoid.
+//!
+//! Every activation keeps exactly one reusable buffer between forward and
+//! backward — a 0/1 gradient mask for the ReLU family (computed in the same
+//! pass that writes the output, so the input is never cloned) or a saved
+//! copy of the input/output for SiLU/Sigmoid — which halves the memory
+//! traffic of the old clone-the-input pattern and makes both passes
+//! allocation-free once warmed up.
 
 use reveil_tensor::Tensor;
 
+use crate::layers::{backward_before_forward, check_backward_shape, resize_buffer};
 use crate::{Layer, Mode, Param};
 
 /// Rectified linear unit, `y = max(x, 0)`.
 #[derive(Debug, Default, Clone)]
 pub struct Relu {
-    input: Option<Tensor>,
+    /// 1.0 where the input was positive, 0.0 elsewhere.
+    mask: Tensor,
+    ready: bool,
 }
 
 impl Relu {
@@ -18,16 +28,37 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.input = Some(input.clone());
-        input.map(|v| v.max(0.0))
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
+        resize_buffer(out, input.shape());
+        resize_buffer(&mut self.mask, input.shape());
+        let dst = out.data_mut();
+        let mask = self.mask.data_mut();
+        for ((o, m), &x) in dst.iter_mut().zip(mask.iter_mut()).zip(input.data()) {
+            *o = x.max(0.0);
+            *m = if x > 0.0 { 1.0 } else { 0.0 };
+        }
+        self.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.input.as_ref().expect("Relu::backward before forward");
-        input
-            .zip_map(grad_output, |x, g| if x > 0.0 { g } else { 0.0 })
-            .unwrap_or_else(|e| panic!("{e}"))
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("Relu");
+        }
+        check_backward_shape("Relu", self.mask.shape(), grad_output.shape());
+        resize_buffer(grad_input, grad_output.shape());
+        let dst = grad_input.data_mut();
+        for ((gi, &m), &g) in dst.iter_mut().zip(self.mask.data()).zip(grad_output.data()) {
+            *gi = if m != 0.0 { g } else { 0.0 };
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.mask.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.mask = Tensor::default();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -40,7 +71,9 @@ impl Layer for Relu {
 /// ReLU capped at 6, `y = min(max(x, 0), 6)` — MobileNetV2's activation.
 #[derive(Debug, Default, Clone)]
 pub struct Relu6 {
-    input: Option<Tensor>,
+    /// 1.0 in the linear region `0 < x < 6`, 0.0 in both saturations.
+    mask: Tensor,
+    ready: bool,
 }
 
 impl Relu6 {
@@ -51,16 +84,37 @@ impl Relu6 {
 }
 
 impl Layer for Relu6 {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.input = Some(input.clone());
-        input.map(|v| v.clamp(0.0, 6.0))
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
+        resize_buffer(out, input.shape());
+        resize_buffer(&mut self.mask, input.shape());
+        let dst = out.data_mut();
+        let mask = self.mask.data_mut();
+        for ((o, m), &x) in dst.iter_mut().zip(mask.iter_mut()).zip(input.data()) {
+            *o = x.clamp(0.0, 6.0);
+            *m = if x > 0.0 && x < 6.0 { 1.0 } else { 0.0 };
+        }
+        self.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.input.as_ref().expect("Relu6::backward before forward");
-        input
-            .zip_map(grad_output, |x, g| if x > 0.0 && x < 6.0 { g } else { 0.0 })
-            .unwrap_or_else(|e| panic!("{e}"))
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("Relu6");
+        }
+        check_backward_shape("Relu6", self.mask.shape(), grad_output.shape());
+        resize_buffer(grad_input, grad_output.shape());
+        let dst = grad_input.data_mut();
+        for ((gi, &m), &g) in dst.iter_mut().zip(self.mask.data()).zip(grad_output.data()) {
+            *gi = if m != 0.0 { g } else { 0.0 };
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.mask.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.mask = Tensor::default();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -78,7 +132,9 @@ fn sigmoid(x: f32) -> f32 {
 /// activation.
 #[derive(Debug, Default, Clone)]
 pub struct Silu {
-    input: Option<Tensor>,
+    /// Saved copy of the forward input (the derivative needs `x` itself).
+    saved_input: Tensor,
+    ready: bool,
 }
 
 impl Silu {
@@ -89,19 +145,40 @@ impl Silu {
 }
 
 impl Layer for Silu {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.input = Some(input.clone());
-        input.map(|v| v * sigmoid(v))
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
+        resize_buffer(out, input.shape());
+        resize_buffer(&mut self.saved_input, input.shape());
+        self.saved_input.data_mut().copy_from_slice(input.data());
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = x * sigmoid(x);
+        }
+        self.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.input.as_ref().expect("Silu::backward before forward");
-        input
-            .zip_map(grad_output, |x, g| {
-                let s = sigmoid(x);
-                g * (s + x * s * (1.0 - s))
-            })
-            .unwrap_or_else(|e| panic!("{e}"))
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("Silu");
+        }
+        check_backward_shape("Silu", self.saved_input.shape(), grad_output.shape());
+        resize_buffer(grad_input, grad_output.shape());
+        let dst = grad_input.data_mut();
+        for ((gi, &x), &g) in dst
+            .iter_mut()
+            .zip(self.saved_input.data())
+            .zip(grad_output.data())
+        {
+            let s = sigmoid(x);
+            *gi = g * (s + x * s * (1.0 - s));
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.saved_input.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.saved_input = Tensor::default();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -114,7 +191,9 @@ impl Layer for Silu {
 /// Logistic sigmoid, `y = 1 / (1 + e^{-x})`.
 #[derive(Debug, Default, Clone)]
 pub struct Sigmoid {
-    output: Option<Tensor>,
+    /// Saved copy of the forward output (the derivative is `y(1-y)`).
+    saved_output: Tensor,
+    ready: bool,
 }
 
 impl Sigmoid {
@@ -125,19 +204,39 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let out = input.map(sigmoid);
-        self.output = Some(out.clone());
-        out
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
+        resize_buffer(out, input.shape());
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = sigmoid(x);
+        }
+        resize_buffer(&mut self.saved_output, input.shape());
+        self.saved_output.data_mut().copy_from_slice(out.data());
+        self.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let out = self
-            .output
-            .as_ref()
-            .expect("Sigmoid::backward before forward");
-        out.zip_map(grad_output, |y, g| g * y * (1.0 - y))
-            .unwrap_or_else(|e| panic!("{e}"))
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("Sigmoid");
+        }
+        check_backward_shape("Sigmoid", self.saved_output.shape(), grad_output.shape());
+        resize_buffer(grad_input, grad_output.shape());
+        let dst = grad_input.data_mut();
+        for ((gi, &y), &g) in dst
+            .iter_mut()
+            .zip(self.saved_output.data())
+            .zip(grad_output.data())
+        {
+            *gi = g * y * (1.0 - y);
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.saved_output.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.saved_output = Tensor::default();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -208,5 +307,51 @@ mod tests {
         Relu::new().visit_params(&mut |_| count += 1);
         Silu::new().visit_params(&mut |_| count += 1);
         assert_eq!(count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics_with_shared_message() {
+        Relu::new().backward(&Tensor::ones(&[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape drift")]
+    fn backward_shape_mismatch_panics_with_shared_message() {
+        let mut silu = Silu::new();
+        silu.forward(&probe_input(), Mode::Train);
+        silu.backward(&Tensor::ones(&[5]));
+    }
+
+    #[test]
+    fn forward_into_reuse_is_bit_identical_and_allocation_free() {
+        let x = probe_input();
+        let g = Tensor::from_fn(&[2, 3, 4], |i| ((i * 7 % 5) as f32 - 2.0) * 0.3);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Relu::new()),
+            Box::new(Relu6::new()),
+            Box::new(Silu::new()),
+            Box::new(Sigmoid::new()),
+        ];
+        for mut layer in layers {
+            let mut out = Tensor::default();
+            let mut grad = Tensor::default();
+            layer.forward_into(&x, Mode::Train, &mut out);
+            layer.backward_into(&g, &mut grad);
+            let (first_out, first_grad) = (out.clone(), grad.clone());
+            let warmed = layer.buffer_capacity();
+            for _ in 0..3 {
+                layer.forward_into(&x, Mode::Train, &mut out);
+                layer.backward_into(&g, &mut grad);
+                assert_eq!(out, first_out, "{} forward drifted", layer.name());
+                assert_eq!(grad, first_grad, "{} backward drifted", layer.name());
+                assert_eq!(
+                    layer.buffer_capacity(),
+                    warmed,
+                    "{} buffers must not grow once warmed",
+                    layer.name()
+                );
+            }
+        }
     }
 }

@@ -6,14 +6,18 @@
 //! their weight gradients through the fused GEMM epilogue
 //! (`reveil_tensor::ops::matmul_*_acc_into`), so a block's backward pass
 //! writes each parameter gradient exactly once instead of
-//! matmul-then-`axpy`.
+//! matmul-then-`axpy`. Every block-level intermediate (branch outputs,
+//! ReLU masks, gate activations and their gradients) lives in a reusable
+//! per-block buffer, so block forward/backward passes allocate nothing
+//! once warmed up.
 
 use rand::rngs::StdRng;
 
 use reveil_tensor::Tensor;
 
 use crate::layers::{
-    BatchNorm2d, Conv2d, DepthwiseConv2d, GlobalAvgPool, Linear, Relu, Relu6, Sigmoid, Silu,
+    backward_before_forward, check_backward_shape, expect_nchw, resize_buffer, BatchNorm2d, Conv2d,
+    DepthwiseConv2d, GlobalAvgPool, Linear, Relu, Relu6, Sigmoid, Silu,
 };
 use crate::{Layer, Mode, NnError, Param, Sequential};
 
@@ -24,7 +28,14 @@ use crate::{Layer, Mode, NnError, Param, Sequential};
 pub struct ResidualBlock {
     main: Sequential,
     shortcut: Option<Sequential>,
-    relu_mask: Option<Tensor>,
+    /// 1.0 where the post-add pre-activation was positive.
+    relu_mask: Tensor,
+    ready: bool,
+    // Reusable forward/backward scratch.
+    main_out: Tensor,
+    shortcut_out: Tensor,
+    gated: Tensor,
+    dx_main: Tensor,
 }
 
 impl std::fmt::Debug for ResidualBlock {
@@ -65,36 +76,105 @@ impl ResidualBlock {
         Ok(Self {
             main,
             shortcut,
-            relu_mask: None,
+            relu_mask: Tensor::default(),
+            ready: false,
+            main_out: Tensor::default(),
+            shortcut_out: Tensor::default(),
+            gated: Tensor::default(),
+            dx_main: Tensor::default(),
         })
     }
 }
 
 impl Layer for ResidualBlock {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let main_out = self.main.forward(input, mode);
-        let shortcut_out = match &mut self.shortcut {
-            Some(s) => s.forward(input, mode),
-            None => input.clone(),
+    fn forward_into(&mut self, input: &Tensor, mode: Mode, out: &mut Tensor) {
+        self.main.forward_into(input, mode, &mut self.main_out);
+        let short: &Tensor = match &mut self.shortcut {
+            Some(s) => {
+                s.forward_into(input, mode, &mut self.shortcut_out);
+                &self.shortcut_out
+            }
+            None => input,
         };
-        let pre = &main_out + &shortcut_out;
-        self.relu_mask = Some(pre.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
-        pre.map(|v| v.max(0.0))
+        debug_assert_eq!(self.main_out.shape(), short.shape());
+        resize_buffer(&mut self.relu_mask, self.main_out.shape());
+        resize_buffer(out, self.main_out.shape());
+        let dst = out.data_mut();
+        let mask = self.relu_mask.data_mut();
+        for (((o, m), &a), &b) in dst
+            .iter_mut()
+            .zip(mask.iter_mut())
+            .zip(self.main_out.data())
+            .zip(short.data())
+        {
+            let pre = a + b;
+            *m = if pre > 0.0 { 1.0 } else { 0.0 };
+            *o = pre.max(0.0);
+        }
+        self.ready = true;
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mask = self
-            .relu_mask
-            .as_ref()
-            .expect("ResidualBlock::backward before forward");
-        let gated = grad_output
-            .zip_map(mask, |g, m| g * m)
-            .unwrap_or_else(|e| panic!("{e}"));
-        let dx_main = self.main.backward(&gated);
-        match &mut self.shortcut {
-            Some(s) => &dx_main + &s.backward(&gated),
-            None => &dx_main + &gated,
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("ResidualBlock");
         }
+        check_backward_shape("ResidualBlock", self.relu_mask.shape(), grad_output.shape());
+        resize_buffer(&mut self.gated, grad_output.shape());
+        for ((d, &g), &m) in self
+            .gated
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(self.relu_mask.data())
+        {
+            *d = g * m;
+        }
+        self.main.backward_into(&self.gated, &mut self.dx_main);
+        match &mut self.shortcut {
+            Some(s) => {
+                s.backward_into(&self.gated, grad_input);
+                // f32 addition is commutative and exact either way, so
+                // accumulating the main-path gradient onto the shortcut's
+                // matches the old `dx_main + dx_shortcut` bit for bit.
+                for (o, &a) in grad_input.data_mut().iter_mut().zip(self.dx_main.data()) {
+                    *o += a;
+                }
+            }
+            None => {
+                resize_buffer(grad_input, self.dx_main.shape());
+                for ((o, &a), &g) in grad_input
+                    .data_mut()
+                    .iter_mut()
+                    .zip(self.dx_main.data())
+                    .zip(self.gated.data())
+                {
+                    *o = a + g;
+                }
+            }
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.main.buffer_capacity()
+            + self.shortcut.as_ref().map_or(0, Layer::buffer_capacity)
+            + self.relu_mask.capacity()
+            + self.main_out.capacity()
+            + self.shortcut_out.capacity()
+            + self.gated.capacity()
+            + self.dx_main.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.main.release_buffers();
+        if let Some(s) = &mut self.shortcut {
+            s.release_buffers();
+        }
+        self.relu_mask = Tensor::default();
+        self.main_out = Tensor::default();
+        self.shortcut_out = Tensor::default();
+        self.gated = Tensor::default();
+        self.dx_main = Tensor::default();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -124,8 +204,19 @@ pub struct SqueezeExcite {
     act: Silu,
     fc2: Linear,
     sig: Sigmoid,
-    input: Option<Tensor>,
-    scale: Option<Tensor>,
+    /// Saved copy of the forward input (the gate gradient needs `x`).
+    saved_input: Tensor,
+    /// The per-(sample, channel) gate values from the last forward pass.
+    scale: Tensor,
+    ready: bool,
+    // Reusable gate-chain scratch (forward activations / backward grads).
+    pooled: Tensor,
+    t1: Tensor,
+    t2: Tensor,
+    t3: Tensor,
+    dscale: Tensor,
+    ga: Tensor,
+    gb: Tensor,
 }
 
 impl std::fmt::Debug for SqueezeExcite {
@@ -151,81 +242,129 @@ impl SqueezeExcite {
             act: Silu::new(),
             fc2: Linear::new(mid, channels, init_rng)?,
             sig: Sigmoid::new(),
-            input: None,
-            scale: None,
+            saved_input: Tensor::default(),
+            scale: Tensor::default(),
+            ready: false,
+            pooled: Tensor::default(),
+            t1: Tensor::default(),
+            t2: Tensor::default(),
+            t3: Tensor::default(),
+            dscale: Tensor::default(),
+            ga: Tensor::default(),
+            gb: Tensor::default(),
         })
     }
 }
 
 impl Layer for SqueezeExcite {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let &[n, c, h, w] = input.shape() else {
-            panic!(
-                "SqueezeExcite expects [n, c, h, w], got {:?}",
-                input.shape()
-            );
-        };
-        self.input = Some(input.clone());
-        let pooled = self.gap.forward(input, mode);
-        let a = self.fc1.forward(&pooled, mode);
-        let a = self.act.forward(&a, mode);
-        let a = self.fc2.forward(&a, mode);
-        let scale = self.sig.forward(&a, mode);
-        self.scale = Some(scale.clone());
+    fn forward_into(&mut self, input: &Tensor, mode: Mode, out: &mut Tensor) {
+        let (n, c, h, w) = expect_nchw("SqueezeExcite", input);
+        resize_buffer(&mut self.saved_input, input.shape());
+        self.saved_input.data_mut().copy_from_slice(input.data());
+        self.gap.forward_into(input, mode, &mut self.pooled);
+        self.fc1.forward_into(&self.pooled, mode, &mut self.t1);
+        self.act.forward_into(&self.t1, mode, &mut self.t2);
+        self.fc2.forward_into(&self.t2, mode, &mut self.t3);
+        self.sig.forward_into(&self.t3, mode, &mut self.scale);
+        self.ready = true;
 
-        let mut out = input.clone();
+        resize_buffer(out, input.shape());
+        let dst = out.data_mut();
+        let scale = self.scale.data();
         let plane = h * w;
         for img in 0..n {
             for ch in 0..c {
-                let s = scale.data()[img * c + ch];
+                let s = scale[img * c + ch];
                 let base = (img * c + ch) * plane;
-                for v in &mut out.data_mut()[base..base + plane] {
-                    *v *= s;
+                for (o, &x) in dst[base..base + plane]
+                    .iter_mut()
+                    .zip(&input.data()[base..base + plane])
+                {
+                    *o = x * s;
                 }
             }
         }
-        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .input
-            .as_ref()
-            .expect("SqueezeExcite::backward before forward");
-        let scale = self
-            .scale
-            .as_ref()
-            .expect("SqueezeExcite cache missing scale");
-        let &[n, c, h, w] = input.shape() else {
-            unreachable!()
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("SqueezeExcite");
+        }
+        check_backward_shape(
+            "SqueezeExcite",
+            self.saved_input.shape(),
+            grad_output.shape(),
+        );
+        let &[n, c, h, w] = self.saved_input.shape() else {
+            unreachable!("saved input is always [n, c, h, w]")
         };
         let plane = h * w;
 
         // Direct term: ∂(x ⊙ s)/∂x with s treated constant.
-        let mut grad_input = grad_output.clone();
         // Gate term: ds[n, c] = Σ_hw g ⊙ x.
-        let mut dscale = Tensor::zeros(&[n, c]);
+        resize_buffer(grad_input, self.saved_input.shape());
+        resize_buffer(&mut self.dscale, &[n, c]);
+        let gi = grad_input.data_mut();
+        let ds = self.dscale.data_mut();
+        let x = self.saved_input.data();
+        let g = grad_output.data();
+        let scale = self.scale.data();
         for img in 0..n {
             for ch in 0..c {
-                let s = scale.data()[img * c + ch];
+                let s = scale[img * c + ch];
                 let base = (img * c + ch) * plane;
                 let mut acc = 0.0;
                 for i in base..base + plane {
-                    acc += grad_output.data()[i] * input.data()[i];
-                    grad_input.data_mut()[i] *= s;
+                    acc += g[i] * x[i];
+                    gi[i] = g[i] * s;
                 }
-                dscale.data_mut()[img * c + ch] = acc;
+                ds[img * c + ch] = acc;
             }
         }
 
         // Chain through sigmoid → fc2 → silu → fc1 → gap back to the input.
-        let g = self.sig.backward(&dscale);
-        let g = self.fc2.backward(&g);
-        let g = self.act.backward(&g);
-        let g = self.fc1.backward(&g);
-        let g = self.gap.backward(&g);
-        grad_input += &g;
-        grad_input
+        self.sig.backward_into(&self.dscale, &mut self.ga);
+        self.fc2.backward_into(&self.ga, &mut self.gb);
+        self.act.backward_into(&self.gb, &mut self.ga);
+        self.fc1.backward_into(&self.ga, &mut self.gb);
+        self.gap.backward_into(&self.gb, &mut self.ga);
+        for (o, &v) in grad_input.data_mut().iter_mut().zip(self.ga.data()) {
+            *o += v;
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.fc1.buffer_capacity()
+            + self.fc2.buffer_capacity()
+            + self.act.buffer_capacity()
+            + self.sig.buffer_capacity()
+            + self.saved_input.capacity()
+            + self.scale.capacity()
+            + self.pooled.capacity()
+            + self.t1.capacity()
+            + self.t2.capacity()
+            + self.t3.capacity()
+            + self.dscale.capacity()
+            + self.ga.capacity()
+            + self.gb.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.gap.release_buffers();
+        self.fc1.release_buffers();
+        self.act.release_buffers();
+        self.fc2.release_buffers();
+        self.sig.release_buffers();
+        self.saved_input = Tensor::default();
+        self.scale = Tensor::default();
+        self.pooled = Tensor::default();
+        self.t1 = Tensor::default();
+        self.t2 = Tensor::default();
+        self.t3 = Tensor::default();
+        self.dscale = Tensor::default();
+        self.ga = Tensor::default();
+        self.gb = Tensor::default();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -248,6 +387,8 @@ pub struct InvertedResidual {
     body: Sequential,
     use_res: bool,
     kind: &'static str,
+    /// Body output buffer (residual variant only).
+    body_out: Tensor,
 }
 
 impl std::fmt::Debug for InvertedResidual {
@@ -293,6 +434,7 @@ impl InvertedResidual {
             body,
             use_res: stride == 1 && in_ch == out_ch,
             kind: "mobilenet",
+            body_out: Tensor::default(),
         })
     }
 
@@ -329,27 +471,47 @@ impl InvertedResidual {
             body,
             use_res: stride == 1 && in_ch == out_ch,
             kind: "mbconv",
+            body_out: Tensor::default(),
         })
     }
 }
 
 impl Layer for InvertedResidual {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let out = self.body.forward(input, mode);
+    fn forward_into(&mut self, input: &Tensor, mode: Mode, out: &mut Tensor) {
         if self.use_res {
-            &out + input
+            self.body.forward_into(input, mode, &mut self.body_out);
+            debug_assert_eq!(self.body_out.shape(), input.shape());
+            resize_buffer(out, self.body_out.shape());
+            for ((o, &a), &b) in out
+                .data_mut()
+                .iter_mut()
+                .zip(self.body_out.data())
+                .zip(input.data())
+            {
+                *o = a + b;
+            }
         } else {
-            out
+            self.body.forward_into(input, mode, out);
         }
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dx = self.body.backward(grad_output);
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        self.body.backward_into(grad_output, grad_input);
         if self.use_res {
-            &dx + grad_output
-        } else {
-            dx
+            debug_assert_eq!(grad_input.shape(), grad_output.shape());
+            for (o, &g) in grad_input.data_mut().iter_mut().zip(grad_output.data()) {
+                *o += g;
+            }
         }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.body.buffer_capacity() + self.body_out.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.body.release_buffers();
+        self.body_out = Tensor::default();
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -490,5 +652,50 @@ mod tests {
         let y = block.forward(&probe(1, 3, 8), Mode::Train);
         assert_eq!(y.shape(), &[1, 6, 4, 4]);
         assert_eq!(block.name(), "mbconv");
+    }
+
+    #[test]
+    #[should_panic(expected = "ResidualBlock::backward called before forward")]
+    fn residual_backward_before_forward_panics() {
+        let mut r = seeded();
+        ResidualBlock::new(2, 2, 1, &mut r)
+            .unwrap()
+            .backward(&Tensor::ones(&[1, 2, 2, 2]));
+    }
+
+    #[test]
+    fn block_buffer_reuse_is_bit_identical_and_allocation_free() {
+        let mut r = seeded();
+        let blocks: Vec<Box<dyn Layer>> = vec![
+            Box::new(ResidualBlock::new(2, 4, 2, &mut r).unwrap()),
+            Box::new(InvertedResidual::mobilenet(2, 2, 1, 2, &mut r).unwrap()),
+            Box::new(InvertedResidual::mbconv(2, 2, 1, 2, &mut r).unwrap()),
+            Box::new(SqueezeExcite::new(2, 2, &mut r).unwrap()),
+        ];
+        let x = probe(2, 2, 4);
+        for mut block in blocks {
+            // Warm in eval mode so batch-norm running stats stay frozen and
+            // repeated passes are exactly reproducible.
+            let mut out = Tensor::default();
+            let mut dx = Tensor::default();
+            block.forward_into(&x, Mode::Eval, &mut out);
+            let g = Tensor::from_fn(out.shape(), |i| ((i * 7 % 5) as f32 - 2.0) * 0.1);
+            block.backward_into(&g, &mut dx);
+            let (first_out, first_dx) = (out.clone(), dx.clone());
+            let warmed = block.buffer_capacity();
+            assert!(warmed > 0, "{} must report its buffers", block.name());
+            for _ in 0..3 {
+                block.forward_into(&x, Mode::Eval, &mut out);
+                block.backward_into(&g, &mut dx);
+                assert_eq!(out, first_out, "{} forward drifted", block.name());
+                assert_eq!(dx, first_dx, "{} backward drifted", block.name());
+                assert_eq!(
+                    block.buffer_capacity(),
+                    warmed,
+                    "{} buffers must not grow once warmed",
+                    block.name()
+                );
+            }
+        }
     }
 }

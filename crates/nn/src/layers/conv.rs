@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use reveil_tensor::conv::{col2im_batch_into, im2col_batch_into, ConvGeometry};
 use reveil_tensor::{ops, parallel, rng, Tensor};
 
+use crate::layers::{backward_before_forward, check_backward_shape, expect_nchw, resize_buffer};
 use crate::{Layer, Mode, NnError, Param};
 
 /// Reusable workspace for the batched convolution lowering.
@@ -41,24 +42,6 @@ impl ConvScratch {
     }
 }
 
-/// Resizes a scratch tensor without pre-filling (every consumer overwrites
-/// its full active region), asserting in debug builds that a buffer with
-/// sufficient capacity is never reallocated — the invariant that keeps the
-/// conv hot loops allocation-free once warmed up.
-fn resize_scratch(t: &mut Tensor, shape: &[usize]) {
-    #[cfg(debug_assertions)]
-    let (cap_before, fits) = (
-        t.capacity(),
-        shape.iter().product::<usize>() <= t.capacity(),
-    );
-    t.resize_for_overwrite(shape);
-    #[cfg(debug_assertions)]
-    debug_assert!(
-        !fits || t.capacity() == cap_before,
-        "conv scratch reallocated despite sufficient capacity"
-    );
-}
-
 /// Standard 2-D convolution with square kernels and symmetric padding.
 #[derive(Debug)]
 pub struct Conv2d {
@@ -68,7 +51,9 @@ pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
     geom: ConvGeometry,
-    input: Option<Tensor>,
+    /// Saved copy of the forward input, reused across calls.
+    saved_input: Tensor,
+    ready: bool,
     scratch: ConvScratch,
 }
 
@@ -104,7 +89,8 @@ impl Conv2d {
             in_channels,
             out_channels,
             geom,
-            input: None,
+            saved_input: Tensor::default(),
+            ready: false,
             scratch: ConvScratch::default(),
         })
     }
@@ -120,9 +106,7 @@ impl Conv2d {
     }
 
     fn check_input(&self, input: &Tensor) -> (usize, usize, usize, usize, usize) {
-        let &[n, c, h, w] = input.shape() else {
-            panic!("Conv2d expects [n, c, h, w], got {:?}", input.shape());
-        };
+        let (n, c, h, w) = expect_nchw("Conv2d", input);
         assert_eq!(
             c, self.in_channels,
             "Conv2d configured for {} input channels, got {c}",
@@ -137,16 +121,18 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
         let (n, _h, _w, oh, ow) = self.check_input(input);
-        self.input = Some(input.clone());
+        resize_buffer(&mut self.saved_input, input.shape());
+        self.saved_input.data_mut().copy_from_slice(input.data());
+        self.ready = true;
         let oc = self.out_channels;
         let ohw = oh * ow;
 
         // One batched lowering + one packed matmul for the whole batch.
         im2col_batch_into(input, self.geom, &mut self.scratch.cols)
             .unwrap_or_else(|e| panic!("{e}"));
-        resize_scratch(&mut self.scratch.gemm, &[oc, n * ohw]);
+        resize_buffer(&mut self.scratch.gemm, &[oc, n * ohw]);
         ops::matmul_into(
             self.weight.value(),
             &self.scratch.cols,
@@ -155,7 +141,7 @@ impl Layer for Conv2d {
         .unwrap_or_else(|e| panic!("{e}"));
 
         // Scatter [oc, n*ohw] into [n, oc, oh, ow] and add the bias.
-        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        resize_buffer(out, &[n, oc, oh, ow]);
         let gemm = self.scratch.gemm.data();
         let bias = self.bias.value().data();
         let sample_len = oc * ohw;
@@ -170,22 +156,27 @@ impl Layer for Conv2d {
                 }
             }
         });
-        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .input
-            .as_ref()
-            .expect("Conv2d::backward before forward");
-        let (n, h, w, oh, ow) = self.check_input(input);
-        assert_eq!(
-            grad_output.shape(),
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("Conv2d");
+        }
+        let input = &self.saved_input;
+        let &[n, _c, h, w] = input.shape() else {
+            unreachable!("saved input is always [n, c, h, w]")
+        };
+        let (oh, ow) = self
+            .geom
+            .output_size(h, w)
+            .unwrap_or_else(|e| panic!("{e}"));
+        check_backward_shape(
+            "Conv2d",
             &[n, self.out_channels, oh, ow],
-            "Conv2d::backward gradient shape mismatch"
+            grad_output.shape(),
         );
-        let oc = self.out_channels;
         let c = self.in_channels;
+        let oc = self.out_channels;
         let ohw = oh * ow;
         let fan_in = c * self.geom.kh * self.geom.kw;
 
@@ -195,7 +186,7 @@ impl Layer for Conv2d {
 
         // Gather the output gradient from [n, oc, oh, ow] into the
         // channel-major [oc, n*ohw] layout the matmuls need.
-        resize_scratch(&mut self.scratch.gemm, &[oc, n * ohw]);
+        resize_buffer(&mut self.scratch.gemm, &[oc, n * ohw]);
         {
             let go = grad_output.data();
             let rows_per_chunk = oc.div_ceil(parallel::worker_count()).max(1);
@@ -237,17 +228,25 @@ impl Layer for Conv2d {
         }
 
         // dcols = Wᵀ · gy, scattered back to input space batched.
-        resize_scratch(&mut self.scratch.dcols, &[fan_in, n * ohw]);
+        resize_buffer(&mut self.scratch.dcols, &[fan_in, n * ohw]);
         ops::matmul_tn_into(
             self.weight.value(),
             &self.scratch.gemm,
             &mut self.scratch.dcols,
         )
         .unwrap_or_else(|e| panic!("{e}"));
-        let mut grad_input = Tensor::default();
-        col2im_batch_into(&self.scratch.dcols, n, c, h, w, self.geom, &mut grad_input)
+        col2im_batch_into(&self.scratch.dcols, n, c, h, w, self.geom, grad_input)
             .unwrap_or_else(|e| panic!("{e}"));
-        grad_input
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.scratch.capacity() + self.saved_input.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.scratch = ConvScratch::default();
+        self.saved_input = Tensor::default();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -269,7 +268,9 @@ pub struct DepthwiseConv2d {
     bias: Param,
     channels: usize,
     geom: ConvGeometry,
-    input: Option<Tensor>,
+    /// Saved copy of the forward input, reused across calls.
+    saved_input: Tensor,
+    ready: bool,
     scratch: ConvScratch,
 }
 
@@ -303,26 +304,28 @@ impl DepthwiseConv2d {
             bias: Param::new(Tensor::zeros(&[channels])),
             channels,
             geom,
-            input: None,
+            saved_input: Tensor::default(),
+            ready: false,
             scratch: ConvScratch::default(),
         })
     }
 }
 
 impl Layer for DepthwiseConv2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let &[n, c, h, w] = input.shape() else {
-            panic!(
-                "DepthwiseConv2d expects [n, c, h, w], got {:?}",
-                input.shape()
-            );
-        };
-        assert_eq!(c, self.channels, "DepthwiseConv2d channel mismatch");
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
+        let (n, c, h, w) = expect_nchw("DepthwiseConv2d", input);
+        assert_eq!(
+            c, self.channels,
+            "DepthwiseConv2d::forward configured for {} channels, got {c}",
+            self.channels
+        );
         let (oh, ow) = self
             .geom
             .output_size(h, w)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.input = Some(input.clone());
+        resize_buffer(&mut self.saved_input, input.shape());
+        self.saved_input.data_mut().copy_from_slice(input.data());
+        self.ready = true;
         let k2 = self.geom.kh * self.geom.kw;
         let ohw = oh * ow;
 
@@ -333,7 +336,7 @@ impl Layer for DepthwiseConv2d {
         let weight = self.weight.value().data();
         let bias = self.bias.value().data();
 
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        resize_buffer(out, &[n, c, oh, ow]);
         let sample_len = c * ohw;
         parallel::for_each_chunk(out.data_mut(), sample_len, |start, chunk| {
             let sample = start / sample_len;
@@ -349,26 +352,21 @@ impl Layer for DepthwiseConv2d {
                 }
             }
         });
-        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .input
-            .as_ref()
-            .expect("DepthwiseConv2d::backward before forward");
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("DepthwiseConv2d");
+        }
+        let input = &self.saved_input;
         let &[n, c, h, w] = input.shape() else {
-            unreachable!()
+            unreachable!("saved input is always [n, c, h, w]")
         };
         let (oh, ow) = self
             .geom
             .output_size(h, w)
             .unwrap_or_else(|e| panic!("{e}"));
-        assert_eq!(
-            grad_output.shape(),
-            &[n, c, oh, ow],
-            "gradient shape mismatch"
-        );
+        check_backward_shape("DepthwiseConv2d", &[n, c, oh, ow], grad_output.shape());
         let k2 = self.geom.kh * self.geom.kw;
         let ohw = oh * ow;
 
@@ -376,7 +374,7 @@ impl Layer for DepthwiseConv2d {
             .unwrap_or_else(|e| panic!("{e}"));
 
         // Gather the output gradient into channel-major [c, n*ohw] rows.
-        resize_scratch(&mut self.scratch.gemm, &[c, n * ohw]);
+        resize_buffer(&mut self.scratch.gemm, &[c, n * ohw]);
         {
             let go = grad_output.data();
             let gy = self.scratch.gemm.data_mut();
@@ -408,7 +406,7 @@ impl Layer for DepthwiseConv2d {
         }
 
         // dcols[ch*k2+t] = w[ch][t] * gy[ch], scattered back batched.
-        resize_scratch(&mut self.scratch.dcols, &[c * k2, n * ohw]);
+        resize_buffer(&mut self.scratch.dcols, &[c * k2, n * ohw]);
         {
             let gy = self.scratch.gemm.data();
             let weight = self.weight.value().data();
@@ -429,10 +427,18 @@ impl Layer for DepthwiseConv2d {
                 },
             );
         }
-        let mut grad_input = Tensor::default();
-        col2im_batch_into(&self.scratch.dcols, n, c, h, w, self.geom, &mut grad_input)
+        col2im_batch_into(&self.scratch.dcols, n, c, h, w, self.geom, grad_input)
             .unwrap_or_else(|e| panic!("{e}"));
-        grad_input
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.scratch.capacity() + self.saved_input.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.scratch = ConvScratch::default();
+        self.saved_input = Tensor::default();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -2,12 +2,14 @@
 
 use reveil_tensor::Tensor;
 
+use crate::layers::{backward_before_forward, check_backward_shape, resize_buffer};
 use crate::{Layer, Mode, Param};
 
 /// Reshapes `[n, c, h, w]` (or any rank ≥ 2) to `[n, c*h*w]`.
 #[derive(Debug, Default, Clone)]
 pub struct Flatten {
-    input_shape: Option<Vec<usize>>,
+    input_shape: Vec<usize>,
+    ready: bool,
 }
 
 impl Flatten {
@@ -18,26 +20,39 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        assert!(input.ndim() >= 2, "Flatten expects a batched input");
-        self.input_shape = Some(input.shape().to_vec());
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
+        assert!(
+            input.ndim() >= 2,
+            "Flatten::forward expects a batched input, got shape {:?}",
+            input.shape()
+        );
+        self.input_shape.clear();
+        self.input_shape.extend_from_slice(input.shape());
+        self.ready = true;
         let n = input.shape()[0];
         let rest: usize = input.shape()[1..].iter().product();
-        input
-            .clone()
-            .reshape(vec![n, rest])
-            .unwrap_or_else(|e| panic!("{e}"))
+        resize_buffer(out, &[n, rest]);
+        out.data_mut().copy_from_slice(input.data());
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape = self
-            .input_shape
-            .clone()
-            .expect("Flatten::backward before forward");
-        grad_output
-            .clone()
-            .reshape(shape)
-            .unwrap_or_else(|e| panic!("{e}"))
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("Flatten");
+        }
+        let n = self.input_shape[0];
+        let rest: usize = self.input_shape[1..].iter().product();
+        check_backward_shape("Flatten", &[n, rest], grad_output.shape());
+        resize_buffer(grad_input, &self.input_shape);
+        grad_input.data_mut().copy_from_slice(grad_output.data());
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        0
+    }
+
+    fn release_buffers(&mut self) {
+        self.input_shape = Vec::new();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -61,5 +76,11 @@ mod tests {
         let g = flatten.backward(&y);
         assert_eq!(g.shape(), x.shape());
         assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "Flatten::backward called before forward")]
+    fn backward_before_forward_panics() {
+        Flatten::new().backward(&Tensor::ones(&[2, 3]));
     }
 }

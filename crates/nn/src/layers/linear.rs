@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 
 use reveil_tensor::{ops, rng, Tensor};
 
+use crate::layers::{backward_before_forward, check_backward_shape, resize_buffer};
 use crate::{Layer, Mode, NnError, Param};
 
 /// Affine map `y = x·Wᵀ + b` over a batch `x: [n, in_features]`.
@@ -13,7 +14,9 @@ pub struct Linear {
     bias: Param,
     in_features: usize,
     out_features: usize,
-    input: Option<Tensor>,
+    /// Saved copy of the forward input, reused across calls.
+    saved_input: Tensor,
+    ready: bool,
 }
 
 impl Linear {
@@ -42,7 +45,8 @@ impl Linear {
             bias: Param::new(bias),
             in_features,
             out_features,
-            input: None,
+            saved_input: Tensor::default(),
+            ready: false,
         })
     }
 
@@ -63,7 +67,7 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
         assert_eq!(
             input.shape().last(),
             Some(&self.in_features),
@@ -72,27 +76,46 @@ impl Layer for Linear {
             input.shape()
         );
         assert_eq!(input.ndim(), 2, "Linear expects [n, features] input");
-        self.input = Some(input.clone());
-        let mut out = ops::matmul_nt(input, self.weight.value()).unwrap_or_else(|e| panic!("{e}"));
-        ops::add_row(&mut out, self.bias.value()).unwrap_or_else(|e| panic!("{e}"));
-        out
+        let n = input.shape()[0];
+        resize_buffer(&mut self.saved_input, input.shape());
+        self.saved_input.data_mut().copy_from_slice(input.data());
+        self.ready = true;
+        resize_buffer(out, &[n, self.out_features]);
+        ops::matmul_nt_into(input, self.weight.value(), out).unwrap_or_else(|e| panic!("{e}"));
+        ops::add_row(out, self.bias.value()).unwrap_or_else(|e| panic!("{e}"));
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .input
-            .as_ref()
-            .expect("Linear::backward before forward");
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("Linear");
+        }
+        let n = self.saved_input.shape()[0];
+        check_backward_shape("Linear", &[n, self.out_features], grad_output.shape());
         // dW += gᵀ·x via the fused accumulate epilogue (no transient dW
-        // tensor, no separate axpy), db += column sums of g, dx = g·W.
-        ops::matmul_tn_acc_into(grad_output, input, 1.0, self.weight.grad_mut())
+        // tensor, no separate axpy), db += column sums of g (accumulated
+        // straight into the bias gradient), dx = g·W.
+        ops::matmul_tn_acc_into(grad_output, &self.saved_input, 1.0, self.weight.grad_mut())
             .unwrap_or_else(|e| panic!("{e}"));
-        let db = ops::sum_rows(grad_output).unwrap_or_else(|e| panic!("{e}"));
-        self.bias
-            .grad_mut()
-            .axpy(1.0, &db)
+        {
+            let db = self.bias.grad_mut().data_mut();
+            for row in grad_output.data().chunks(db.len()) {
+                for (o, &v) in db.iter_mut().zip(row) {
+                    *o += v;
+                }
+            }
+        }
+        resize_buffer(grad_input, &[n, self.in_features]);
+        ops::matmul_into(grad_output, self.weight.value(), grad_input)
             .unwrap_or_else(|e| panic!("{e}"));
-        ops::matmul(grad_output, self.weight.value()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.saved_input.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.saved_input = Tensor::default();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -180,5 +203,31 @@ mod tests {
         let a = make(8, 8);
         let b = make(8, 8);
         assert_eq!(a.weight().data(), b.weight().data());
+    }
+
+    #[test]
+    #[should_panic(expected = "Linear::backward called before forward")]
+    fn backward_before_forward_panics() {
+        make(2, 2).backward(&Tensor::ones(&[1, 2]));
+    }
+
+    #[test]
+    fn buffer_reuse_is_bit_identical_and_allocation_free() {
+        let mut layer = make(6, 4);
+        let x = Tensor::from_fn(&[5, 6], |i| ((i * 17 % 13) as f32 - 6.0) * 0.2);
+        let g = Tensor::from_fn(&[5, 4], |i| ((i * 11 % 7) as f32 - 3.0) * 0.1);
+        let mut out = Tensor::default();
+        let mut dx = Tensor::default();
+        layer.forward_into(&x, Mode::Train, &mut out);
+        layer.backward_into(&g, &mut dx);
+        let (first_out, first_dx) = (out.clone(), dx.clone());
+        let warmed = layer.buffer_capacity();
+        for _ in 0..3 {
+            layer.forward_into(&x, Mode::Train, &mut out);
+            layer.backward_into(&g, &mut dx);
+            assert_eq!(out, first_out);
+            assert_eq!(dx, first_dx);
+            assert_eq!(layer.buffer_capacity(), warmed);
+        }
     }
 }

@@ -22,6 +22,55 @@ pub use flatten::Flatten;
 pub use linear::Linear;
 pub use pool::{GlobalAvgPool, MaxPool2d};
 
+use reveil_tensor::Tensor;
+
+/// Resizes a reusable buffer without pre-filling (every consumer overwrites
+/// its full active region), asserting in debug builds that a buffer with
+/// sufficient capacity is never reallocated — the invariant that keeps the
+/// layer hot loops allocation-free once warmed up.
+pub(crate) fn resize_buffer(t: &mut Tensor, shape: &[usize]) {
+    #[cfg(debug_assertions)]
+    let (cap_before, fits) = (
+        t.capacity(),
+        shape.iter().product::<usize>() <= t.capacity(),
+    );
+    t.resize_for_overwrite(shape);
+    #[cfg(debug_assertions)]
+    debug_assert!(
+        !fits || t.capacity() == cap_before,
+        "layer buffer reallocated despite sufficient capacity"
+    );
+}
+
+/// Panics with the shared "backward before forward" diagnostic every layer
+/// uses, so misuse of the backward pass reads the same everywhere.
+pub(crate) fn backward_before_forward(layer: &'static str) -> ! {
+    panic!("{layer}::backward called before forward — no saved activation to differentiate")
+}
+
+/// Panics unless the incoming gradient matches the shape of the last
+/// forward output — the shared "shape drift" diagnostic of every layer's
+/// backward pass.
+pub(crate) fn check_backward_shape(layer: &'static str, expected: &[usize], got: &[usize]) {
+    assert!(
+        got == expected,
+        "{layer}::backward: gradient shape {got:?} does not match the last forward \
+         output {expected:?} — backward before forward, or shape drift between passes"
+    );
+}
+
+/// Destructures an `[n, c, h, w]` input or panics with the shared
+/// rank-diagnostic message style.
+pub(crate) fn expect_nchw(layer: &'static str, input: &Tensor) -> (usize, usize, usize, usize) {
+    let &[n, c, h, w] = input.shape() else {
+        panic!(
+            "{layer}::forward expects an [n, c, h, w] input, got shape {:?}",
+            input.shape()
+        );
+    };
+    (n, c, h, w)
+}
+
 #[cfg(test)]
 pub(crate) mod gradcheck {
     //! Finite-difference gradient checking shared by the layer tests.

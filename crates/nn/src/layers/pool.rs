@@ -2,13 +2,15 @@
 
 use reveil_tensor::Tensor;
 
+use crate::layers::{backward_before_forward, check_backward_shape, expect_nchw, resize_buffer};
 use crate::{Layer, Mode, NnError, Param};
 
 /// Max pooling over non-overlapping square windows.
 #[derive(Debug, Clone)]
 pub struct MaxPool2d {
     size: usize,
-    input_shape: Option<Vec<usize>>,
+    input_shape: Vec<usize>,
+    ready: bool,
     /// Flat input index of the winner for each output element.
     argmax: Vec<usize>,
 }
@@ -29,25 +31,27 @@ impl MaxPool2d {
         }
         Ok(Self {
             size,
-            input_shape: None,
+            input_shape: Vec::new(),
+            ready: false,
             argmax: Vec::new(),
         })
     }
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let &[n, c, h, w] = input.shape() else {
-            panic!("MaxPool2d expects [n, c, h, w], got {:?}", input.shape());
-        };
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
+        let (n, c, h, w) = expect_nchw("MaxPool2d", input);
         let k = self.size;
         assert!(
             h % k == 0 && w % k == 0,
-            "MaxPool2d({k}) expects spatial dims divisible by {k}, got {h}x{w}"
+            "MaxPool2d::forward: spatial dims {h}x{w} must be divisible by the {k}x{k} window \
+             — pad or crop the input at construction time"
         );
         let (oh, ow) = (h / k, w / k);
-        self.input_shape = Some(input.shape().to_vec());
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        self.input_shape.clear();
+        self.input_shape.extend_from_slice(input.shape());
+        self.ready = true;
+        resize_buffer(out, &[n, c, oh, ow]);
         self.argmax.clear();
         self.argmax.resize(n * c * oh * ow, 0);
         let src = input.data();
@@ -76,25 +80,36 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape = self
-            .input_shape
-            .clone()
-            .expect("MaxPool2d::backward before forward");
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("MaxPool2d");
+        }
         assert_eq!(
             grad_output.len(),
             self.argmax.len(),
-            "gradient shape mismatch"
+            "MaxPool2d::backward: gradient has {} elements but the last forward produced {} \
+             — backward before forward, or shape drift between passes",
+            grad_output.len(),
+            self.argmax.len()
         );
-        let mut grad_input = Tensor::zeros(&shape);
+        resize_buffer(grad_input, &self.input_shape);
+        grad_input.fill_zero();
         let gi = grad_input.data_mut();
         for (out_idx, &in_idx) in self.argmax.iter().enumerate() {
             gi[in_idx] += grad_output.data()[out_idx];
         }
-        grad_input
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.argmax.capacity()
+    }
+
+    fn release_buffers(&mut self) {
+        self.argmax = Vec::new();
+        self.input_shape = Vec::new();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -107,7 +122,8 @@ impl Layer for MaxPool2d {
 /// Global average pooling: `[n, c, h, w] → [n, c]`.
 #[derive(Debug, Default, Clone)]
 pub struct GlobalAvgPool {
-    input_shape: Option<Vec<usize>>,
+    input_shape: Vec<usize>,
+    ready: bool,
 }
 
 impl GlobalAvgPool {
@@ -118,15 +134,12 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let &[n, c, h, w] = input.shape() else {
-            panic!(
-                "GlobalAvgPool expects [n, c, h, w], got {:?}",
-                input.shape()
-            );
-        };
-        self.input_shape = Some(input.shape().to_vec());
-        let mut out = Tensor::zeros(&[n, c]);
+    fn forward_into(&mut self, input: &Tensor, _mode: Mode, out: &mut Tensor) {
+        let (n, c, h, w) = expect_nchw("GlobalAvgPool", input);
+        self.input_shape.clear();
+        self.input_shape.extend_from_slice(input.shape());
+        self.ready = true;
+        resize_buffer(out, &[n, c]);
         let inv = 1.0 / (h * w) as f32;
         let src = input.data();
         let dst = out.data_mut();
@@ -136,18 +149,21 @@ impl Layer for GlobalAvgPool {
                 dst[img * c + ch] = src[plane..plane + h * w].iter().sum::<f32>() * inv;
             }
         }
-        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape = self
-            .input_shape
-            .clone()
-            .expect("GlobalAvgPool::backward before forward");
-        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
-        assert_eq!(grad_output.shape(), &[n, c], "gradient shape mismatch");
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
+        if !self.ready {
+            backward_before_forward("GlobalAvgPool");
+        }
+        let (n, c, h, w) = (
+            self.input_shape[0],
+            self.input_shape[1],
+            self.input_shape[2],
+            self.input_shape[3],
+        );
+        check_backward_shape("GlobalAvgPool", &[n, c], grad_output.shape());
         let inv = 1.0 / (h * w) as f32;
-        let mut grad_input = Tensor::zeros(&shape);
+        resize_buffer(grad_input, &self.input_shape);
         let gi = grad_input.data_mut();
         for img in 0..n {
             for ch in 0..c {
@@ -158,7 +174,11 @@ impl Layer for GlobalAvgPool {
                 }
             }
         }
-        grad_input
+    }
+
+    fn release_buffers(&mut self) {
+        self.input_shape = Vec::new();
+        self.ready = false;
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -218,6 +238,19 @@ mod tests {
     fn maxpool_requires_divisible_dims() {
         let mut pool = MaxPool2d::new(2).unwrap();
         pool.forward(&Tensor::zeros(&[1, 1, 3, 3]), Mode::Train);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an [n, c, h, w] input")]
+    fn maxpool_rejects_wrong_rank_with_structured_message() {
+        let mut pool = MaxPool2d::new(2).unwrap();
+        pool.forward(&Tensor::zeros(&[4, 4]), Mode::Train);
+    }
+
+    #[test]
+    #[should_panic(expected = "MaxPool2d::backward called before forward")]
+    fn maxpool_backward_before_forward_panics() {
+        MaxPool2d::new(2).unwrap().backward(&Tensor::ones(&[1]));
     }
 
     #[test]

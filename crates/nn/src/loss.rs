@@ -1,6 +1,6 @@
 //! Loss functions.
 
-use reveil_tensor::{ops, Tensor};
+use reveil_tensor::Tensor;
 
 use crate::NnError;
 
@@ -33,6 +33,24 @@ use crate::NnError;
 /// # }
 /// ```
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), NnError> {
+    let mut grad = Tensor::default();
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad)?;
+    Ok((loss, grad))
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into a caller-provided
+/// tensor, reusing its allocation — the zero-allocation training-step path
+/// (`TrainStep` in [`crate::train`] holds the gradient buffer across
+/// batches). Results are bit-identical to the allocating variant.
+///
+/// # Errors
+///
+/// Same conditions as [`softmax_cross_entropy`].
+pub fn softmax_cross_entropy_into(
+    logits: &Tensor,
+    labels: &[usize],
+    grad: &mut Tensor,
+) -> Result<f32, NnError> {
     // Validate everything up front so no tensor op below can fail.
     let &[n, k] = logits.shape() else {
         return Err(NnError::InvalidConfig {
@@ -55,17 +73,31 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
             message: format!("label {bad} out of range for {k} classes"),
         });
     }
-    let probs = ops::softmax_rows(logits)?;
+    // Row-wise softmax straight into the gradient buffer (same max-shifted
+    // arithmetic as `ops::softmax_rows`, without its fresh output tensor).
+    grad.resize_for_overwrite(logits.shape());
+    grad.data_mut().copy_from_slice(logits.data());
+    for row in grad.data_mut().chunks_mut(k) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
     let mut loss = 0.0f32;
-    let mut grad = probs.clone();
     let inv_n = 1.0 / n as f32;
     for (i, &label) in labels.iter().enumerate() {
-        let p = probs.data()[i * k + label].max(1e-12);
+        let p = grad.data()[i * k + label].max(1e-12);
         loss -= p.ln();
         grad.data_mut()[i * k + label] -= 1.0;
     }
     grad.scale(inv_n);
-    Ok((loss * inv_n, grad))
+    Ok(loss * inv_n)
 }
 
 #[cfg(test)]

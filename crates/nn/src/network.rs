@@ -19,6 +19,10 @@ pub struct Network {
     num_classes: usize,
     input_shape: (usize, usize, usize),
     family: &'static str,
+    /// Reusable backbone-output buffer (forward hot path).
+    features_buf: Tensor,
+    /// Reusable feature-gradient buffer (backward hot path).
+    grad_features_buf: Tensor,
 }
 
 impl std::fmt::Debug for Network {
@@ -48,6 +52,8 @@ impl Network {
             num_classes,
             input_shape,
             family,
+            features_buf: Tensor::default(),
+            grad_features_buf: Tensor::default(),
         }
     }
 
@@ -68,8 +74,19 @@ impl Network {
 
     /// Full forward pass: `[n, c, h, w] → [n, classes]` logits.
     pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let features = self.backbone.forward(input, mode);
-        self.head.forward(&features, mode)
+        let mut logits = Tensor::default();
+        self.forward_into(input, mode, &mut logits);
+        logits
+    }
+
+    /// Full forward pass into a caller-provided logits tensor, reusing its
+    /// allocation and the network's internal feature buffer — together with
+    /// [`Network::backward_to_input_into`] this is the zero-allocation
+    /// training-step path (see the [`Layer`] buffer-reuse contract).
+    pub fn forward_into(&mut self, input: &Tensor, mode: Mode, logits: &mut Tensor) {
+        self.backbone
+            .forward_into(input, mode, &mut self.features_buf);
+        self.head.forward_into(&self.features_buf, mode, logits);
     }
 
     /// Backbone features only: `[n, c, h, w] → [n, d]`.
@@ -85,8 +102,40 @@ impl Network {
     /// Backward pass from a logits gradient all the way to the input,
     /// accumulating parameter gradients along the way.
     pub fn backward_to_input(&mut self, grad_logits: &Tensor) -> Tensor {
-        let grad_features = self.head.backward(grad_logits);
-        self.backbone.backward(&grad_features)
+        let mut grad_input = Tensor::default();
+        self.backward_to_input_into(grad_logits, &mut grad_input);
+        grad_input
+    }
+
+    /// Backward pass into a caller-provided input-gradient tensor, reusing
+    /// its allocation and the network's internal feature-gradient buffer
+    /// (the zero-allocation counterpart of [`Network::backward_to_input`]).
+    pub fn backward_to_input_into(&mut self, grad_logits: &Tensor, grad_input: &mut Tensor) {
+        self.head
+            .backward_into(grad_logits, &mut self.grad_features_buf);
+        self.backbone
+            .backward_into(&self.grad_features_buf, grad_input);
+    }
+
+    /// Total capacity in scalars of every reusable buffer in the network
+    /// (layer scratch plus the container ping-pong buffers); see
+    /// [`Layer::buffer_capacity`]. Stable across warmed-up training steps.
+    pub fn buffer_capacity(&self) -> usize {
+        self.backbone.buffer_capacity()
+            + self.head.buffer_capacity()
+            + self.features_buf.capacity()
+            + self.grad_features_buf.capacity()
+    }
+
+    /// Drops every reusable buffer in the network (they re-grow on the
+    /// next forward pass); see [`Layer::release_buffers`]. Call before
+    /// parking a trained model in a long-lived cache so it does not pin
+    /// training-batch-sized activation memory.
+    pub fn release_buffers(&mut self) {
+        self.backbone.release_buffers();
+        self.head.release_buffers();
+        self.features_buf = Tensor::default();
+        self.grad_features_buf = Tensor::default();
     }
 
     /// Zeroes every parameter gradient.

@@ -52,6 +52,13 @@ impl Param {
         &mut self.grad
     }
 
+    /// Simultaneous mutable value and shared gradient, for optimizer
+    /// kernels that sweep `(value, grad, state)` in one fused in-place pass
+    /// without cloning either tensor.
+    pub fn value_and_grad_mut(&mut self) -> (&mut Tensor, &Tensor) {
+        (&mut self.value, &self.grad)
+    }
+
     /// Resets the gradient to zero, keeping the allocation.
     pub fn zero_grad(&mut self) {
         self.grad.fill_zero();

@@ -2,6 +2,7 @@
 
 use reveil_tensor::Tensor;
 
+use crate::layers::resize_buffer;
 use crate::{Layer, Mode, Param};
 
 /// A chain of layers applied in order.
@@ -9,17 +10,30 @@ use crate::{Layer, Mode, Param};
 /// `Sequential` itself implements [`Layer`], so chains nest (residual blocks
 /// hold `Sequential` bodies).
 ///
+/// Activations and gradients ping-pong through one persistent boundary
+/// buffer per interior layer boundary: layer `i` writes its output into the
+/// chain's `i`-th buffer and layer `i+1` reads it back, so a warmed-up
+/// forward/backward pass allocates nothing — only the chain's final output
+/// goes into the caller-provided tensor.
+///
 /// When recording is enabled via [`Sequential::set_recording`], `forward`
 /// stores each layer's output and `backward` stores the gradient arriving at
 /// each layer boundary. GradCAM uses these to pair the last spatial
 /// activation with its gradient; Beatrix reads penultimate features from the
-/// same mechanism.
+/// same mechanism. Recording clones every boundary tensor, so it is
+/// deliberately outside the zero-allocation contract.
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
     record: bool,
     activations: Vec<Tensor>,
     boundary_grads: Vec<Tensor>,
+    /// Per-boundary forward buffers: `fwd_bufs[i]` holds layer `i`'s output
+    /// (the last layer writes into the caller's tensor instead).
+    fwd_bufs: Vec<Tensor>,
+    /// Per-boundary backward buffers: `bwd_bufs[i]` holds the gradient
+    /// flowing into layer `i+1` (i.e. out of layer `i+1`'s backward).
+    bwd_bufs: Vec<Tensor>,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -88,37 +102,84 @@ impl Sequential {
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
     }
+
+    /// Grows a boundary-buffer vector to `len` entries (existing buffers
+    /// keep their allocations).
+    fn ensure_bufs(bufs: &mut Vec<Tensor>, len: usize) {
+        if bufs.len() < len {
+            bufs.resize_with(len, Tensor::default);
+        }
+    }
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward_into(&mut self, input: &Tensor, mode: Mode, out: &mut Tensor) {
         if self.record {
             self.activations.clear();
         }
-        let mut current = input.clone();
-        for layer in &mut self.layers {
-            current = layer.forward(&current, mode);
+        let n = self.layers.len();
+        if n == 0 {
+            resize_buffer(out, input.shape());
+            out.data_mut().copy_from_slice(input.data());
+            return;
+        }
+        Self::ensure_bufs(&mut self.fwd_bufs, n.saturating_sub(1));
+        for i in 0..n {
+            let (prev, rest) = self.fwd_bufs.split_at_mut(i);
+            let src: &Tensor = if i == 0 { input } else { &prev[i - 1] };
+            let dst: &mut Tensor = if i == n - 1 { &mut *out } else { &mut rest[0] };
+            self.layers[i].forward_into(src, mode, dst);
             if self.record {
-                self.activations.push(current.clone());
+                self.activations.push(dst.clone());
             }
         }
-        current
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn backward_into(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
         if self.record {
             self.boundary_grads.clear();
             self.boundary_grads
                 .resize(self.layers.len(), Tensor::default());
         }
-        let mut grad = grad_output.clone();
-        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
-            if self.record {
-                self.boundary_grads[i] = grad.clone();
-            }
-            grad = layer.backward(&grad);
+        let n = self.layers.len();
+        if n == 0 {
+            resize_buffer(grad_input, grad_output.shape());
+            grad_input.data_mut().copy_from_slice(grad_output.data());
+            return;
         }
-        grad
+        Self::ensure_bufs(&mut self.bwd_bufs, n.saturating_sub(1));
+        for i in (0..n).rev() {
+            let (prev, rest) = self.bwd_bufs.split_at_mut(i);
+            let src: &Tensor = if i == n - 1 { grad_output } else { &rest[0] };
+            let dst: &mut Tensor = if i == 0 {
+                &mut *grad_input
+            } else {
+                &mut prev[i - 1]
+            };
+            if self.record {
+                self.boundary_grads[i] = src.clone();
+            }
+            self.layers[i].backward_into(src, dst);
+        }
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.buffer_capacity())
+            .chain(self.fwd_bufs.iter().map(Tensor::capacity))
+            .chain(self.bwd_bufs.iter().map(Tensor::capacity))
+            .sum()
+    }
+
+    fn release_buffers(&mut self) {
+        for layer in &mut self.layers {
+            layer.release_buffers();
+        }
+        self.fwd_bufs = Vec::new();
+        self.bwd_bufs = Vec::new();
+        self.activations.clear();
+        self.boundary_grads.clear();
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -212,5 +273,30 @@ mod tests {
         let dbg = format!("{net:?}");
         assert!(dbg.contains("linear"));
         assert!(dbg.contains("relu"));
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::from_fn(&[2, 3], |i| i as f32);
+        assert_eq!(net.forward(&x, Mode::Eval), x);
+        assert_eq!(net.backward(&x), x);
+    }
+
+    #[test]
+    fn boundary_buffers_do_not_grow_once_warmed() {
+        let mut net = two_layer();
+        let x = Tensor::ones(&[3, 4]);
+        let mut out = Tensor::default();
+        let mut dx = Tensor::default();
+        net.forward_into(&x, Mode::Train, &mut out);
+        let g = Tensor::ones(out.shape());
+        net.backward_into(&g, &mut dx);
+        let warmed = net.buffer_capacity();
+        for _ in 0..3 {
+            net.forward_into(&x, Mode::Train, &mut out);
+            net.backward_into(&g, &mut dx);
+            assert_eq!(net.buffer_capacity(), warmed);
+        }
     }
 }

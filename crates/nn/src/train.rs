@@ -1,10 +1,18 @@
 //! Mini-batch training loop and batched inference helpers.
+//!
+//! The hot path is [`TrainStep`]: one forward → loss → backward →
+//! optimizer step through the pooled-buffer substrate
+//! ([`Network::forward_into`], [`crate::loss::softmax_cross_entropy_into`],
+//! [`Network::backward_to_input_into`] and the fused optimizer sweeps), so
+//! a warmed-up step performs **zero heap allocations**. [`Trainer`] drives
+//! `TrainStep` over shuffled mini-batches with every per-epoch buffer
+//! (batch gather, labels, shuffle order) reused across iterations.
 
 use reveil_tensor::{ops, rng, Tensor};
 
-use crate::loss::softmax_cross_entropy;
+use crate::loss::softmax_cross_entropy_into;
 use crate::optim::{Adam, CosineAnnealing, Optimizer};
-use crate::{Mode, Network};
+use crate::{Mode, Network, NnError};
 
 /// Learning-rate schedule selection for [`TrainConfig`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +110,80 @@ impl TrainConfig {
     }
 }
 
+/// Reusable buffers for one full training step: forward → loss →
+/// backward → optimizer step.
+///
+/// Holds the logits, loss-gradient and input-gradient tensors across
+/// batches, so after the first (warm-up) batch at a given shape a step
+/// allocates nothing — the per-layer buffers, the GEMM pack scratch and
+/// the optimizer state are likewise reused (see the [`crate::Layer`]
+/// buffer-reuse contract). Results are bit-identical to driving the
+/// allocating wrappers ([`Network::forward`] /
+/// [`crate::loss::softmax_cross_entropy`] / [`Network::backward_to_input`])
+/// by hand.
+///
+/// # Example
+///
+/// ```
+/// use reveil_nn::{models, optim::Adam, train::TrainStep, Mode};
+/// use reveil_tensor::Tensor;
+///
+/// # fn main() -> Result<(), reveil_nn::NnError> {
+/// let mut net = models::mlp_probe(1, 8, 8, 2, 42);
+/// let mut opt = Adam::new(0.01);
+/// let mut step = TrainStep::new();
+/// let batch = Tensor::ones(&[4, 1, 8, 8]);
+/// let labels = [0, 1, 0, 1];
+/// let loss = step.run(&mut net, &mut opt, &batch, &labels)?;
+/// assert!(loss.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct TrainStep {
+    logits: Tensor,
+    grad_logits: Tensor,
+    grad_input: Tensor,
+}
+
+impl TrainStep {
+    /// Creates a step executor with empty buffers (they warm up on the
+    /// first batch).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one training step on `batch` (`[n, c, h, w]`) with `labels`
+    /// (`n` class indices): forward in [`Mode::Train`], softmax
+    /// cross-entropy, gradient reset, backward, optimizer step. Returns
+    /// the batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loss-input validation errors
+    /// (see [`crate::loss::softmax_cross_entropy_into`]).
+    pub fn run(
+        &mut self,
+        network: &mut Network,
+        optimizer: &mut dyn Optimizer,
+        batch: &Tensor,
+        labels: &[usize],
+    ) -> Result<f32, NnError> {
+        network.forward_into(batch, Mode::Train, &mut self.logits);
+        let loss = softmax_cross_entropy_into(&self.logits, labels, &mut self.grad_logits)?;
+        network.zero_grads();
+        network.backward_to_input_into(&self.grad_logits, &mut self.grad_input);
+        optimizer.step(network);
+        Ok(loss)
+    }
+
+    /// Total capacity in scalars of the step's own reusable buffers
+    /// (logits, loss gradient, input gradient) — stable once warmed up.
+    pub fn buffer_capacity(&self) -> usize {
+        self.logits.capacity() + self.grad_logits.capacity() + self.grad_input.capacity()
+    }
+}
+
 /// Summary statistics returned by [`Trainer::fit`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
@@ -169,7 +251,13 @@ impl Trainer {
         let cfg = &self.config;
         let n = images.len();
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        // Every per-batch buffer lives outside the loops and is reused:
+        // after the first batch of the first epoch, an epoch allocates
+        // nothing (capacity-stability is regression-tested).
         let mut batch = Tensor::zeros(&[0]);
+        let mut batch_labels: Vec<usize> = Vec::new();
+        let mut order: Vec<usize> = Vec::new();
+        let mut step = TrainStep::new();
 
         for epoch in 0..cfg.epochs {
             let lr = match cfg.schedule {
@@ -178,13 +266,14 @@ impl Trainer {
             };
             optimizer.set_lr(lr);
 
-            let order: Vec<usize> = if cfg.shuffle {
+            if cfg.shuffle {
                 let mut r =
                     rng::rng_from_seed(rng::derive_seed(cfg.seed, 0xE90C_0000 | epoch as u64));
-                rng::permutation(n, &mut r)
+                rng::permutation_into(n, &mut r, &mut order);
             } else {
-                (0..n).collect()
-            };
+                order.clear();
+                order.extend(0..n);
+            }
 
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
@@ -202,14 +291,12 @@ impl Trainer {
                     batch.data_mut()[slot * sample_len..(slot + 1) * sample_len]
                         .copy_from_slice(images[i].data());
                 }
-                let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                batch_labels.clear();
+                batch_labels.extend(chunk.iter().map(|&i| labels[i]));
 
-                let logits = network.forward(&batch, Mode::Train);
-                let (loss, grad) =
-                    softmax_cross_entropy(&logits, &batch_labels).unwrap_or_else(|e| panic!("{e}"));
-                network.zero_grads();
-                network.backward_to_input(&grad);
-                optimizer.step(network);
+                let loss = step
+                    .run(network, optimizer, &batch, &batch_labels)
+                    .unwrap_or_else(|e| panic!("{e}"));
 
                 loss_sum += loss;
                 batches += 1;

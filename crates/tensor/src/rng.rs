@@ -84,12 +84,22 @@ pub fn gaussian_like(shape: &[usize], std: f32, rng: &mut impl Rng) -> Tensor {
 
 /// A shuffled copy of `0..n` (Fisher–Yates via `rand`).
 pub fn permutation(n: usize, rng: &mut impl Rng) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..n).collect();
+    let mut idx = Vec::new();
+    permutation_into(n, rng, &mut idx);
+    idx
+}
+
+/// [`permutation`] writing into a caller-provided vector, reusing its
+/// allocation (the per-epoch shuffle of the zero-allocation training
+/// loop). Draws the same random stream, so results are bit-identical to
+/// [`permutation`].
+pub fn permutation_into(n: usize, rng: &mut impl Rng, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(0..n);
     for i in (1..n).rev() {
         let j = rng.gen_range(0..=i);
-        idx.swap(i, j);
+        out.swap(i, j);
     }
-    idx
 }
 
 /// Samples `k` distinct indices from `0..n` (first `k` of a permutation,
