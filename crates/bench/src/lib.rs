@@ -7,6 +7,8 @@
 //! `reveil-eval` binaries (`cargo run --release -p reveil-eval --bin
 //! reveil-experiments`).
 
+#![forbid(unsafe_code)]
+
 use reveil_datasets::DatasetKind;
 use reveil_eval::{Profile, ScenarioSpec, TrainedScenario};
 use reveil_tensor::Tensor;

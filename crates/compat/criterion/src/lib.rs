@@ -168,7 +168,7 @@ impl Criterion {
                 b.elapsed.as_nanos() as f64 / iters as f64
             })
             .collect();
-        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        per_iter_ns.sort_by(f64::total_cmp);
         let median = per_iter_ns[per_iter_ns.len() / 2];
         let best = per_iter_ns[0];
 

@@ -1,6 +1,6 @@
 //! Camouflage-set crafting: stage 1b of the attack — the paper's core idea.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reveil_datasets::LabeledDataset;
 use reveil_tensor::rng;
@@ -37,7 +37,7 @@ pub fn craft_camouflage_set(
     trigger: &dyn Trigger,
     config: &AttackConfig,
     poison_count: usize,
-    exclude: &HashSet<usize>,
+    exclude: &BTreeSet<usize>,
 ) -> Result<CamouflageSet, AttackError> {
     config.validate()?;
     let count = config.camouflage_count(poison_count);
@@ -124,7 +124,7 @@ mod tests {
     fn count_follows_cr() {
         let clean = clean_set();
         let trigger = BadNets::paper_default();
-        let cam = craft_camouflage_set(&clean, &trigger, &config(), 10, &HashSet::new()).unwrap();
+        let cam = craft_camouflage_set(&clean, &trigger, &config(), 10, &BTreeSet::new()).unwrap();
         assert_eq!(cam.dataset.len(), 50, "cr=5 x 10 poison samples");
     }
 
@@ -132,7 +132,7 @@ mod tests {
     fn camouflage_keeps_correct_labels() {
         let clean = clean_set();
         let trigger = BadNets::paper_default();
-        let cam = craft_camouflage_set(&clean, &trigger, &config(), 8, &HashSet::new()).unwrap();
+        let cam = craft_camouflage_set(&clean, &trigger, &config(), 8, &BTreeSet::new()).unwrap();
         for (i, &src) in cam.source_indices.iter().enumerate() {
             assert_eq!(
                 cam.dataset.label(i),
@@ -148,7 +148,7 @@ mod tests {
         let clean = clean_set();
         let trigger = BadNets::paper_default();
         let cfg = config();
-        let cam = craft_camouflage_set(&clean, &trigger, &cfg, 6, &HashSet::new()).unwrap();
+        let cam = craft_camouflage_set(&clean, &trigger, &cfg, 6, &BTreeSet::new()).unwrap();
         for (i, &src) in cam.source_indices.iter().enumerate() {
             let triggered = trigger.apply(clean.image(src));
             let max_dev = triggered
@@ -167,7 +167,7 @@ mod tests {
     fn prefers_sources_outside_the_exclusion_set() {
         let clean = clean_set();
         let trigger = BadNets::paper_default();
-        let exclude: HashSet<usize> = (0..10).collect();
+        let exclude: BTreeSet<usize> = (0..10).collect();
         let cam = craft_camouflage_set(&clean, &trigger, &config(), 4, &exclude).unwrap();
         // 20 camouflage samples, 80 non-excluded non-target samples: all
         // sources must avoid the excluded range.
@@ -182,9 +182,9 @@ mod tests {
         let trigger = BadNets::paper_default();
         // 90 non-target samples, ask for 120 camouflage samples.
         let cfg = config().with_camouflage_ratio(12.0);
-        let cam = craft_camouflage_set(&clean, &trigger, &cfg, 10, &HashSet::new()).unwrap();
+        let cam = craft_camouflage_set(&clean, &trigger, &cfg, 10, &BTreeSet::new()).unwrap();
         assert_eq!(cam.dataset.len(), 120);
-        let distinct: HashSet<usize> = cam.source_indices.iter().copied().collect();
+        let distinct: BTreeSet<usize> = cam.source_indices.iter().copied().collect();
         assert!(distinct.len() <= 90);
         // Reused sources still got fresh noise: find a duplicated source and
         // check the images differ.
@@ -210,7 +210,7 @@ mod tests {
         let clean = clean_set();
         let trigger = BadNets::paper_default();
         let cfg = config().with_camouflage_ratio(0.0);
-        let cam = craft_camouflage_set(&clean, &trigger, &cfg, 10, &HashSet::new()).unwrap();
+        let cam = craft_camouflage_set(&clean, &trigger, &cfg, 10, &BTreeSet::new()).unwrap();
         assert!(cam.dataset.is_empty());
     }
 
@@ -218,8 +218,8 @@ mod tests {
     fn deterministic_in_the_seed() {
         let clean = clean_set();
         let trigger = BadNets::paper_default();
-        let a = craft_camouflage_set(&clean, &trigger, &config(), 5, &HashSet::new()).unwrap();
-        let b = craft_camouflage_set(&clean, &trigger, &config(), 5, &HashSet::new()).unwrap();
+        let a = craft_camouflage_set(&clean, &trigger, &config(), 5, &BTreeSet::new()).unwrap();
+        let b = craft_camouflage_set(&clean, &trigger, &config(), 5, &BTreeSet::new()).unwrap();
         assert_eq!(a.source_indices, b.source_indices);
         assert_eq!(a.dataset.image(0), b.dataset.image(0));
     }

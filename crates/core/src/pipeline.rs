@@ -1,6 +1,6 @@
 //! The four-stage concealed-backdoor lifecycle (paper Fig. 1).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::ops::Range;
 
 use reveil_datasets::LabeledDataset;
@@ -93,7 +93,7 @@ pub struct UnlearningRequest {
 
 impl UnlearningRequest {
     /// The indices as a set (what unlearning executors consume).
-    pub fn index_set(&self) -> HashSet<usize> {
+    pub fn index_set(&self) -> BTreeSet<usize> {
         self.indices.iter().copied().collect()
     }
 }
@@ -148,7 +148,7 @@ impl ReveilAttack {
     /// Propagates crafting errors (dataset too small, invalid config).
     pub fn craft(&self, clean: &LabeledDataset) -> Result<CraftedPayload, AttackError> {
         let poison = craft_poison_set(clean, self.trigger.as_ref(), &self.config)?;
-        let exclude: HashSet<usize> = poison.source_indices.iter().copied().collect();
+        let exclude: BTreeSet<usize> = poison.source_indices.iter().copied().collect();
         let camouflage = craft_camouflage_set(
             clean,
             self.trigger.as_ref(),

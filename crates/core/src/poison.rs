@@ -94,7 +94,8 @@ mod tests {
         let clean = clean_set();
         let trigger = BadNets::paper_default();
         let poison = craft_poison_set(&clean, &trigger, &config()).unwrap();
-        let set: std::collections::HashSet<usize> = poison.source_indices.iter().copied().collect();
+        let set: std::collections::BTreeSet<usize> =
+            poison.source_indices.iter().copied().collect();
         assert_eq!(
             set.len(),
             poison.source_indices.len(),

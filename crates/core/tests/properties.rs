@@ -1,7 +1,7 @@
 //! Property-based tests of the attack-crafting invariants.
 
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reveil_core::{craft_camouflage_set, craft_poison_set, AttackConfig};
 use reveil_datasets::{DatasetKind, SyntheticConfig};
@@ -38,7 +38,7 @@ proptest! {
         // All poison samples carry the target label.
         prop_assert!(poison.dataset.labels().iter().all(|&l| l == target));
         // Sources are distinct non-target samples.
-        let set: HashSet<usize> = poison.source_indices.iter().copied().collect();
+        let set: BTreeSet<usize> = poison.source_indices.iter().copied().collect();
         prop_assert_eq!(set.len(), poison.source_indices.len());
         for &src in &poison.source_indices {
             prop_assert!(clean.label(src) != target);
@@ -59,7 +59,7 @@ proptest! {
         let trigger = BadNets::paper_default();
         let poison_count = 6;
         let camouflage = craft_camouflage_set(
-            &clean, &trigger, &config, poison_count, &HashSet::new(),
+            &clean, &trigger, &config, poison_count, &BTreeSet::new(),
         ).expect("craftable");
 
         // Size follows cr.

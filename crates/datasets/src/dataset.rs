@@ -1,6 +1,6 @@
 //! Labelled image collections with subset/removal algebra.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
@@ -176,7 +176,7 @@ impl LabeledDataset {
     }
 
     /// A new dataset excluding the samples at `remove` (order preserved).
-    pub fn without_indices(&self, remove: &HashSet<usize>) -> Self {
+    pub fn without_indices(&self, remove: &BTreeSet<usize>) -> Self {
         let keep: Vec<usize> = (0..self.len()).filter(|i| !remove.contains(i)).collect();
         self.subset(&keep)
     }
@@ -253,7 +253,7 @@ mod tests {
         assert_eq!(sub.label(1), 2);
         assert_eq!(sub.image(2).data()[0], 4.0);
 
-        let removed: HashSet<usize> = [1, 3, 5].into_iter().collect();
+        let removed: BTreeSet<usize> = [1, 3, 5].into_iter().collect();
         let kept = ds.without_indices(&removed);
         assert_eq!(kept.len(), 3);
         assert_eq!(kept.labels(), &[0, 2, 1]);

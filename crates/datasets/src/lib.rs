@@ -37,7 +37,7 @@ pub use generator::{DatasetPair, SyntheticConfig};
 
 /// The four benchmark datasets the paper evaluates on, as synthetic
 /// analogues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DatasetKind {
     /// 10-class, 32×32 RGB (CIFAR10 analogue).
     Cifar10Like,

@@ -9,7 +9,7 @@
 pub fn median(values: &[f32]) -> f32 {
     assert!(!values.is_empty(), "median of an empty slice");
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    sorted.sort_by(f32::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]
@@ -67,7 +67,7 @@ pub fn quantile(values: &[f32], q: f32) -> f32 {
         "quantile level must be in [0, 1], got {q}"
     );
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f32::total_cmp);
     let pos = q * (sorted.len() - 1) as f32;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

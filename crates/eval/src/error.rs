@@ -10,6 +10,7 @@ use std::fmt;
 
 use reveil_core::AttackError;
 use reveil_defense::DefenseError;
+use reveil_explain::ExplainError;
 use reveil_unlearn::UnlearnError;
 
 /// Error type for the experiment harness.
@@ -21,6 +22,8 @@ pub enum EvalError {
     Unlearn(UnlearnError),
     /// A defense audit failed.
     Defense(DefenseError),
+    /// A GradCAM attribution or heat-map rendering failed.
+    Explain(ExplainError),
     /// A scenario specification combines axes that cannot run together
     /// (e.g. a SISA unlearning method on a monolithic provider).
     InvalidSpec {
@@ -34,6 +37,12 @@ pub enum EvalError {
     },
     /// An underlying dataset operation failed.
     Dataset(String),
+    /// An executor invariant was violated (a bug in the harness itself,
+    /// not in the scenario being run).
+    Internal {
+        /// Description of the broken invariant.
+        message: &'static str,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -42,6 +51,7 @@ impl fmt::Display for EvalError {
             EvalError::Attack(e) => write!(f, "attack stage failed: {e}"),
             EvalError::Unlearn(e) => write!(f, "unlearning stage failed: {e}"),
             EvalError::Defense(e) => write!(f, "defense audit failed: {e}"),
+            EvalError::Explain(e) => write!(f, "attribution failed: {e}"),
             EvalError::InvalidSpec { message } => {
                 write!(f, "invalid scenario specification: {message}")
             }
@@ -49,6 +59,9 @@ impl fmt::Display for EvalError {
                 write!(f, "cannot aggregate zero results for {what}")
             }
             EvalError::Dataset(message) => write!(f, "dataset operation failed: {message}"),
+            EvalError::Internal { message } => {
+                write!(f, "internal harness invariant violated: {message}")
+            }
         }
     }
 }
@@ -59,6 +72,7 @@ impl Error for EvalError {
             EvalError::Attack(e) => Some(e),
             EvalError::Unlearn(e) => Some(e),
             EvalError::Defense(e) => Some(e),
+            EvalError::Explain(e) => Some(e),
             _ => None,
         }
     }

@@ -88,8 +88,8 @@ pub fn run(
         };
         let triggered: Tensor = f_b.attack.trigger().apply(test.image(idx));
 
-        let cam_b = grad_cam(&mut f_b.network, &triggered, target);
-        let cam_n = grad_cam(&mut f_n.network, &triggered, target);
+        let cam_b = grad_cam(&mut f_b.network, &triggered, target).map_err(EvalError::Explain)?;
+        let cam_n = grad_cam(&mut f_n.network, &triggered, target).map_err(EvalError::Explain)?;
         let mass_poisoned = cam_b.region_mass(0, 0, REGION, REGION);
         let mass_noisy = cam_n.region_mass(0, 0, REGION, REGION);
         samples.push(Fig2Sample {

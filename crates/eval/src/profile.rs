@@ -27,7 +27,7 @@ use reveil_unlearn::approximate::GradientAscentConfig;
 use reveil_unlearn::SisaConfig;
 
 /// Scale at which an experiment runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Profile {
     /// Seconds per cell; used by integration tests and criterion benches.
     Smoke,

@@ -27,7 +27,7 @@
 //! [`Unlearner`] trait: exact SISA rollback,
 //! full retraining, gradient ascent, or retain-set fine-tuning.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -72,7 +72,7 @@ impl ScenarioResult {
 }
 
 /// Who trains the victim model of a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum ProviderKind {
     /// One monolithic network trained on the submitted dataset.
     #[default]
@@ -664,7 +664,7 @@ pub fn lock_scenario(cell: &SharedScenario) -> MutexGuard<'_, TrainedScenario> {
 
 /// Cache key: every axis of the spec that influences the trained artifact.
 /// cr and σ key on their bit patterns (the sweeps use exact constants).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct CellKey {
     profile: Profile,
     dataset: DatasetKind,
@@ -689,7 +689,7 @@ impl CellKey {
 
 /// Trio cache key: the cell axes plus the provider/unlearning axes the
 /// restoration lifecycle depends on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct TrioKey {
     cell: CellKey,
     provider: ProviderKind,
@@ -719,10 +719,7 @@ impl TrioKey {
 /// parallel — the map lock is only ever held for the slot lookup.
 type Slot<T> = Arc<Mutex<Option<T>>>;
 
-fn slot_for<K: Eq + std::hash::Hash + Copy, T>(
-    map: &Mutex<HashMap<K, Slot<T>>>,
-    key: K,
-) -> Slot<T> {
+fn slot_for<K: Ord + Copy, T>(map: &Mutex<BTreeMap<K, Slot<T>>>, key: K) -> Slot<T> {
     let mut map = map.lock().unwrap_or_else(PoisonError::into_inner);
     Arc::clone(map.entry(key).or_default())
 }
@@ -745,13 +742,13 @@ fn slot_is_occupied<T>(slot: &Slot<T>) -> bool {
 /// A key counts as cached only if its slot is occupied (see
 /// [`slot_is_occupied`]) — a slot left empty by an earlier failed run goes
 /// back into the pending list, so a retried sweep regains its parallelism.
-fn pending_specs<K: Eq + std::hash::Hash + Copy, T>(
-    map: &Mutex<HashMap<K, Slot<T>>>,
+fn pending_specs<K: Ord + Copy, T>(
+    map: &Mutex<BTreeMap<K, Slot<T>>>,
     specs: &[ScenarioSpec],
     key_of: impl Fn(&ScenarioSpec) -> K,
 ) -> Vec<(ScenarioSpec, Option<EvalError>)> {
     let cached = map.lock().unwrap_or_else(PoisonError::into_inner);
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut pending = Vec::new();
     for spec in specs {
         let key = key_of(spec);
@@ -768,8 +765,8 @@ fn pending_specs<K: Eq + std::hash::Hash + Copy, T>(
 /// distinct spec across the worker team (each worker's cell wrapped in
 /// [`parallel::serialized`] so the kernels underneath don't multiply the
 /// thread count to workers²) and returns the first error in spec order.
-fn sweep_pending<K: Eq + std::hash::Hash + Copy, T>(
-    map: &Mutex<HashMap<K, Slot<T>>>,
+fn sweep_pending<K: Ord + Copy, T>(
+    map: &Mutex<BTreeMap<K, Slot<T>>>,
     specs: &[ScenarioSpec],
     what: &str,
     key_of: impl Fn(&ScenarioSpec) -> K,
@@ -826,8 +823,8 @@ fn sweep_pending<K: Eq + std::hash::Hash + Copy, T>(
 /// regardless of `REVEIL_THREADS` or completion order.
 #[derive(Default)]
 pub struct ScenarioCache {
-    cells: Mutex<HashMap<CellKey, Slot<SharedScenario>>>,
-    trios: Mutex<HashMap<TrioKey, Slot<TrioResult>>>,
+    cells: Mutex<BTreeMap<CellKey, Slot<SharedScenario>>>,
+    trios: Mutex<BTreeMap<TrioKey, Slot<TrioResult>>>,
     trainings: AtomicUsize,
     trio_trainings: AtomicUsize,
 }
@@ -1004,7 +1001,11 @@ impl ScenarioCache {
         // worker hit it first.
         slots
             .into_iter()
-            .map(|(_, slot)| slot.expect("audit fan-out fills every slot"))
+            .map(|(_, slot)| {
+                slot.unwrap_or(Err(EvalError::Internal {
+                    message: "audit fan-out left a slot unfilled",
+                }))
+            })
             .collect()
     }
 

@@ -1,0 +1,74 @@
+//! Structured errors for GradCAM attribution and heat-map rendering.
+
+use std::error::Error;
+use std::fmt;
+
+use reveil_tensor::TensorError;
+
+/// Error type for the attribution/rendering crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExplainError {
+    /// An input tensor had the wrong rank/shape for the operation.
+    BadShape {
+        /// The operation and the shape it expected.
+        expected: &'static str,
+        /// The shape that was provided.
+        got: Vec<usize>,
+    },
+    /// The attributed class index exceeds the network's class count.
+    ClassOutOfRange {
+        /// The requested class.
+        class: usize,
+        /// The network's class count.
+        num_classes: usize,
+    },
+    /// The backbone has no spatial (rank-4) activation to attribute
+    /// (e.g. an MLP probe).
+    NoSpatialActivation,
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Writing a rendered image failed.
+    Io(String),
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::BadShape { expected, got } => {
+                write!(f, "expected {expected}, got shape {got:?}")
+            }
+            ExplainError::ClassOutOfRange { class, num_classes } => {
+                write!(f, "class {class} out of range for {num_classes} classes")
+            }
+            ExplainError::NoSpatialActivation => {
+                write!(
+                    f,
+                    "grad_cam needs a spatial (rank-4) activation in the backbone"
+                )
+            }
+            ExplainError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            ExplainError::Io(message) => write!(f, "image write failed: {message}"),
+        }
+    }
+}
+
+impl Error for ExplainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExplainError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ExplainError {
+    fn from(e: TensorError) -> Self {
+        ExplainError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for ExplainError {
+    fn from(e: std::io::Error) -> Self {
+        ExplainError::Io(e.to_string())
+    }
+}

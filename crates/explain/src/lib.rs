@@ -17,7 +17,7 @@
 //!
 //! let mut net = models::tiny_cnn(3, 8, 8, 4, 4, 1);
 //! let image = Tensor::full(&[3, 8, 8], 0.5);
-//! let cam = grad_cam(&mut net, &image, 0);
+//! let cam = grad_cam(&mut net, &image, 0).expect("spatial backbone");
 //! assert_eq!(cam.map().shape(), &[8, 8]);
 //! // Attention is normalised into [0, 1].
 //! assert!(cam.map().max() <= 1.0 && cam.map().min() >= 0.0);
@@ -26,7 +26,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 pub mod render;
+
+pub use error::ExplainError;
 
 use reveil_nn::{Mode, Network};
 use reveil_tensor::Tensor;
@@ -66,9 +69,8 @@ impl CamMap {
     ///
     /// Panics if the rectangle exceeds the map bounds.
     pub fn region_mass(&self, y0: usize, x0: usize, height: usize, width: usize) -> f32 {
-        let &[h, w] = self.map.shape() else {
-            unreachable!("map is rank-2")
-        };
+        // The map is rank-2 by construction (built in `grad_cam`).
+        let (h, w) = (self.map.shape()[0], self.map.shape()[1]);
         assert!(
             y0 + height <= h && x0 + width <= w,
             "region exceeds map bounds"
@@ -87,11 +89,9 @@ impl CamMap {
     }
 }
 
-/// Bilinear resize of a rank-2 map.
+/// Bilinear resize of a map that is rank-2 by construction.
 fn resize_bilinear(map: &Tensor, out_h: usize, out_w: usize) -> Tensor {
-    let &[h, w] = map.shape() else {
-        panic!("resize_bilinear expects [h, w], got {:?}", map.shape())
-    };
+    let (h, w) = (map.shape()[0], map.shape()[1]);
     let mut out = Tensor::zeros(&[out_h, out_w]);
     for y in 0..out_h {
         let fy = if out_h > 1 {
@@ -129,39 +129,60 @@ fn resize_bilinear(map: &Tensor, out_h: usize, out_w: usize) -> Tensor {
 /// class logit, and the map is `relu(Σ_c w_c · A_c)` normalised to `[0, 1]`
 /// and upsampled to the input resolution.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `image` is not `[c, h, w]`, `class` is out of range, or the
-/// backbone has no spatial activation (e.g. an MLP probe).
-pub fn grad_cam(network: &mut Network, image: &Tensor, class: usize) -> CamMap {
+/// Returns [`ExplainError`] if `image` is not `[c, h, w]`, `class` is out
+/// of range, or the backbone has no spatial activation (e.g. an MLP probe).
+pub fn grad_cam(
+    network: &mut Network,
+    image: &Tensor,
+    class: usize,
+) -> Result<CamMap, ExplainError> {
     let &[_, h, w] = image.shape() else {
-        panic!(
-            "grad_cam expects a [c, h, w] image, got {:?}",
-            image.shape()
-        );
+        return Err(ExplainError::BadShape {
+            expected: "a [c, h, w] image",
+            got: image.shape().to_vec(),
+        });
     };
-    assert!(class < network.num_classes(), "class {class} out of range");
+    if class >= network.num_classes() {
+        return Err(ExplainError::ClassOutOfRange {
+            class,
+            num_classes: network.num_classes(),
+        });
+    }
 
     network.set_recording(true);
-    let batch = Tensor::stack(std::slice::from_ref(image)).unwrap_or_else(|e| panic!("{e}"));
+    let batch = match Tensor::stack(std::slice::from_ref(image)) {
+        Ok(batch) => batch,
+        Err(e) => {
+            network.set_recording(false);
+            return Err(ExplainError::Tensor(e));
+        }
+    };
     let logits = network.forward(&batch, Mode::Eval);
     let mut grad_logits = Tensor::zeros(logits.shape());
     grad_logits.data_mut()[class] = 1.0;
     network.zero_grads();
     let _ = network.backward_to_input(&grad_logits);
 
-    let spatial_idx = network
+    let Some(spatial_idx) = network
         .backbone_activations()
         .iter()
         .rposition(|a| a.ndim() == 4)
-        .expect("grad_cam needs a spatial activation in the backbone");
+    else {
+        network.set_recording(false);
+        return Err(ExplainError::NoSpatialActivation);
+    };
     let activation = network.backbone_activations()[spatial_idx].clone();
     let grads = network.backbone_boundary_grads()[spatial_idx].clone();
     network.set_recording(false);
 
-    let &[_, c, ah, aw] = activation.shape() else {
-        unreachable!()
-    };
+    // The activation was selected for `ndim() == 4` above.
+    let (c, ah, aw) = (
+        activation.shape()[1],
+        activation.shape()[2],
+        activation.shape()[3],
+    );
     let plane = ah * aw;
     let mut cam = Tensor::zeros(&[ah, aw]);
     for ch in 0..c {
@@ -181,7 +202,7 @@ pub fn grad_cam(network: &mut Network, image: &Tensor, class: usize) -> CamMap {
     if max > 0.0 {
         map.scale(1.0 / max);
     }
-    CamMap { map, raw, class }
+    Ok(CamMap { map, raw, class })
 }
 
 #[cfg(test)]
@@ -195,7 +216,7 @@ mod tests {
     fn cam_shape_and_normalisation() {
         let mut net = models::tiny_cnn(3, 8, 8, 4, 4, 7);
         let image = Tensor::from_fn(&[3, 8, 8], |i| (i % 9) as f32 / 9.0);
-        let cam = grad_cam(&mut net, &image, 2);
+        let cam = grad_cam(&mut net, &image, 2).unwrap();
         assert_eq!(cam.map().shape(), &[8, 8]);
         assert_eq!(cam.class(), 2);
         assert!(cam.map().min() >= 0.0);
@@ -234,7 +255,7 @@ mod tests {
                 let mut net = models::tiny_cnn(1, 12, 12, 2, 8, net_seed);
                 Trainer::new(TrainConfig::new(10, 16, 5e-3).with_seed(4))
                     .fit(&mut net, &images, &labels);
-                let cam = grad_cam(&mut net, &images[0], 0);
+                let cam = grad_cam(&mut net, &images[0], 0).unwrap();
                 cam.region_mass(0, 0, 4, 4)
             })
             .fold(0.0f32, f32::max);
@@ -250,7 +271,7 @@ mod tests {
     fn region_mass_sums_to_one_over_full_map() {
         let mut net = models::tiny_cnn(3, 8, 8, 3, 4, 9);
         let image = Tensor::from_fn(&[3, 8, 8], |i| (i % 5) as f32 / 5.0);
-        let cam = grad_cam(&mut net, &image, 0);
+        let cam = grad_cam(&mut net, &image, 0).unwrap();
         let full = cam.region_mass(0, 0, 8, 8);
         assert!((full - 1.0).abs() < 1e-5 || cam.map().sum() == 0.0);
     }
@@ -260,7 +281,7 @@ mod tests {
     fn region_mass_bounds_checked() {
         let mut net = models::tiny_cnn(3, 8, 8, 3, 4, 9);
         let image = Tensor::zeros(&[3, 8, 8]);
-        let cam = grad_cam(&mut net, &image, 0);
+        let cam = grad_cam(&mut net, &image, 0).unwrap();
         cam.region_mass(6, 6, 4, 4);
     }
 

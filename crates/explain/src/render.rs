@@ -3,17 +3,21 @@
 use std::io::Write;
 use std::path::Path;
 
+use crate::ExplainError;
 use reveil_tensor::Tensor;
 
 /// Renders a rank-2 map (values in `[0, 1]`) as ASCII art using a
 /// brightness ramp.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `map` is not rank-2.
-pub fn to_ascii(map: &Tensor) -> String {
+/// Returns [`ExplainError::BadShape`] if `map` is not rank-2.
+pub fn to_ascii(map: &Tensor) -> Result<String, ExplainError> {
     let &[h, w] = map.shape() else {
-        panic!("to_ascii expects [h, w], got {:?}", map.shape())
+        return Err(ExplainError::BadShape {
+            expected: "an [h, w] map",
+            got: map.shape().to_vec(),
+        });
     };
     const RAMP: &[u8] = b" .:-=+*#%@";
     let mut out = String::with_capacity(h * (w + 1));
@@ -25,21 +29,21 @@ pub fn to_ascii(map: &Tensor) -> String {
         }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Writes a rank-2 map as a binary PGM (grey-scale) image.
 ///
 /// # Errors
 ///
-/// Returns any I/O error from creating or writing the file.
-///
-/// # Panics
-///
-/// Panics if `map` is not rank-2.
-pub fn write_pgm(map: &Tensor, path: impl AsRef<Path>) -> std::io::Result<()> {
+/// Returns [`ExplainError::BadShape`] if `map` is not rank-2, and
+/// [`ExplainError::Io`] for any error creating or writing the file.
+pub fn write_pgm(map: &Tensor, path: impl AsRef<Path>) -> Result<(), ExplainError> {
     let &[h, w] = map.shape() else {
-        panic!("write_pgm expects [h, w], got {:?}", map.shape())
+        return Err(ExplainError::BadShape {
+            expected: "an [h, w] map",
+            got: map.shape().to_vec(),
+        });
     };
     let mut file = std::fs::File::create(path)?;
     write!(file, "P5\n{w} {h}\n255\n")?;
@@ -48,7 +52,8 @@ pub fn write_pgm(map: &Tensor, path: impl AsRef<Path>) -> std::io::Result<()> {
         .iter()
         .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
         .collect();
-    file.write_all(&bytes)
+    file.write_all(&bytes)?;
+    Ok(())
 }
 
 /// Maps `v ∈ [0, 1]` to an RGB heat colour (blue → cyan → yellow → red).
@@ -73,24 +78,27 @@ pub fn heat_color(v: f32) -> [u8; 3] {
 ///
 /// # Errors
 ///
-/// Returns any I/O error from creating or writing the file.
-///
-/// # Panics
-///
-/// Panics on shape mismatch between `image` and `map`.
+/// Returns [`ExplainError::BadShape`] on a shape mismatch between `image`
+/// and `map`, and [`ExplainError::Io`] for any error creating or writing
+/// the file.
 pub fn write_overlay_ppm(
     image: &Tensor,
     map: &Tensor,
     alpha: f32,
     path: impl AsRef<Path>,
-) -> std::io::Result<()> {
+) -> Result<(), ExplainError> {
     let &[c, h, w] = image.shape() else {
-        panic!(
-            "write_overlay_ppm expects [c, h, w], got {:?}",
-            image.shape()
-        )
+        return Err(ExplainError::BadShape {
+            expected: "a [c, h, w] image",
+            got: image.shape().to_vec(),
+        });
     };
-    assert_eq!(map.shape(), &[h, w], "map/image shape mismatch");
+    if map.shape() != [h, w] {
+        return Err(ExplainError::BadShape {
+            expected: "an [h, w] map matching the image",
+            got: map.shape().to_vec(),
+        });
+    }
     let mut file = std::fs::File::create(path)?;
     write!(file, "P6\n{w} {h}\n255\n")?;
     let mut bytes = Vec::with_capacity(h * w * 3);
@@ -111,7 +119,8 @@ pub fn write_overlay_ppm(
             }
         }
     }
-    file.write_all(&bytes)
+    file.write_all(&bytes)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -121,7 +130,7 @@ mod tests {
     #[test]
     fn ascii_ramp_is_monotone() {
         let map = Tensor::from_vec(vec![1, 3], vec![0.0, 0.5, 1.0]).unwrap();
-        let art = to_ascii(&map);
+        let art = to_ascii(&map).unwrap();
         assert_eq!(art, " +@\n");
     }
 

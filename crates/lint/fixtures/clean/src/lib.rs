@@ -1,0 +1,50 @@
+//! Clean fixture: exercises every false-positive trap the scanner must not
+//! fall into. A comment may say panic!("nope") or .unwrap() or HashMap and
+//! mean none of it.
+
+#![forbid(unsafe_code)]
+
+/* Block comments too: Mutex, RwLock, Instant::now(), thread::spawn. */
+
+/// Strings are data, not code: the scanner must mask them.
+pub fn strings<'a>(tag: &'a str) -> String {
+    let bait = "call .unwrap() then panic!(\"boom\") on a HashMap<Instant, Mutex<u8>>";
+    let raw = r#"raw strings hide .expect("x") and SystemTime just as well"#;
+    let quote = '"';
+    let tick = '\'';
+    let lifetime_not_char = tag;
+    format!("{bait}{raw}{quote}{tick}{lifetime_not_char}")
+}
+
+/// A well-behaved `_into` function: reuses capacity via the sanctioned
+/// idiom and writes in place.
+pub fn scale_into(src: &[f32], factor: f32, out: &mut Vec<f32>) {
+    resize_buffer(out, src.len()); // resize_buffer reuses spare capacity
+    for (dst, &s) in out.iter_mut().zip(src) {
+        *dst = s * factor;
+    }
+}
+
+/// Grows `buf` to `len` without shrinking capacity (the sanctioned idiom).
+pub fn resize_buffer(buf: &mut Vec<f32>, len: usize) {
+    buf.resize(len, 0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_panic_and_time() {
+        let started = Instant::now();
+        let mut seen = HashMap::new();
+        seen.insert("k", strings("v"));
+        assert!(!seen.get("k").unwrap().is_empty());
+        let _ = started.elapsed();
+        if false {
+            panic!("tests are allowed to");
+        }
+    }
+}

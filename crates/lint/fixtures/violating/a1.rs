@@ -1,0 +1,6 @@
+// A1 fixture: allocation inside a `*_into` hot path.
+pub fn gather_into(src: &[f32], out: &mut Vec<f32>) {
+    let mut scratch = Vec::new();
+    scratch.extend_from_slice(src);
+    *out = scratch.to_vec();
+}

@@ -1,0 +1,8 @@
+// D2 fixture: wall-clock read in library code.
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos())
+}

@@ -1,0 +1,3 @@
+//! H1 fixture: a crate root without `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

@@ -1,0 +1,11 @@
+// P1 fixture: panic escape hatches in library code.
+pub fn head(xs: &[i32]) -> i32 {
+    if xs.is_empty() {
+        panic!("empty input");
+    }
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> i32 {
+    s.parse().expect("not a number")
+}

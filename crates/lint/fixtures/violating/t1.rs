@@ -1,0 +1,7 @@
+// T1 fixture: decentralized shared-state concurrency.
+use std::sync::Mutex;
+
+pub fn shared_counter() -> Mutex<u64> {
+    std::thread::spawn(|| {}).join().ok();
+    Mutex::new(0)
+}

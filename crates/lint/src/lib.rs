@@ -1,0 +1,52 @@
+//! `reveil-lint` — the in-tree invariant checker.
+//!
+//! The workspace's load-bearing guarantees are not style preferences; they
+//! are what makes the paper's figures reproducible and the substrate safe to
+//! parallelize:
+//!
+//! * **Determinism** — results must be bit-identical at any `REVEIL_THREADS`
+//!   and across reruns. Unordered-map iteration (**D1**) and wall-clock reads
+//!   (**D2**) silently break that.
+//! * **Panic-freedom** — library crates surface structured errors
+//!   (`EvalError`, `UnlearnError`, `DefenseError`, ...), never `panic!` or
+//!   `.unwrap()` (**P1**): a stray panic inside a worker team poisons locks
+//!   and corrupts whole sweep runs.
+//! * **Centralized concurrency** — shared-state primitives live in
+//!   `reveil_tensor::parallel` plus a short audited list (**T1**), so the
+//!   bit-identity argument stays reviewable.
+//! * **Hygiene** — every crate root forbids `unsafe` (**H1**).
+//! * **Zero-alloc hot paths** — `*_into` functions reuse caller buffers and
+//!   must not reach for allocating constructors (**A1**).
+//!
+//! This crate is a std-only, dependency-free scanner (the evaluation
+//! container has no crates.io access — same in-tree discipline as
+//! `crates/compat`). It is deliberately *syntactic*: source is masked
+//! ([`source::MaskedSource`]) so comments, string literals and
+//! `#[cfg(test)]` items can never trip a rule, then rules
+//! ([`rules::RULES`]) run identifier-boundary token searches and report
+//! `file:line` diagnostics with fix suggestions. Intentional exceptions go
+//! in the checked-in `lint.toml` ([`allowlist::Allowlist`]), where every
+//! entry must carry a written justification and turns *stale* (failing the
+//! gate) as soon as it stops matching.
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run -p reveil-lint -- --workspace
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations or stale allowlist entries, `2`
+//! usage or configuration errors (including a malformed `lint.toml`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod rules;
+pub mod scan;
+pub mod source;
+
+pub use allowlist::{AllowEntry, Allowlist, AllowlistError};
+pub use rules::{Diagnostic, RuleInfo, RULES};
+pub use scan::{tree_files, workspace_files, LintFile, Report};
+pub use source::MaskedSource;

@@ -1,0 +1,183 @@
+//! CLI for `reveil-lint`: scans the workspace (or an arbitrary tree) and
+//! gates on the checked-in `lint.toml` allowlist.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use reveil_lint::{allowlist::Allowlist, rules, scan};
+
+const USAGE: &str = "\
+reveil-lint — in-tree invariant checker (determinism, panic-freedom, zero-alloc)
+
+USAGE:
+    cargo run -p reveil-lint -- [--workspace] [--root <dir>] [--allowlist <file>|none]
+                                [--list-rules] [--quiet]
+
+MODES:
+    --workspace         scan the library code of every workspace member
+                        (default; workspace root found by walking up from cwd)
+    --root <dir>        scan every .rs file under <dir> instead (fixture trees)
+
+OPTIONS:
+    --allowlist <file>  allowlist path (default: <root>/lint.toml if present;
+                        `none` disables)
+    --list-rules        print the rule registry and exit
+    --quiet             print only the summary line
+
+EXIT CODES:
+    0  clean            1  violations or stale allowlist entries
+    2  usage/config error";
+
+struct Options {
+    root: Option<PathBuf>,
+    allowlist: Option<String>,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        allowlist: None,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => {}
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root requires a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--allowlist" => {
+                i += 1;
+                let file = args.get(i).ok_or("--allowlist requires a file argument")?;
+                opts.allowlist = Some(file.clone());
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the workspace root (the first
+/// `Cargo.toml` containing a `[workspace]` table).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("reveil-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::RULES {
+            println!("{}  {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (files, default_allowlist) = match &opts.root {
+        Some(root) => (scan::tree_files(root), root.join("lint.toml")),
+        None => {
+            let Some(root) = find_workspace_root() else {
+                eprintln!("reveil-lint: no workspace Cargo.toml found above the current directory");
+                return ExitCode::from(2);
+            };
+            (scan::workspace_files(&root), root.join("lint.toml"))
+        }
+    };
+    let files = match files {
+        Ok(files) => files,
+        Err(err) => {
+            eprintln!("reveil-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allowlist = match opts.allowlist.as_deref() {
+        Some("none") => Allowlist::default(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(list) => list,
+                Err(err) => {
+                    eprintln!("reveil-lint: {err}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(err) => {
+                eprintln!("reveil-lint: cannot read allowlist `{path}`: {err}");
+                return ExitCode::from(2);
+            }
+        },
+        None => match std::fs::read_to_string(&default_allowlist) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(list) => list,
+                Err(err) => {
+                    eprintln!("reveil-lint: {err}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => Allowlist::default(),
+        },
+    };
+
+    let report = match scan::run(&files, &allowlist) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("reveil-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !opts.quiet {
+        for diag in &report.violations {
+            println!("{}", diag.render());
+        }
+        for stale in &report.stale_entries {
+            println!("{stale}");
+        }
+        for over in &report.over_budget {
+            println!("{over}");
+        }
+    }
+    println!(
+        "reveil-lint: {} file(s), {} violation(s), {} allowlisted, {} stale allowlist entr(y/ies)",
+        report.files_scanned,
+        report.violations.len(),
+        report.allowlisted.len(),
+        report.stale_entries.len() + report.over_budget.len(),
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,416 @@
+//! The invariant rule registry.
+//!
+//! Each rule has a stable ID, a one-line rationale, and a checker that walks
+//! a [`MaskedSource`] and reports [`Diagnostic`]s. Rules see only masked text
+//! (comments, literals and `#[cfg(test)]` items blanked), so string contents
+//! and test-only code never produce findings.
+
+use crate::source::{find_from, is_ident_byte, MaskedSource};
+
+/// One finding: a rule violated at a specific file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule ID (`D1`, `D2`, `P1`, `T1`, `H1`, `A1`).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What matched (e.g. the offending token).
+    pub message: String,
+    /// The trimmed raw source line, for allowlist `contains` matching.
+    pub snippet: String,
+    /// How to fix it.
+    pub fix: &'static str,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in `rule file:line` form.
+    pub fn render(&self) -> String {
+        format!(
+            "[{}] {}:{}: {}\n    | {}\n    = fix: {}",
+            self.rule, self.path, self.line, self.message, self.snippet, self.fix
+        )
+    }
+}
+
+/// Static description of a rule, for `--list-rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule ID.
+    pub id: &'static str,
+    /// One-line summary of the invariant the rule enforces.
+    pub summary: &'static str,
+    /// The generic fix suggestion attached to its diagnostics.
+    pub fix: &'static str,
+}
+
+/// The registry of shipped rules, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        summary: "determinism: no HashMap/HashSet in result-producing library code \
+                  (unordered iteration threatens bit-identical results)",
+        fix: "use BTreeMap/BTreeSet (or sort before iterating) so iteration order is \
+              deterministic; allowlist with a justification if the map is never iterated",
+    },
+    RuleInfo {
+        id: "D2",
+        summary: "determinism: no wall-clock reads (Instant/SystemTime) in library code",
+        fix: "move timing into benches/bins, or thread a caller-provided clock through; \
+              allowlist bench-harness internals with a justification",
+    },
+    RuleInfo {
+        id: "P1",
+        summary: "panic-freedom: no panic!/unreachable!/todo!/unimplemented!/.unwrap()/.expect( \
+                  in non-test library code",
+        fix: "return the crate's structured error type instead; allowlist provably \
+              infallible sites with a one-line safety argument",
+    },
+    RuleInfo {
+        id: "T1",
+        summary: "threading: no thread::spawn/Mutex/RwLock/Condvar outside \
+                  reveil_tensor::parallel (shared-state concurrency is centralized there)",
+        fix: "route parallelism through reveil_tensor::parallel; audited sync machinery \
+              (ScenarioCache slots, shared GEMM panels) must be allowlisted with a justification",
+    },
+    RuleInfo {
+        id: "H1",
+        summary: "hygiene: every crate root carries #![forbid(unsafe_code)]",
+        fix: "add #![forbid(unsafe_code)] to the crate root",
+    },
+    RuleInfo {
+        id: "A1",
+        summary: "zero-alloc: *_into functions must not call allocating constructors \
+                  (Tensor::zeros, Vec::new, vec![], with_capacity, to_vec, clone, collect) \
+                  outside the resize_for_overwrite/resize_buffer idiom",
+        fix: "reuse the caller-provided buffer via resize_for_overwrite/resize_buffer; \
+              allowlist cheap or setup-path clones with a justification",
+    },
+];
+
+/// Looks up a rule by ID.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+fn fix_of(id: &str) -> &'static str {
+    rule_info(id).map(|r| r.fix).unwrap_or("")
+}
+
+/// Whether `text[at..at + len]` is a whole identifier (not a fragment of a
+/// longer one).
+fn ident_bounded(text: &[u8], at: usize, len: usize) -> bool {
+    let before_ok = at == 0 || !is_ident_byte(text[at - 1]);
+    let after_ok = at + len >= text.len() || !is_ident_byte(text[at + len]);
+    before_ok && after_ok
+}
+
+/// Finds every whole-identifier occurrence of `token` in `masked`.
+fn ident_occurrences(masked: &[u8], token: &str) -> Vec<usize> {
+    let needle = token.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0usize;
+    while let Some(at) = find_from(masked, needle, from) {
+        if ident_bounded(masked, at, needle.len()) {
+            hits.push(at);
+        }
+        from = at + 1;
+    }
+    hits
+}
+
+fn push_token_diags(
+    out: &mut Vec<Diagnostic>,
+    src: &MaskedSource,
+    path: &str,
+    rule: &'static str,
+    token: &str,
+    message: &str,
+) {
+    for at in ident_occurrences(src.masked.as_bytes(), token) {
+        let line = src.line_of(at);
+        out.push(Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: format!("{message}: `{token}`"),
+            snippet: src.raw_line(line).to_string(),
+            fix: fix_of(rule),
+        });
+    }
+}
+
+/// D1 — unordered-map determinism hazard.
+pub fn check_d1(src: &MaskedSource, path: &str, out: &mut Vec<Diagnostic>) {
+    for token in ["HashMap", "HashSet"] {
+        push_token_diags(
+            out,
+            src,
+            path,
+            "D1",
+            token,
+            "unordered collection in library code",
+        );
+    }
+}
+
+/// D2 — wall-clock reads.
+pub fn check_d2(src: &MaskedSource, path: &str, out: &mut Vec<Diagnostic>) {
+    for token in ["Instant", "SystemTime"] {
+        push_token_diags(
+            out,
+            src,
+            path,
+            "D2",
+            token,
+            "wall-clock read in library code",
+        );
+    }
+}
+
+/// P1 — panic escape hatches.
+pub fn check_p1(src: &MaskedSource, path: &str, out: &mut Vec<Diagnostic>) {
+    let masked = src.masked.as_bytes();
+    for token in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        // The `!` is part of the needle, so `ident_bounded` only needs the
+        // leading boundary; trailing byte is the bang itself.
+        let needle = token.as_bytes();
+        let mut from = 0usize;
+        while let Some(at) = find_from(masked, needle, from) {
+            if at == 0 || !is_ident_byte(masked[at - 1]) {
+                let line = src.line_of(at);
+                out.push(Diagnostic {
+                    rule: "P1",
+                    path: path.to_string(),
+                    line,
+                    message: format!("panic escape hatch: `{token}`"),
+                    snippet: src.raw_line(line).to_string(),
+                    fix: fix_of("P1"),
+                });
+            }
+            from = at + 1;
+        }
+    }
+    for token in [".unwrap()", ".expect("] {
+        let needle = token.as_bytes();
+        let mut from = 0usize;
+        while let Some(at) = find_from(masked, needle, from) {
+            let line = src.line_of(at);
+            out.push(Diagnostic {
+                rule: "P1",
+                path: path.to_string(),
+                line,
+                message: format!("panicking accessor: `{token}`"),
+                snippet: src.raw_line(line).to_string(),
+                fix: fix_of("P1"),
+            });
+            from = at + 1;
+        }
+    }
+}
+
+/// T1 — decentralized shared-state concurrency.
+pub fn check_t1(src: &MaskedSource, path: &str, out: &mut Vec<Diagnostic>) {
+    // The designated concurrency module is exempt by construction: the rule
+    // exists to keep sync primitives *centralized there*.
+    if path == "crates/tensor/src/parallel.rs" {
+        return;
+    }
+    for token in [
+        "Mutex",
+        "MutexGuard",
+        "RwLock",
+        "RwLockReadGuard",
+        "RwLockWriteGuard",
+        "Condvar",
+    ] {
+        push_token_diags(
+            out,
+            src,
+            path,
+            "T1",
+            token,
+            "sync primitive outside reveil_tensor::parallel",
+        );
+    }
+    let masked = src.masked.as_bytes();
+    let mut from = 0usize;
+    while let Some(at) = find_from(masked, b"thread::spawn", from) {
+        let line = src.line_of(at);
+        out.push(Diagnostic {
+            rule: "T1",
+            path: path.to_string(),
+            line,
+            message: "raw thread spawn outside reveil_tensor::parallel".to_string(),
+            snippet: src.raw_line(line).to_string(),
+            fix: fix_of("T1"),
+        });
+        from = at + 1;
+    }
+}
+
+/// H1 — crate roots must forbid unsafe code. Only runs on crate-root files.
+pub fn check_h1(src: &MaskedSource, path: &str, out: &mut Vec<Diagnostic>) {
+    if !src.masked.contains("#![forbid(unsafe_code)]") {
+        out.push(Diagnostic {
+            rule: "H1",
+            path: path.to_string(),
+            line: 1,
+            message: "crate root does not carry #![forbid(unsafe_code)]".to_string(),
+            snippet: src.raw_line(1).to_string(),
+            fix: fix_of("H1"),
+        });
+    }
+}
+
+/// Allocating constructors A1 looks for inside `*_into` bodies.
+const A1_TOKENS: &[&str] = &[
+    "Tensor::zeros",
+    "Tensor::ones",
+    "Vec::new",
+    "vec!",
+    "with_capacity",
+    ".to_vec()",
+    ".to_owned()",
+    ".collect()",
+    ".clone()",
+];
+
+/// Lines mentioning these idioms are the sanctioned way for an `_into`
+/// function to (re)use capacity, so A1 skips them.
+const A1_IDIOMS: &[&str] = &["resize_for_overwrite", "resize_buffer"];
+
+/// A1 — allocation in `*_into` hot paths.
+pub fn check_a1(src: &MaskedSource, path: &str, out: &mut Vec<Diagnostic>) {
+    let masked = src.masked.as_bytes();
+    let mut from = 0usize;
+    while let Some(fn_at) = find_from(masked, b"fn ", from) {
+        from = fn_at + 3;
+        if fn_at > 0 && is_ident_byte(masked[fn_at - 1]) {
+            continue;
+        }
+        // Extract the function name.
+        let mut i = fn_at + 3;
+        while i < masked.len() && masked[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < masked.len() && is_ident_byte(masked[i]) {
+            i += 1;
+        }
+        let name = &src.masked[name_start..i];
+        if !name.ends_with("_into") {
+            continue;
+        }
+        let Some(body) = fn_body_span(masked, i) else {
+            continue;
+        };
+        scan_into_body(src, path, name, body, out);
+    }
+}
+
+/// Finds the `{ .. }` body span of a function whose name ends at `after_name`.
+/// Returns `None` for trait-method declarations (`;` before any `{`).
+fn fn_body_span(masked: &[u8], after_name: usize) -> Option<(usize, usize)> {
+    let n = masked.len();
+    let mut i = after_name;
+    // Skip to the parameter list and over it (generics may contain no parens).
+    while i < n && masked[i] != b'(' {
+        if masked[i] == b';' || masked[i] == b'{' {
+            return None; // malformed or bodyless
+        }
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < n {
+        match masked[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Between `)` and the body brace sits at most a return type / where
+    // clause; a `;` first means a bodyless declaration.
+    while i < n && masked[i] != b'{' && masked[i] != b';' {
+        i += 1;
+    }
+    if i >= n || masked[i] == b';' {
+        return None;
+    }
+    let body_start = i;
+    let mut depth = 0usize;
+    while i < n {
+        match masked[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((body_start, i + 1));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn scan_into_body(
+    src: &MaskedSource,
+    path: &str,
+    fn_name: &str,
+    (start, end): (usize, usize),
+    out: &mut Vec<Diagnostic>,
+) {
+    let masked = &src.masked.as_bytes()[..end];
+    for token in A1_TOKENS {
+        let needle = token.as_bytes();
+        let mut from = start;
+        while let Some(at) = find_from(masked, needle, from) {
+            from = at + 1;
+            // Whole-identifier boundary for tokens that start with an
+            // identifier byte (`Tensor::zeros`, `Vec::new`, ...).
+            if is_ident_byte(needle[0]) && !ident_bounded(masked, at, needle.len()) {
+                continue;
+            }
+            let line = src.line_of(at);
+            let raw_line = src.raw_line(line);
+            if A1_IDIOMS.iter().any(|idiom| raw_line.contains(idiom)) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "A1",
+                path: path.to_string(),
+                line,
+                message: format!("allocation in `{fn_name}` hot path: `{token}`"),
+                snippet: raw_line.to_string(),
+                fix: fix_of("A1"),
+            });
+        }
+    }
+}
+
+/// Runs every applicable rule over one library file.
+///
+/// `is_crate_root` enables H1; the other rules run on all library files.
+pub fn check_file(src: &MaskedSource, path: &str, is_crate_root: bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_d1(src, path, &mut out);
+    check_d2(src, path, &mut out);
+    check_p1(src, path, &mut out);
+    check_t1(src, path, &mut out);
+    if is_crate_root {
+        check_h1(src, path, &mut out);
+    }
+    check_a1(src, path, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}

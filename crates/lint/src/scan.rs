@@ -1,0 +1,225 @@
+//! Workspace discovery and the scan driver.
+//!
+//! Two discovery modes:
+//!
+//! * **workspace** — parse the `members` array of the root `Cargo.toml` and
+//!   scan each member's `src/` tree (plus the umbrella package's `src/`),
+//!   excluding binary targets (`src/bin/`, `src/main.rs`). Rules apply to
+//!   *library* code only: benches, examples, tests and bins may time, panic
+//!   and allocate.
+//! * **tree** — walk every `.rs` file under an arbitrary root (used by the
+//!   fixture tests and the CI smoke leg), with the same bin/test exclusions
+//!   by path component.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::Allowlist;
+use crate::rules::{check_file, Diagnostic};
+use crate::source::MaskedSource;
+
+/// One file selected for scanning.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LintFile {
+    /// Absolute (or root-joined) path on disk.
+    pub path: PathBuf,
+    /// Root-relative path with forward slashes, as used in diagnostics and
+    /// `lint.toml`.
+    pub rel: String,
+    /// Whether this file is a crate root (`src/lib.rs`), which enables H1.
+    pub is_crate_root: bool,
+}
+
+fn rel_string(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut out = String::new();
+    for comp in rel.components() {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    out
+}
+
+/// Path components that mark non-library targets.
+const EXCLUDED_COMPONENTS: &[&str] = &["bin", "tests", "benches", "examples", "target", "fixtures"];
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut dirs: Vec<PathBuf> = vec![dir.to_path_buf()];
+    while let Some(d) = dirs.pop() {
+        let mut children: Vec<PathBuf> = Vec::new();
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            children.push(entry.path());
+        }
+        // Deterministic scan order regardless of filesystem enumeration.
+        children.sort();
+        for child in children {
+            let name = child
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if child.is_dir() {
+                if !EXCLUDED_COMPONENTS.contains(&name.as_str()) && !name.starts_with('.') {
+                    dirs.push(child);
+                }
+            } else if name.ends_with(".rs") && name != "main.rs" {
+                out.push(child);
+            }
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Extracts the `members = [ ... ]` entries from a workspace `Cargo.toml`.
+pub fn parse_members(manifest: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if !in_members {
+            if let Some(rest) = line.strip_prefix("members") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    in_members = true;
+                    collect_quoted(rest, &mut members);
+                    if rest.contains(']') {
+                        in_members = false;
+                    }
+                }
+            }
+        } else {
+            collect_quoted(line, &mut members);
+            if line.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    members
+}
+
+fn collect_quoted(text: &str, out: &mut Vec<String>) {
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        let Some(len) = rest[start + 1..].find('"') else {
+            return;
+        };
+        out.push(rest[start + 1..start + 1 + len].to_string());
+        rest = &rest[start + 1 + len + 1..];
+        if rest.trim_start().starts_with(']') {
+            return;
+        }
+    }
+}
+
+/// Discovers the library files of the workspace rooted at `root`.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<LintFile>> {
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut src_dirs: Vec<PathBuf> = vec![root.join("src")];
+    for member in parse_members(&manifest) {
+        let dir = root.join(&member).join("src");
+        if dir.is_dir() {
+            src_dirs.push(dir);
+        }
+    }
+    src_dirs.sort();
+    src_dirs.dedup();
+    let mut files = Vec::new();
+    for src_dir in &src_dirs {
+        let mut paths = Vec::new();
+        walk_rs(src_dir, &mut paths)?;
+        for path in paths {
+            let rel = rel_string(root, &path);
+            let is_crate_root = path == src_dir.join("lib.rs");
+            files.push(LintFile {
+                path,
+                rel,
+                is_crate_root,
+            });
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Discovers every library-shaped `.rs` file under an arbitrary tree root.
+pub fn tree_files(root: &Path) -> io::Result<Vec<LintFile>> {
+    let mut paths = Vec::new();
+    walk_rs(root, &mut paths)?;
+    Ok(paths
+        .into_iter()
+        .map(|path| {
+            let rel = rel_string(root, &path);
+            let is_crate_root = path.file_name().is_some_and(|n| n == "lib.rs");
+            LintFile {
+                path,
+                rel,
+                is_crate_root,
+            }
+        })
+        .collect())
+}
+
+/// The outcome of a scan after allowlist application.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Diagnostics not covered by any allowlist entry — these fail the gate.
+    pub violations: Vec<Diagnostic>,
+    /// Diagnostics absorbed by an allowlist entry.
+    pub allowlisted: Vec<Diagnostic>,
+    /// Allowlist entries that matched nothing (stale — fail the gate) as
+    /// `(description, justification)` pairs.
+    pub stale_entries: Vec<String>,
+    /// Entries whose `max` cap was exceeded, as human-readable descriptions.
+    pub over_budget: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the gate passes.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_entries.is_empty() && self.over_budget.is_empty()
+    }
+}
+
+/// Scans `files`, applies `allowlist`, and produces a [`Report`].
+pub fn run(files: &[LintFile], allowlist: &Allowlist) -> io::Result<Report> {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let mut match_counts = vec![0usize; allowlist.entries.len()];
+    for file in files {
+        let raw = std::fs::read_to_string(&file.path)?;
+        let src = MaskedSource::new(&raw);
+        for diag in check_file(&src, &file.rel, file.is_crate_root) {
+            match allowlist.entries.iter().position(|e| e.matches(&diag)) {
+                Some(idx) => {
+                    match_counts[idx] += 1;
+                    report.allowlisted.push(diag);
+                }
+                None => report.violations.push(diag),
+            }
+        }
+    }
+    for (entry, &count) in allowlist.entries.iter().zip(&match_counts) {
+        if count == 0 {
+            report.stale_entries.push(format!(
+                "stale allowlist entry (matched nothing — remove it): {}",
+                entry.describe()
+            ));
+        } else if let Some(max) = entry.max {
+            if count > max {
+                report.over_budget.push(format!(
+                    "allowlist budget exceeded: {} matched {count} diagnostics (max {max}) — \
+                     new violations are hiding behind an old suppression",
+                    entry.describe()
+                ));
+            }
+        }
+    }
+    Ok(report)
+}

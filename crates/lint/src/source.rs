@@ -1,0 +1,297 @@
+//! Lossless masking of Rust source for line-oriented token scanning.
+//!
+//! The scanner never parses Rust properly; instead it blanks out everything
+//! that must not produce matches — comments, string/char literals and
+//! `#[cfg(test)]` items — while preserving byte offsets and line numbers
+//! exactly (every masked byte becomes a space; newlines survive). Rules then
+//! run plain substring/identifier searches over the masked text and report
+//! positions that map 1:1 back onto the original file.
+
+/// A source file with comments, literals and test-only items blanked out.
+///
+/// `masked` has exactly the same length and line structure as `raw`; any byte
+/// belonging to a comment, a string/char/byte literal or a `#[cfg(test)]`
+/// item is replaced by an ASCII space.
+#[derive(Debug, Clone)]
+pub struct MaskedSource {
+    /// The original file contents.
+    pub raw: String,
+    /// The masked contents (same length, comments/literals/test code blanked).
+    pub masked: String,
+}
+
+impl MaskedSource {
+    /// Masks comments, literals and `#[cfg(test)]` items in `raw`.
+    pub fn new(raw: &str) -> Self {
+        let mut masked = mask_comments_and_literals(raw);
+        mask_cfg_test_items(&mut masked);
+        MaskedSource {
+            raw: raw.to_string(),
+            masked: String::from_utf8_lossy(&masked).into_owned(),
+        }
+    }
+
+    /// 1-based line number of byte offset `pos` in the file.
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.raw.as_bytes()[..pos.min(self.raw.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// The raw text of the 1-based line `line`, trimmed, for diagnostics.
+    pub fn raw_line(&self, line: usize) -> &str {
+        self.raw
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+    }
+}
+
+fn blank(buf: &mut [u8], from: usize, to: usize) {
+    for b in buf.iter_mut().take(to).skip(from) {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Replaces comments and string/char/byte literals with spaces.
+///
+/// Handles line comments (`//`, `///`, `//!`), nested block comments,
+/// ordinary and raw (byte) strings with arbitrary `#` counts, char literals
+/// with escapes, and distinguishes lifetimes (`'a`) from char literals
+/// (`'a'`). Operates on bytes; multi-byte UTF-8 content inside masked spans
+/// is blanked byte-wise, which keeps offsets stable.
+fn mask_comments_and_literals(src: &str) -> Vec<u8> {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let n = bytes.len();
+    let mut i = 0;
+    while i < n {
+        match bytes[i] {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && bytes[i] == b'/' && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    match bytes[i] {
+                        b'\\' => i = (i + 2).min(n),
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start = i;
+                // Skip the `r` / `br` / `b` prefix.
+                i += 1;
+                if i < n && (bytes[i] == b'r' || bytes[i] == b'b') && bytes[i - 1] != bytes[i] {
+                    i += 1;
+                }
+                if i < n && (bytes[i] == b'#' || bytes[i] == b'"') {
+                    let mut hashes = 0usize;
+                    while i < n && bytes[i] == b'#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && bytes[i] == b'"' {
+                        i += 1;
+                        // Scan for `"` followed by `hashes` hash marks.
+                        'scan: while i < n {
+                            if bytes[i] == b'"' {
+                                let mut j = i + 1;
+                                let mut seen = 0usize;
+                                while j < n && bytes[j] == b'#' && seen < hashes {
+                                    seen += 1;
+                                    j += 1;
+                                }
+                                if seen == hashes {
+                                    i = j;
+                                    break 'scan;
+                                }
+                            }
+                            i += 1;
+                        }
+                        blank(&mut out, start, i);
+                    } else {
+                        // `r#ident` raw identifier — leave as code.
+                        i = start + 1;
+                    }
+                } else {
+                    // Plain `b"..."` byte string is handled by the `"` arm on
+                    // the next iteration; `b'x'` by the `'` arm.
+                    i = start + 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\...'` and `'<char>'` are
+                // literals; `'ident` (not followed by a closing quote) is a
+                // lifetime/loop label and stays as code.
+                let start = i;
+                if i + 1 < n && bytes[i + 1] == b'\\' {
+                    i += 2;
+                    while i < n && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(n);
+                    blank(&mut out, start, i);
+                } else {
+                    // Find the extent of one UTF-8 char after the quote.
+                    let ch_end = src[i + 1..]
+                        .char_indices()
+                        .nth(1)
+                        .map(|(o, _)| i + 1 + o)
+                        .unwrap_or(n);
+                    if ch_end < n && bytes[ch_end] == b'\'' {
+                        i = ch_end + 1;
+                        blank(&mut out, start, i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Word-boundary check: `r"` must not trigger inside an identifier like
+    // `var"` (impossible) or `attr` (no quote); require the previous byte to
+    // not be an identifier byte.
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j < n && bytes[j] == b'r' {
+            j += 1;
+        } else {
+            return false; // plain byte string/char handled elsewhere
+        }
+    } else {
+        j += 1; // past the `r`
+    }
+    while j < n && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < n && bytes[j] == b'"'
+}
+
+/// Whether `b` can be part of a Rust identifier (ASCII approximation).
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blanks every `#[cfg(test)]` item (attribute through the end of the item).
+///
+/// After the attribute, any further attributes are skipped, then the item is
+/// taken to extend to its matching closing brace (for `mod`/`fn`/`impl`
+/// bodies) or to the first `;` if no brace opens first (e.g. `use` items).
+fn mask_cfg_test_items(masked: &mut [u8]) {
+    const NEEDLE: &[u8] = b"#[cfg(test)]";
+    let mut from = 0usize;
+    loop {
+        let Some(at) = find_from(masked, NEEDLE, from) else {
+            return;
+        };
+        let n = masked.len();
+        let mut i = at + NEEDLE.len();
+        // Skip whitespace and any further attributes.
+        loop {
+            while i < n && masked[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i + 1 < n && masked[i] == b'#' && masked[i + 1] == b'[' {
+                let mut depth = 0usize;
+                while i < n {
+                    match masked[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Find the item extent: first `{` before any `;` → matching `}`;
+        // otherwise the `;` ends it.
+        let mut end = i;
+        while end < n && masked[end] != b'{' && masked[end] != b';' {
+            end += 1;
+        }
+        if end < n && masked[end] == b'{' {
+            let mut depth = 0usize;
+            while end < n {
+                match masked[end] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                end += 1;
+            }
+        } else if end < n {
+            end += 1; // include the `;`
+        }
+        blank(masked, at, end);
+        from = end.max(at + 1);
+    }
+}
+
+/// Finds `needle` in `haystack` starting at `from`.
+pub fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}

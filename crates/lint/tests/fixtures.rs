@@ -1,0 +1,390 @@
+//! Fixture-based tests for `reveil-lint`: per-rule violating and clean
+//! samples, allowlist match/expiry semantics, `#[cfg(test)]`/string/comment
+//! false-positive cases, and binary exit-code behavior.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use reveil_lint::rules::check_file;
+use reveil_lint::source::MaskedSource;
+use reveil_lint::{scan, Allowlist, Diagnostic};
+
+fn fixture_dir(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn check_str(source: &str, path: &str, is_crate_root: bool) -> Vec<Diagnostic> {
+    check_file(&MaskedSource::new(source), path, is_crate_root)
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+fn read_fixture(rel: &str) -> String {
+    let path = fixture_dir(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+// --- per-rule violating fixtures -----------------------------------------
+
+#[test]
+fn d1_flags_unordered_maps() {
+    let diags = check_str(&read_fixture("violating/d1.rs"), "d1.rs", false);
+    assert!(diags.iter().all(|d| d.rule == "D1"), "{diags:?}");
+    assert_eq!(diags.len(), 3, "use + two constructor sites: {diags:?}");
+    assert!(
+        diags[0].render().contains("d1.rs:2"),
+        "{}",
+        diags[0].render()
+    );
+}
+
+#[test]
+fn d2_flags_wall_clock_reads() {
+    let diags = check_str(&read_fixture("violating/d2.rs"), "d2.rs", false);
+    assert_eq!(rules_of(&diags), ["D2"], "{diags:?}");
+    assert_eq!(diags.len(), 2);
+}
+
+#[test]
+fn p1_flags_panic_escape_hatches() {
+    let diags = check_str(&read_fixture("violating/p1.rs"), "p1.rs", false);
+    assert_eq!(rules_of(&diags), ["P1"], "{diags:?}");
+    let messages: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains("panic!")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains(".unwrap()")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains(".expect(")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn t1_flags_sync_primitives_and_spawns() {
+    let diags = check_str(&read_fixture("violating/t1.rs"), "t1.rs", false);
+    assert_eq!(rules_of(&diags), ["T1"], "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("thread spawn")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn t1_exempts_the_designated_parallel_module() {
+    let source = "pub fn team() -> std::sync::Mutex<u8> { std::sync::Mutex::new(0) }\n";
+    assert!(check_str(source, "crates/tensor/src/parallel.rs", false).is_empty());
+    assert_eq!(
+        check_str(source, "crates/other/src/parallel.rs", false).len(),
+        2
+    );
+}
+
+#[test]
+fn h1_flags_missing_forbid_on_crate_roots_only() {
+    let source = read_fixture("violating/h1/src/lib.rs");
+    let diags = check_str(&source, "h1/src/lib.rs", true);
+    assert_eq!(rules_of(&diags), ["H1"], "{diags:?}");
+    // The same text as a non-root module is fine.
+    assert!(check_str(&source, "h1/src/util.rs", false).is_empty());
+}
+
+#[test]
+fn a1_flags_allocations_in_into_functions() {
+    let diags = check_str(&read_fixture("violating/a1.rs"), "a1.rs", false);
+    assert_eq!(rules_of(&diags), ["A1"], "{diags:?}");
+    assert!(
+        diags.iter().all(|d| d.message.contains("gather_into")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn a1_ignores_allocations_outside_into_functions() {
+    let source = "pub fn gather(src: &[f32]) -> Vec<f32> { src.to_vec() }\n";
+    assert!(check_str(source, "m.rs", false).is_empty());
+}
+
+#[test]
+fn a1_respects_the_resize_idiom() {
+    let source = "pub fn copy_into(s: &[usize], out: &mut Vec<usize>) {\n    \
+                  resize_buffer(out, s.to_vec().len());\n}\n";
+    assert!(check_str(source, "m.rs", false).is_empty());
+}
+
+// --- false-positive traps -------------------------------------------------
+
+#[test]
+fn clean_fixture_tree_is_clean() {
+    let files = scan::tree_files(&fixture_dir("clean")).unwrap();
+    assert!(!files.is_empty());
+    let report = scan::run(&files, &Allowlist::default()).unwrap();
+    assert!(report.clean(), "{:?}", report.violations);
+    assert!(report.violations.is_empty());
+}
+
+#[test]
+fn strings_and_comments_never_match() {
+    let source = "#![forbid(unsafe_code)]\n\
+                  // HashMap, Instant::now(), .unwrap(), panic!(\"no\")\n\
+                  /* Mutex and thread::spawn in a block comment */\n\
+                  pub fn f() -> &'static str {\n    \
+                  \".unwrap() HashMap Instant Mutex panic!\"\n}\n";
+    assert!(check_str(source, "src/lib.rs", true).is_empty());
+}
+
+#[test]
+fn raw_strings_and_char_literals_never_match() {
+    let source = "pub fn f<'a>() {\n    \
+                  let _r = r#\"panic!(\"x\") .expect(\"y\") HashMap\"#;\n    \
+                  let _q = '\"';\n    \
+                  let _e = '\\'';\n    \
+                  let _still_code: Option<u8> = None;\n}\n";
+    assert!(check_str(source, "m.rs", false).is_empty());
+}
+
+#[test]
+fn cfg_test_blocks_are_exempt() {
+    let source = "pub fn lib_code() {}\n\
+                  #[cfg(test)]\n\
+                  mod tests {\n    \
+                  use std::collections::HashMap;\n    \
+                  #[test]\n    \
+                  fn t() {\n        \
+                  let mut m = HashMap::new();\n        \
+                  m.insert(1, std::time::Instant::now());\n        \
+                  m.get(&1).unwrap();\n        \
+                  panic!(\"fine in tests\");\n    \
+                  }\n}\n";
+    assert!(check_str(source, "m.rs", false).is_empty());
+}
+
+#[test]
+fn code_after_a_cfg_test_block_is_still_scanned() {
+    let source = "#[cfg(test)]\n\
+                  mod tests {\n    fn t() { Some(1).unwrap(); }\n}\n\
+                  pub fn after() { Some(1).unwrap(); }\n";
+    let diags = check_str(source, "m.rs", false);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn unwrap_or_variants_are_not_flagged() {
+    let source = "pub fn f(x: Option<u8>) -> u8 {\n    \
+                  x.unwrap_or(0).max(x.unwrap_or_default()).max(x.unwrap_or_else(|| 1))\n}\n";
+    assert!(check_str(source, "m.rs", false).is_empty());
+}
+
+// --- allowlist match/expiry semantics ------------------------------------
+
+fn one_violation() -> (Vec<scan::LintFile>, tempdir::TempTree) {
+    let tree = tempdir::TempTree::new("reveil_lint_allow");
+    tree.write(
+        "src/util.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let files = scan::tree_files(tree.root()).unwrap();
+    (files, tree)
+}
+
+#[test]
+fn allowlist_suppresses_matching_diagnostics() {
+    let (files, _tree) = one_violation();
+    let allow = Allowlist::parse(
+        "[[allow]]\nrule = \"P1\"\npath = \"src/util.rs\"\ncontains = \".unwrap()\"\n\
+         justification = \"fixture: provably infallible\"\n",
+    )
+    .unwrap();
+    let report = scan::run(&files, &allow).unwrap();
+    assert!(report.clean(), "{:?}", report.violations);
+    assert_eq!(report.allowlisted.len(), 1);
+}
+
+#[test]
+fn allowlist_supports_directory_prefixes() {
+    let (files, _tree) = one_violation();
+    let allow = Allowlist::parse(
+        "[[allow]]\nrule = \"P1\"\npath = \"src/\"\n\
+         justification = \"fixture: whole-directory suppression\"\n",
+    )
+    .unwrap();
+    let report = scan::run(&files, &allow).unwrap();
+    assert!(report.clean());
+}
+
+#[test]
+fn stale_allowlist_entries_fail_the_gate() {
+    let (files, _tree) = one_violation();
+    let allow = Allowlist::parse(
+        "[[allow]]\nrule = \"P1\"\npath = \"src/util.rs\"\ncontains = \".unwrap()\"\n\
+         justification = \"covers the real site\"\n\
+         [[allow]]\nrule = \"D1\"\npath = \"src/util.rs\"\n\
+         justification = \"expired: the HashMap is long gone\"\n",
+    )
+    .unwrap();
+    let report = scan::run(&files, &allow).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.stale_entries.len(), 1, "{:?}", report.stale_entries);
+    assert!(
+        report.stale_entries[0].contains("stale"),
+        "{:?}",
+        report.stale_entries
+    );
+}
+
+#[test]
+fn exceeding_the_max_budget_fails_the_gate() {
+    let tree = tempdir::TempTree::new("reveil_lint_budget");
+    tree.write(
+        "src/util.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+         pub fn g(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let files = scan::tree_files(tree.root()).unwrap();
+    let allow = Allowlist::parse(
+        "[[allow]]\nrule = \"P1\"\npath = \"src/util.rs\"\nmax = 1\n\
+         justification = \"only one site is audited\"\n",
+    )
+    .unwrap();
+    let report = scan::run(&files, &allow).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.over_budget.len(), 1, "{:?}", report.over_budget);
+}
+
+#[test]
+fn allowlist_rejects_entries_without_justification() {
+    let err = Allowlist::parse("[[allow]]\nrule = \"P1\"\npath = \"src/util.rs\"\n")
+        .expect_err("missing justification must be a config error");
+    assert!(err.message.contains("justification"), "{err}");
+}
+
+#[test]
+fn allowlist_rejects_unknown_rules_and_keys() {
+    assert!(
+        Allowlist::parse("[[allow]]\nrule = \"Z9\"\npath = \"a.rs\"\njustification = \"x\"\n")
+            .is_err()
+    );
+    assert!(Allowlist::parse(
+        "[[allow]]\nrule = \"P1\"\npath = \"a.rs\"\nreason = \"wrong key\"\n"
+    )
+    .is_err());
+}
+
+#[test]
+fn allowlist_parses_comments_and_escapes() {
+    let allow = Allowlist::parse(
+        "# header comment\n\
+         [[allow]] # trailing\n\
+         rule = \"P1\" # also trailing\n\
+         path = \"src/util.rs\"\n\
+         contains = \"expect(\\\"x # not a comment\\\")\"\n\
+         justification = \"escaped \\\"quotes\\\" survive\"\n",
+    )
+    .unwrap();
+    assert_eq!(allow.entries.len(), 1);
+    assert_eq!(
+        allow.entries[0].contains.as_deref(),
+        Some("expect(\"x # not a comment\")")
+    );
+    assert_eq!(allow.entries[0].justification, "escaped \"quotes\" survive");
+}
+
+// --- binary exit codes ----------------------------------------------------
+
+fn run_binary(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_reveil-lint"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn reveil-lint")
+}
+
+#[test]
+fn binary_exits_zero_on_the_clean_tree() {
+    let out = run_binary(&["--root", "fixtures/clean", "--allowlist", "none"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn binary_exits_one_on_planted_violations() {
+    let out = run_binary(&["--root", "fixtures/violating", "--allowlist", "none"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["[D1]", "[D2]", "[P1]", "[T1]", "[H1]", "[A1]"] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn binary_exits_two_on_a_malformed_allowlist() {
+    let tree = tempdir::TempTree::new("reveil_lint_badtoml");
+    tree.write("lint.toml", "[[allow]]\nrule = \"P1\"\n");
+    tree.write("src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n");
+    let root = tree.root().to_string_lossy().into_owned();
+    let out = run_binary(&["--root", &root]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn binary_exits_two_on_unknown_arguments() {
+    let out = run_binary(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn workspace_member_parsing_reads_the_manifest() {
+    let members = scan::parse_members(
+        "[workspace]\nmembers = [\n    \"crates/a\", # inline comment\n    \"crates/b\",\n]\n",
+    );
+    assert_eq!(members, ["crates/a", "crates/b"]);
+}
+
+/// Minimal scoped temp-dir helper (std-only; no tempfile crate in-tree).
+mod tempdir {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempTree {
+        root: PathBuf,
+    }
+
+    impl TempTree {
+        pub fn new(tag: &str) -> Self {
+            let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let root = std::env::temp_dir().join(format!("{tag}_{}_{unique}", std::process::id()));
+            std::fs::create_dir_all(&root).expect("create temp tree");
+            TempTree { root }
+        }
+
+        pub fn root(&self) -> &Path {
+            &self.root
+        }
+
+        pub fn write(&self, rel: &str, contents: &str) {
+            let path = self.root.join(rel);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).expect("create parent");
+            }
+            std::fs::write(path, contents).expect("write fixture");
+        }
+    }
+
+    impl Drop for TempTree {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.root).ok();
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //! independent, so results are bit-identical for any worker count (and
 //! the serial path inside `parallel::serialized` builds no task list).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use reveil_tensor::{parallel, Tensor};
 
@@ -122,7 +122,7 @@ pub struct Sgd {
     lr: f32,
     momentum: f32,
     weight_decay: f32,
-    velocity: HashMap<u64, Tensor>,
+    velocity: BTreeMap<u64, Tensor>,
 }
 
 impl Sgd {
@@ -132,7 +132,7 @@ impl Sgd {
             lr,
             momentum: 0.0,
             weight_decay: 0.0,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 
@@ -198,7 +198,7 @@ impl Optimizer for Sgd {
                 lr: 0.0,
                 momentum: 0.0,
                 weight_decay: 0.0,
-                velocity: HashMap::new(),
+                velocity: BTreeMap::new(),
             },
         );
         network.visit_params(&mut |p| this.step_param(p));
@@ -223,7 +223,7 @@ pub struct Adam {
     eps: f32,
     weight_decay: f32,
     t: u64,
-    state: HashMap<u64, (Tensor, Tensor)>,
+    state: BTreeMap<u64, (Tensor, Tensor)>,
 }
 
 impl Adam {
@@ -236,7 +236,7 @@ impl Adam {
             eps: 1e-8,
             weight_decay: 0.0,
             t: 0,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
         }
     }
 

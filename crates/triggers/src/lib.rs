@@ -96,7 +96,7 @@ pub fn apply_batch_into(trigger: &dyn Trigger, images: &[Tensor], out: &mut Vec<
 }
 
 /// The paper's four attacks (A1–A4) with their default hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TriggerKind {
     /// A1: BadNets checkerboard patch.
     BadNets,

@@ -14,7 +14,7 @@
 //! [`crate::GradientAscentUnlearner`] and [`crate::FinetuneUnlearner`]) so
 //! evaluation scenarios can swap them in wherever SISA fits.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reveil_datasets::LabeledDataset;
 use reveil_nn::loss::softmax_cross_entropy;
@@ -52,7 +52,7 @@ impl Default for GradientAscentConfig {
 
 fn validate_forget(
     dataset: &LabeledDataset,
-    forget: &HashSet<usize>,
+    forget: &BTreeSet<usize>,
 ) -> Result<Vec<usize>, UnlearnError> {
     if forget.is_empty() {
         return Err(UnlearnError::EmptyForgetSet);
@@ -78,7 +78,7 @@ fn validate_forget(
 pub fn gradient_ascent(
     network: &mut Network,
     dataset: &LabeledDataset,
-    forget: &HashSet<usize>,
+    forget: &BTreeSet<usize>,
     config: &GradientAscentConfig,
 ) -> Result<(), UnlearnError> {
     let forget_idx = validate_forget(dataset, forget)?;
@@ -136,7 +136,7 @@ pub fn gradient_ascent(
 pub fn finetune_on_retain(
     network: &mut Network,
     dataset: &LabeledDataset,
-    forget: &HashSet<usize>,
+    forget: &BTreeSet<usize>,
     train_config: &TrainConfig,
 ) -> Result<(), UnlearnError> {
     validate_forget(dataset, forget)?;
@@ -187,7 +187,7 @@ mod tests {
             0
         );
 
-        let forget: HashSet<usize> = [planted].into_iter().collect();
+        let forget: BTreeSet<usize> = [planted].into_iter().collect();
         let logits_before = net.forward(
             &Tensor::stack(std::slice::from_ref(&odd)).unwrap(),
             Mode::Eval,
@@ -212,7 +212,7 @@ mod tests {
     fn gradient_ascent_with_stabilisation_keeps_retain_accuracy() {
         let (data, _, planted) = planted_setup();
         let mut net = memorising_model(&data);
-        let forget: HashSet<usize> = [planted].into_iter().collect();
+        let forget: BTreeSet<usize> = [planted].into_iter().collect();
         gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default())
             .expect("valid request");
         let retain = data.without_indices(&forget);
@@ -224,7 +224,7 @@ mod tests {
     fn finetune_preserves_retain_accuracy() {
         let (data, _, planted) = planted_setup();
         let mut net = memorising_model(&data);
-        let forget: HashSet<usize> = [planted].into_iter().collect();
+        let forget: BTreeSet<usize> = [planted].into_iter().collect();
         finetune_on_retain(
             &mut net,
             &data,
@@ -244,7 +244,7 @@ mod tests {
         let err = gradient_ascent(
             &mut net,
             &data,
-            &HashSet::new(),
+            &BTreeSet::new(),
             &GradientAscentConfig::default(),
         )
         .unwrap_err();
@@ -252,7 +252,7 @@ mod tests {
         let err = finetune_on_retain(
             &mut net,
             &data,
-            &HashSet::new(),
+            &BTreeSet::new(),
             &TrainConfig::new(1, 8, 0.1),
         )
         .unwrap_err();
@@ -263,7 +263,7 @@ mod tests {
     fn out_of_range_forget_index_is_an_error() {
         let (data, _, _) = planted_setup();
         let mut net = models::mlp_probe(1, 4, 4, 2, 0);
-        let forget: HashSet<usize> = [data.len() + 3].into_iter().collect();
+        let forget: BTreeSet<usize> = [data.len() + 3].into_iter().collect();
         let err = gradient_ascent(&mut net, &data, &forget, &GradientAscentConfig::default())
             .unwrap_err();
         assert!(matches!(err, UnlearnError::UnknownIndex { .. }), "{err}");

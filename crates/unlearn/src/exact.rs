@@ -1,6 +1,6 @@
 //! Exact unlearning baseline: retraining from scratch.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reveil_datasets::LabeledDataset;
 use reveil_nn::train::{TrainConfig, Trainer};
@@ -23,7 +23,7 @@ pub fn retrain_from_scratch(
     seed: u64,
     train_config: &TrainConfig,
     dataset: &LabeledDataset,
-    erase: &HashSet<usize>,
+    erase: &BTreeSet<usize>,
 ) -> Result<Network, UnlearnError> {
     if let Some(&index) = erase.iter().find(|&&i| i >= dataset.len()) {
         return Err(UnlearnError::UnknownIndex {
@@ -72,7 +72,7 @@ mod tests {
         // Retraining without it no longer guarantees that memorised label;
         // more importantly, the result must be identical to a model that
         // never saw it.
-        let erase: HashSet<usize> = [planted].into_iter().collect();
+        let erase: BTreeSet<usize> = [planted].into_iter().collect();
         let mut retrained =
             retrain_from_scratch(|s| models::mlp_probe(1, 4, 4, 2, s), 1, &cfg, &data, &erase)
                 .expect("valid retrain request");
@@ -91,7 +91,7 @@ mod tests {
     fn erasing_everything_is_an_error() {
         let mut data = LabeledDataset::new("toy", 2);
         data.push(Tensor::zeros(&[1, 2, 2]), 0).unwrap();
-        let erase: HashSet<usize> = [0].into_iter().collect();
+        let erase: BTreeSet<usize> = [0].into_iter().collect();
         let err = retrain_from_scratch(
             |s| models::mlp_probe(1, 2, 2, 2, s),
             0,
@@ -108,7 +108,7 @@ mod tests {
         let mut data = LabeledDataset::new("toy", 2);
         data.push(Tensor::zeros(&[1, 2, 2]), 0).unwrap();
         data.push(Tensor::ones(&[1, 2, 2]), 1).unwrap();
-        let erase: HashSet<usize> = [5].into_iter().collect();
+        let erase: BTreeSet<usize> = [5].into_iter().collect();
         let err = retrain_from_scratch(
             |s| models::mlp_probe(1, 2, 2, 2, s),
             0,

@@ -1,6 +1,6 @@
 //! SISA exact unlearning (Bourtoule et al., IEEE S&P 2021), naive variant.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reveil_core::Classifier;
 use reveil_datasets::LabeledDataset;
@@ -143,7 +143,7 @@ pub struct SisaEnsemble {
     dataset: LabeledDataset,
     shards: Vec<Shard>,
     /// Indices erased so far (for bookkeeping/tests).
-    erased: HashSet<usize>,
+    erased: BTreeSet<usize>,
 }
 
 impl std::fmt::Debug for SisaEnsemble {
@@ -191,7 +191,7 @@ impl SisaEnsemble {
             factory,
             dataset: dataset.clone(),
             shards: Vec::new(),
-            erased: HashSet::new(),
+            erased: BTreeSet::new(),
         };
         for (s, members) in shard_members.into_iter().enumerate() {
             let shard = ensemble.build_and_train_shard(s as u64, members)?;
@@ -211,7 +211,7 @@ impl SisaEnsemble {
     }
 
     /// Indices erased by previous unlearning requests.
-    pub fn erased(&self) -> &HashSet<usize> {
+    pub fn erased(&self) -> &BTreeSet<usize> {
         &self.erased
     }
 
@@ -307,7 +307,7 @@ impl SisaEnsemble {
     ///
     /// Returns [`UnlearnError::UnknownIndex`] if the request references an
     /// index outside the training set.
-    pub fn unlearn(&mut self, remove: &HashSet<usize>) -> Result<UnlearnReport, UnlearnError> {
+    pub fn unlearn(&mut self, remove: &BTreeSet<usize>) -> Result<UnlearnReport, UnlearnError> {
         for &idx in remove {
             if idx >= self.dataset.len() {
                 return Err(UnlearnError::UnknownIndex {
@@ -443,7 +443,7 @@ mod tests {
         let data = toy_dataset(37);
         let sisa =
             SisaEnsemble::train(SisaConfig::new(4, 3), quick_train(), factory(), &data).unwrap();
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for s in 0..sisa.num_shards() {
             for &idx in sisa.shard_members(s) {
                 assert!(seen.insert(idx), "index {idx} in two shards");

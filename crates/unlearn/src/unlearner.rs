@@ -15,7 +15,7 @@
 //! Every implementor is also a [`Classifier`], so BA/ASR are measured the
 //! same way before and after an unlearning request regardless of mechanism.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reveil_core::Classifier;
 use reveil_datasets::LabeledDataset;
@@ -33,12 +33,12 @@ use crate::sisa::{SisaEnsemble, UnlearnReport};
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct UnlearnRequest {
     /// Training-set indices to be forgotten.
-    pub forget: HashSet<usize>,
+    pub forget: BTreeSet<usize>,
 }
 
 impl UnlearnRequest {
     /// Creates a request from an index set.
-    pub fn new(forget: HashSet<usize>) -> Self {
+    pub fn new(forget: BTreeSet<usize>) -> Self {
         Self { forget }
     }
 
@@ -87,7 +87,7 @@ pub trait Unlearner: Classifier {
 /// The unlearning mechanisms the evaluation harness can ask a provider to
 /// run, in the order they appear in the paper's discussion (§IV exact SISA,
 /// §VI approximate methods).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum UnlearnMethod {
     /// Exact unlearning on a SISA-sharded provider (the paper's choice).
     #[default]
@@ -157,7 +157,7 @@ pub struct RetrainUnlearner {
     seed: u64,
     train_config: TrainConfig,
     dataset: LabeledDataset,
-    erased: HashSet<usize>,
+    erased: BTreeSet<usize>,
     model: Network,
 }
 
@@ -173,7 +173,7 @@ impl RetrainUnlearner {
         train_config: TrainConfig,
         dataset: &LabeledDataset,
     ) -> Result<Self, UnlearnError> {
-        let model = retrain_from_scratch(&factory, seed, &train_config, dataset, &HashSet::new())?;
+        let model = retrain_from_scratch(&factory, seed, &train_config, dataset, &BTreeSet::new())?;
         Ok(Self::from_trained(
             model,
             factory,
@@ -197,7 +197,7 @@ impl RetrainUnlearner {
             seed,
             train_config,
             dataset: dataset.clone(),
-            erased: HashSet::new(),
+            erased: BTreeSet::new(),
             model,
         }
     }
@@ -214,7 +214,7 @@ impl RetrainUnlearner {
     }
 
     /// Indices erased by previous requests.
-    pub fn erased(&self) -> &HashSet<usize> {
+    pub fn erased(&self) -> &BTreeSet<usize> {
         &self.erased
     }
 }
@@ -269,11 +269,11 @@ impl Unlearner for RetrainUnlearner {
 struct ApproximateState {
     model: Network,
     dataset: LabeledDataset,
-    erased: HashSet<usize>,
+    erased: BTreeSet<usize>,
 }
 
 impl ApproximateState {
-    fn merge_request(&mut self, request: &UnlearnRequest) -> Result<HashSet<usize>, UnlearnError> {
+    fn merge_request(&mut self, request: &UnlearnRequest) -> Result<BTreeSet<usize>, UnlearnError> {
         if request.forget.is_empty() {
             return Err(UnlearnError::EmptyForgetSet);
         }
@@ -297,7 +297,7 @@ impl GradientAscentUnlearner {
             state: ApproximateState {
                 model,
                 dataset: dataset.clone(),
-                erased: HashSet::new(),
+                erased: BTreeSet::new(),
             },
             config,
         }
@@ -376,7 +376,7 @@ impl FinetuneUnlearner {
             state: ApproximateState {
                 model,
                 dataset: dataset.clone(),
-                erased: HashSet::new(),
+                erased: BTreeSet::new(),
             },
             train_config,
         }

@@ -2,7 +2,7 @@
 //! topologies.
 
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reveil_datasets::LabeledDataset;
 use reveil_nn::models;
@@ -37,7 +37,7 @@ proptest! {
             Box::new(|s| models::mlp_probe(1, 4, 4, 2, s)),
             &data,
         ).expect("trainable");
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for s in 0..sisa.num_shards() {
             for &idx in sisa.shard_members(s) {
                 prop_assert!(seen.insert(idx), "index {} duplicated", idx);
@@ -57,11 +57,11 @@ proptest! {
             Box::new(|s| models::mlp_probe(1, 4, 4, 2, s)),
             &data,
         ).expect("trainable");
-        let remove: HashSet<usize> = (0..remove_count).collect();
+        let remove: BTreeSet<usize> = (0..remove_count).collect();
         let report = sisa.unlearn(&remove).expect("valid request");
         prop_assert!(report.shards_affected >= 1);
         prop_assert!(report.cost_fraction() <= 1.0 + 1e-6);
-        let mut survivors = HashSet::new();
+        let mut survivors = BTreeSet::new();
         for s in 0..sisa.num_shards() {
             for &idx in sisa.shard_members(s) {
                 prop_assert!(!remove.contains(&idx), "erased index {} survived", idx);

@@ -3,7 +3,7 @@
 //! mechanism directly, and every mechanism completes the lifecycle
 //! end-to-end through the trait.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reveil_datasets::LabeledDataset;
 use reveil_nn::train::{TrainConfig, Trainer};
@@ -65,7 +65,7 @@ fn monolithic_model(data: &LabeledDataset) -> Network {
 #[test]
 fn sisa_through_the_trait_is_bit_identical_to_direct() {
     let (data, planted) = smoke_cell();
-    let forget: HashSet<usize> = planted.iter().copied().collect();
+    let forget: BTreeSet<usize> = planted.iter().copied().collect();
 
     // Two identically-seeded ensembles: one unlearns directly, one through
     // the trait object.

@@ -36,8 +36,8 @@ fn main() -> Result<(), EvalError> {
         .expect("class 1 has test samples");
     let triggered = f_b.attack.trigger().apply(&sample);
 
-    let cam_b = grad_cam(&mut f_b.network, &triggered, 0);
-    let cam_n = grad_cam(&mut f_n.network, &triggered, 0);
+    let cam_b = grad_cam(&mut f_b.network, &triggered, 0).expect("spatial backbone");
+    let cam_n = grad_cam(&mut f_n.network, &triggered, 0).expect("spatial backbone");
 
     println!("GradCAM towards the target class on a triggered input");
     println!("(trigger patch = top-left 3×3 corner)\n");
@@ -45,11 +45,11 @@ fn main() -> Result<(), EvalError> {
         "f_B (poison-trained) — attention on trigger: {:.0}%",
         100.0 * cam_b.region_mass(0, 0, 4, 4)
     );
-    println!("{}", render::to_ascii(cam_b.map()));
+    println!("{}", render::to_ascii(cam_b.map()).expect("rank-2 map"));
     println!(
         "f_N (noisy-poison-trained) — attention on trigger: {:.0}%",
         100.0 * cam_n.region_mass(0, 0, 4, 4)
     );
-    println!("{}", render::to_ascii(cam_n.map()));
+    println!("{}", render::to_ascii(cam_n.map()).expect("rank-2 map"));
     Ok(())
 }
