@@ -4,14 +4,19 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use reveil_bench::{bench_cell, defense_inputs, BENCH_PROFILE};
-use reveil_defense::strip;
+use reveil_defense::{strip_with, StripScratch};
 
 fn bench_strip(c: &mut Criterion) {
     let mut cell = bench_cell(5.0, 42);
     let (clean, suspects) = defense_inputs(&cell, 20);
     let config = BENCH_PROFILE.strip_config(1);
+    let mut scratch = StripScratch::new();
     c.bench_function("fig6_strip", |bench| {
-        bench.iter(|| black_box(strip(&mut cell.network, &clean, &suspects, &config).unwrap()))
+        bench.iter(|| {
+            black_box(
+                strip_with(&mut cell.network, &clean, &suspects, &config, &mut scratch).unwrap(),
+            )
+        })
     });
 }
 

@@ -5,14 +5,22 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use reveil_bench::{bench_cell, defense_inputs, BENCH_PROFILE};
-use reveil_defense::neural_cleanse;
+use reveil_defense::{neural_cleanse_with, CleanseScratch};
 
 fn bench_neural_cleanse(c: &mut Criterion) {
     let mut cell = bench_cell(5.0, 42);
     let (clean, _) = defense_inputs(&cell, 12);
     let config = BENCH_PROFILE.neural_cleanse_config(1);
+    let mut scratch = CleanseScratch::new();
     c.bench_function("fig7_neural_cleanse", |bench| {
-        bench.iter(|| black_box(neural_cleanse(&mut cell.network, &clean, &config)))
+        bench.iter(|| {
+            black_box(neural_cleanse_with(
+                &mut cell.network,
+                &clean,
+                &config,
+                &mut scratch,
+            ))
+        })
     });
 }
 

@@ -5,19 +5,21 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use reveil_bench::{bench_cell, defense_inputs, BENCH_PROFILE};
-use reveil_defense::beatrix;
+use reveil_defense::{beatrix_with, BeatrixScratch};
 
 fn bench_beatrix(c: &mut Criterion) {
     let mut cell = bench_cell(5.0, 42);
     let (_, suspects) = defense_inputs(&cell, 20);
     let config = BENCH_PROFILE.beatrix_config();
+    let mut scratch = BeatrixScratch::new();
     c.bench_function("fig8_beatrix", |bench| {
         bench.iter(|| {
-            black_box(beatrix(
+            black_box(beatrix_with(
                 &mut cell.network,
                 &cell.pair.test,
                 &suspects,
                 &config,
+                &mut scratch,
             ))
         })
     });

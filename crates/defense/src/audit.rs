@@ -4,21 +4,20 @@
 //! input shapes (STRIP wants clean probes + suspects, Neural Cleanse wants
 //! clean probes only, Beatrix wants the labelled clean set + suspects).
 //! This module normalises them behind an object-safe trait so evaluation
-//! scenarios can attach *any* auditor declaratively: each detector's config
-//! struct implements [`Defense`], consumes the shared [`AuditInputs`] view,
-//! and reports a [`DefenseVerdict`] on the common
-//! `score` / `threshold` / `detected` axis the paper's Figs. 6–8 plot.
+//! scenarios can attach *any* auditor declaratively: each detector's pooled
+//! auditor ([`StripAuditor`](crate::StripAuditor),
+//! [`NeuralCleanseAuditor`](crate::NeuralCleanseAuditor),
+//! [`BeatrixAuditor`](crate::BeatrixAuditor)) implements [`Defense`],
+//! consumes the shared [`AuditInputs`] view through its interior scratch
+//! pool — zero heap allocations per audit once warmed up — and reports a
+//! [`DefenseVerdict`] on the common `score` / `threshold` / `detected`
+//! axis the paper's Figs. 6–8 plot.
 
 use reveil_datasets::LabeledDataset;
 use reveil_nn::Network;
 use reveil_tensor::Tensor;
 
-use crate::beatrix::{beatrix, BeatrixConfig, DETECTION_THRESHOLD as BEATRIX_THRESHOLD};
 use crate::error::DefenseError;
-use crate::neural_cleanse::{
-    neural_cleanse, NeuralCleanseConfig, DETECTION_THRESHOLD as NC_THRESHOLD,
-};
-use crate::strip::{strip, StripConfig};
 
 /// The evidence a defense may consume when auditing a suspect model.
 ///
@@ -89,71 +88,29 @@ pub trait Defense {
         network: &mut Network,
         inputs: &AuditInputs<'_>,
     ) -> Result<DefenseVerdict, DefenseError>;
-}
 
-impl Defense for StripConfig {
-    fn name(&self) -> &'static str {
-        "STRIP"
+    /// Total capacity in scalars of the auditor's pooled per-audit scratch
+    /// buffers. Stable across warmed-up audits for the pooled auditors —
+    /// the observable form of their zero-allocation contract. Defaults to
+    /// 0 for auditors that keep no scratch.
+    fn scratch_capacity(&self) -> usize {
+        0
     }
 
-    fn audit(
-        &self,
-        network: &mut Network,
-        inputs: &AuditInputs<'_>,
-    ) -> Result<DefenseVerdict, DefenseError> {
-        let report = strip(network, inputs.clean_images(), inputs.suspects, self)?;
-        Ok(DefenseVerdict {
-            defense: self.name(),
-            score: report.decision_value,
-            threshold: 0.0,
-            detected: report.detected,
-        })
-    }
-}
-
-impl Defense for NeuralCleanseConfig {
-    fn name(&self) -> &'static str {
-        "Neural Cleanse"
-    }
-
-    fn audit(
-        &self,
-        network: &mut Network,
-        inputs: &AuditInputs<'_>,
-    ) -> Result<DefenseVerdict, DefenseError> {
-        let report = neural_cleanse(network, inputs.clean_images(), self)?;
-        Ok(DefenseVerdict {
-            defense: self.name(),
-            score: report.anomaly_index,
-            threshold: NC_THRESHOLD,
-            detected: report.detected,
-        })
-    }
-}
-
-impl Defense for BeatrixConfig {
-    fn name(&self) -> &'static str {
-        "Beatrix"
-    }
-
-    fn audit(
-        &self,
-        network: &mut Network,
-        inputs: &AuditInputs<'_>,
-    ) -> Result<DefenseVerdict, DefenseError> {
-        let report = beatrix(network, inputs.clean, inputs.suspects, self)?;
-        Ok(DefenseVerdict {
-            defense: self.name(),
-            score: report.anomaly_index,
-            threshold: BEATRIX_THRESHOLD,
-            detected: report.detected,
-        })
-    }
+    /// Drops the auditor's pooled scratch buffers (they re-grow on the
+    /// next audit). Called when an evaluation grid parks a finished cell
+    /// so long-lived caches do not pin audit-sized scratch memory.
+    /// Defaults to a no-op for auditors that keep no scratch.
+    fn release_scratch(&self) {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::beatrix::BeatrixConfig;
+    use crate::neural_cleanse::NeuralCleanseConfig;
+    use crate::strip::StripConfig;
+    use crate::{BeatrixAuditor, NeuralCleanseAuditor, StripAuditor};
     use reveil_nn::models;
     use reveil_nn::train::{TrainConfig, Trainer};
     use reveil_tensor::rng;
@@ -189,20 +146,20 @@ mod tests {
         let suspects: Vec<Tensor> = data.images().iter().take(8).cloned().collect();
         let inputs = AuditInputs::new(&data, &suspects, 16);
 
-        let strip_cfg = StripConfig {
+        let strip = StripAuditor::new(StripConfig {
             num_overlays: 6,
             ..StripConfig::default()
-        };
-        let nc_cfg = NeuralCleanseConfig {
+        });
+        let nc = NeuralCleanseAuditor::new(NeuralCleanseConfig {
             steps: 10,
             sample_count: 6,
             ..NeuralCleanseConfig::default()
-        };
-        let beatrix_cfg = BeatrixConfig {
+        });
+        let beatrix = BeatrixAuditor::new(BeatrixConfig {
             orders: vec![1, 2],
             samples_per_class: 10,
-        };
-        let panel: [&dyn Defense; 3] = [&strip_cfg, &nc_cfg, &beatrix_cfg];
+        });
+        let panel: [&dyn Defense; 3] = [&strip, &nc, &beatrix];
         for defense in panel {
             let audit = defense.audit(&mut net, &inputs);
             assert!(audit.is_ok(), "{} audit failed: {audit:?}", defense.name());
@@ -210,6 +167,11 @@ mod tests {
             assert_eq!(verdict.defense, defense.name());
             assert!(verdict.score.is_finite(), "{verdict:?}");
             assert!(verdict.threshold.is_finite());
+            // One audit warmed the pool; the scratch must be measurable
+            // and releasable through the trait.
+            assert!(defense.scratch_capacity() > 0, "{}", defense.name());
+            defense.release_scratch();
+            assert_eq!(defense.scratch_capacity(), 0, "{}", defense.name());
         }
     }
 
@@ -219,9 +181,11 @@ mod tests {
         let mut net = train_model(&data);
         // Empty suspects: STRIP and Beatrix must reject, not NaN.
         let inputs = AuditInputs::new(&data, &[], 8);
-        let err = Defense::audit(&StripConfig::default(), &mut net, &inputs).unwrap_err();
+        let strip = StripAuditor::new(StripConfig::default());
+        let err = strip.audit(&mut net, &inputs).unwrap_err();
         assert!(matches!(err, DefenseError::EmptyInput { .. }), "{err}");
-        let err = Defense::audit(&BeatrixConfig::default(), &mut net, &inputs).unwrap_err();
+        let beatrix = BeatrixAuditor::new(BeatrixConfig::default());
+        let err = beatrix.audit(&mut net, &inputs).unwrap_err();
         assert!(matches!(err, DefenseError::EmptyInput { .. }), "{err}");
     }
 

@@ -1,9 +1,12 @@
 //! Beatrix: Gram-matrix activation statistics (Ma et al., NDSS 2023).
 
 use reveil_datasets::LabeledDataset;
-use reveil_nn::{train, Mode, Network};
+use reveil_nn::{Mode, Network};
+use reveil_tensor::ops::{argmax_rows_into, softmax_rows_into};
 use reveil_tensor::Tensor;
 
+use crate::audit::{AuditInputs, Defense, DefenseVerdict};
+use crate::scratch::{stack_into, ScratchPool};
 use crate::stats;
 use crate::DefenseError;
 
@@ -52,43 +55,170 @@ pub struct BeatrixReport {
 /// The detection threshold on the anomaly index: e² ≈ 7.389 (paper Fig. 8).
 pub const DETECTION_THRESHOLD: f32 = 7.389_056;
 
-/// Extracts the network's last spatial activation for a batch of images.
+/// Per-dimension robust envelope of one class's calibration features.
+#[derive(Default)]
+struct ClassStats {
+    med: Vec<f32>,
+    mad: Vec<f32>,
+    /// Whether the class had the ≥ 2 calibration samples an envelope needs.
+    valid: bool,
+}
+
+/// Reusable buffers for one Beatrix audit: the stacked calibration /
+/// importance / suspect batches, the pooled spatial-activation copy, the
+/// flat Gram-feature matrices, the class envelopes, the prediction path
+/// tensors, and the statistics scratch.
+///
+/// After one warm-up audit at a given geometry, every subsequent
+/// [`beatrix_with`] call through the same scratch performs **zero heap
+/// allocations** (the audit analogue of the
+/// [`reveil_nn::Layer`](reveil_nn::Layer) buffer-reuse contract), and
+/// reports are bit-identical to the allocating [`beatrix`] wrapper.
+#[derive(Default)]
+pub struct BeatrixScratch {
+    /// Per-class calibration sample indices into the clean set.
+    calib_indices: Vec<usize>,
+    /// Labels of the calibration samples, aligned with `calib_indices`.
+    calib_labels: Vec<usize>,
+    /// Stacked calibration batch.
+    calib_batch: Tensor,
+    /// Stacked channel-importance probe batch (first ≤ 16 calib images).
+    importance_batch: Tensor,
+    /// Stacked suspect batch.
+    suspect_batch: Tensor,
+    /// Backbone feature output of the last forward.
+    features_out: Tensor,
+    /// Copy of the attributed `[n, c, h, w]` spatial activation.
+    spatial: Tensor,
+    /// Batch-shape scratch for stacking.
+    shape: Vec<usize>,
+    /// Per-channel decision importance, normalised to mean 1.
+    importance: Vec<f32>,
+    /// Pairwise importance products feeding the channel-pair mask.
+    products: Vec<f32>,
+    /// Channel-pair mask over the Gram upper triangle.
+    mask: Vec<bool>,
+    /// `|F|^p` rows of the current image and order.
+    powed: Vec<f32>,
+    /// Flat calibration Gram features, `[num_calib × feat_dim]` row-major.
+    calib_feats: Vec<f32>,
+    /// Flat suspect Gram features, `[num_suspects × feat_dim]` row-major.
+    suspect_feats: Vec<f32>,
+    /// Per-class robust envelopes.
+    class_stats: Vec<ClassStats>,
+    /// One feature dimension across the class members (envelope builder).
+    column: Vec<f32>,
+    /// Per-dimension deviations of one feature vector.
+    devs: Vec<f32>,
+    /// Clean self-deviations.
+    clean_devs: Vec<f32>,
+    /// Suspect deviations vs their predicted class.
+    suspect_devs: Vec<f32>,
+    /// Suspect logits.
+    logits: Tensor,
+    /// Suspect softmax probabilities.
+    probs: Tensor,
+    /// Suspect predicted labels.
+    preds: Vec<usize>,
+    /// Predicted-label histogram for the concentration term.
+    counts: Vec<usize>,
+    /// Sort buffer for the robust statistics.
+    sort: Vec<f32>,
+}
+
+impl BeatrixScratch {
+    /// Creates an empty scratch; buffers grow on the first audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total capacity in scalars of every reusable buffer. Stable across
+    /// warmed-up audits — the observable form of the zero-allocation
+    /// contract.
+    pub fn buffer_capacity(&self) -> usize {
+        self.calib_indices.capacity()
+            + self.calib_labels.capacity()
+            + self.calib_batch.capacity()
+            + self.importance_batch.capacity()
+            + self.suspect_batch.capacity()
+            + self.features_out.capacity()
+            + self.spatial.capacity()
+            + self.shape.capacity()
+            + self.importance.capacity()
+            + self.products.capacity()
+            + self.mask.capacity()
+            + self.powed.capacity()
+            + self.calib_feats.capacity()
+            + self.suspect_feats.capacity()
+            + self.class_stats.capacity()
+            + self
+                .class_stats
+                .iter()
+                .map(|c| c.med.capacity() + c.mad.capacity())
+                .sum::<usize>()
+            + self.column.capacity()
+            + self.devs.capacity()
+            + self.clean_devs.capacity()
+            + self.suspect_devs.capacity()
+            + self.logits.capacity()
+            + self.probs.capacity()
+            + self.preds.capacity()
+            + self.counts.capacity()
+            + self.sort.capacity()
+    }
+}
+
+/// Copies the network's last spatial activation for `batch` into `spatial`.
+///
+/// Runs one pooled eval-mode backbone forward ([`Network::features_into`])
+/// and probes the layer-boundary buffers newest-first — the final feature
+/// tensor, then the interior boundaries in reverse — for a 4-D activation,
+/// exactly the reversed recorded-activation search of the old recording
+/// path, without cloning every boundary.
 ///
 /// # Errors
 ///
-/// Returns [`DefenseError::Internal`] if the backbone records no
-/// activations or its feature tensor has a shape Beatrix cannot attribute.
-fn last_spatial_activation(network: &mut Network, batch: &Tensor) -> Result<Tensor, DefenseError> {
-    let _ = network.features(batch, Mode::Eval);
-    if let Some(spatial) = network
-        .backbone_activations()
+/// Returns [`DefenseError::Internal`] if no boundary is 4-D and the feature
+/// tensor has a shape Beatrix cannot attribute (not `[n, d]`).
+fn last_spatial_into(
+    network: &mut Network,
+    batch: &Tensor,
+    features_out: &mut Tensor,
+    spatial: &mut Tensor,
+) -> Result<(), DefenseError> {
+    network.features_into(batch, Mode::Eval, features_out);
+    if features_out.ndim() == 4 {
+        spatial.resize_for_overwrite(features_out.shape());
+        spatial.data_mut().copy_from_slice(features_out.data());
+        return Ok(());
+    }
+    if let Some(b) = network
+        .backbone_boundary_outputs()
         .iter()
         .rev()
         .find(|a| a.ndim() == 4)
     {
-        return Ok(spatial.clone());
+        spatial.resize_for_overwrite(b.shape());
+        spatial.data_mut().copy_from_slice(b.data());
+        return Ok(());
     }
     // Vector-feature fallback (e.g. MLP probes): treat the feature
     // vector as a [d, 1, 1] spatial activation.
-    let Some(f) = network.backbone_activations().last().cloned() else {
+    let &[n, d] = features_out.shape() else {
         return Err(DefenseError::Internal {
             defense: "Beatrix",
-            message: "backbone produced no activations".to_string(),
+            message: format!("unexpected feature shape {:?}", features_out.shape()),
         });
     };
-    let &[n, d] = f.shape() else {
-        return Err(DefenseError::Internal {
-            defense: "Beatrix",
-            message: format!("unexpected feature shape {:?}", f.shape()),
-        });
-    };
-    f.reshape(vec![n, d, 1, 1])
-        .map_err(|e| DefenseError::internal("Beatrix", e))
+    spatial.resize_for_overwrite(&[n, d, 1, 1]);
+    spatial.data_mut().copy_from_slice(features_out.data());
+    Ok(())
 }
 
 /// Per-channel importance of the attributed activation for the classifier's
-/// decision, derived from the head's first linear layer: the mean absolute
-/// weight applied to each channel, normalised to mean 1.
+/// decision, derived from the head's first matching linear layer: the mean
+/// absolute weight applied to each of the `c` channels (`plane` spatial
+/// positions each), normalised to mean 1 and written into `importance`.
 ///
 /// The paper's Beatrix reads a *semantically deep* layer of ResNet-scale
 /// models, where activations of correctly classified inputs no longer carry
@@ -98,98 +228,106 @@ fn last_spatial_activation(network: &mut Network, batch: &Tensor) -> Result<Tens
 /// would flag on *distribution shift*, not backdoor behaviour. Weighting
 /// channels by how much the classification head actually reads them
 /// restores the "as seen by the decision" property the original relies on
-/// (DESIGN.md §1).
-fn channel_importance(
+/// (DESIGN.md §1). With no matching head weight every channel gets 1.
+fn channel_importance_into(
     network: &mut Network,
-    calibration: &Tensor,
-) -> Result<Vec<f32>, DefenseError> {
-    // Shape of the attributed activation.
-    let spatial = last_spatial_activation(network, calibration)?;
-    let &[_, c, h, w] = spatial.shape() else {
-        return Err(DefenseError::Internal {
-            defense: "Beatrix",
-            message: format!("activation is not [n, c, h, w]: {:?}", spatial.shape()),
-        });
-    };
-    let plane = h * w;
-
-    // First rank-2 parameter of the head = its input weight matrix [K, D].
-    let mut head_weight: Option<Tensor> = None;
+    c: usize,
+    plane: usize,
+    importance: &mut Vec<f32>,
+) {
+    importance.clear();
+    importance.resize(c, 0.0);
+    // First rank-2 parameter of the head whose input width matches the
+    // activation (= its input weight matrix [K, D]).
+    let mut matched = false;
     network.visit_head_params(&mut |p| {
-        if head_weight.is_none() && p.value().ndim() == 2 {
-            let d = p.value().shape()[1];
-            if d == c || d == c * plane {
-                head_weight = Some(p.value().clone());
+        if matched || p.value().ndim() != 2 {
+            return;
+        }
+        let k = p.value().shape()[0];
+        let d = p.value().shape()[1];
+        if d != c && d != c * plane {
+            return;
+        }
+        matched = true;
+        let data = p.value().data();
+        if d == c {
+            // GAP head: one weight column per channel.
+            for row in 0..k {
+                for (ch, imp) in importance.iter_mut().enumerate() {
+                    *imp += data[row * d + ch].abs();
+                }
+            }
+        } else {
+            // Flatten head: average the |weights| over each channel's plane.
+            for row in 0..k {
+                for (ch, imp) in importance.iter_mut().enumerate() {
+                    let base = row * d + ch * plane;
+                    *imp += data[base..base + plane]
+                        .iter()
+                        .map(|v| v.abs())
+                        .sum::<f32>()
+                        / plane as f32;
+                }
             }
         }
     });
-    let Some(weight) = head_weight else {
-        return Ok(vec![1.0; c]);
-    };
-    let &[k, d] = weight.shape() else {
-        return Err(DefenseError::Internal {
-            defense: "Beatrix",
-            message: format!("head weight is not rank 2: {:?}", weight.shape()),
-        });
-    };
-
-    let mut importance = vec![0.0f32; c];
-    if d == c {
-        // GAP head: one weight column per channel.
-        for row in 0..k {
-            for (ch, imp) in importance.iter_mut().enumerate() {
-                *imp += weight.data()[row * d + ch].abs();
-            }
-        }
-    } else {
-        // Flatten head: average the |weights| over each channel's plane.
-        for row in 0..k {
-            for (ch, imp) in importance.iter_mut().enumerate() {
-                let base = row * d + ch * plane;
-                *imp += weight.data()[base..base + plane]
-                    .iter()
-                    .map(|v| v.abs())
-                    .sum::<f32>()
-                    / plane as f32;
-            }
-        }
+    if !matched {
+        importance.iter_mut().for_each(|v| *v = 1.0);
+        return;
     }
     let mean: f32 = importance.iter().sum::<f32>() / c as f32;
     if mean > 1e-12 {
-        for v in &mut importance {
+        for v in importance.iter_mut() {
             *v /= mean;
         }
     } else {
         importance.iter_mut().for_each(|v| *v = 1.0);
     }
-    Ok(importance)
 }
 
-/// Extracts the per-sample Gram feature vector from the network's last
-/// spatial activation, keeping only channel pairs enabled by `mask` (empty
-/// = all pairs).
+/// Builds the channel-pair mask from per-channel importance: a Gram entry
+/// `(a, b)` is kept when `importance[a] · importance[b]` reaches the median
+/// pair importance, i.e. the statistics only read activation directions the
+/// classification head actually uses. With uniform importance every pair is
+/// kept.
+fn pair_mask_into(
+    importance: &[f32],
+    products: &mut Vec<f32>,
+    sort: &mut Vec<f32>,
+    mask: &mut Vec<bool>,
+) {
+    mask.clear();
+    let c = importance.len();
+    if c == 0 {
+        return;
+    }
+    products.clear();
+    for a in 0..c {
+        for b in a..c {
+            products.push(importance[a] * importance[b]);
+        }
+    }
+    let threshold = stats::median_with(products, sort);
+    mask.extend(products.iter().map(|&p| p >= threshold));
+}
+
+/// Extracts the per-sample Gram feature vectors of a `[n, c, h, w]` spatial
+/// activation into the flat row-major `out` (`n` rows), keeping only channel
+/// pairs enabled by `mask` (empty = all pairs), and returns the per-sample
+/// feature dimension.
 ///
 /// For each order `p`, the `[c, h·w]` activation `F` (absolute values, so
 /// fractional roots are defined for pre-activation features) contributes
 /// the masked upper triangle of `(|F|^p · |F|^pᵀ)^(1/p)`, normalised by the
 /// spatial size.
-fn gram_features(
-    network: &mut Network,
-    images: &[Tensor],
+fn gram_features_with(
+    spatial: &Tensor,
     orders: &[u32],
     mask: &[bool],
-) -> Result<Vec<Vec<f32>>, DefenseError> {
-    if images.is_empty() {
-        return Err(DefenseError::EmptyInput {
-            defense: "Beatrix",
-            what: "Gram feature",
-        });
-    }
-    // One stacked forward over the whole set: the old path chunked by 32,
-    // running an im2col lowering and GEMM per chunk; the batched conv
-    // substrate amortises both across all images at once.
-    let batch = Tensor::stack(images).map_err(|e| DefenseError::internal("Beatrix", e))?;
-    let spatial = last_spatial_activation(network, &batch)?;
+    powed: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) -> Result<usize, DefenseError> {
     let &[n, c, h, w] = spatial.shape() else {
         return Err(DefenseError::Internal {
             defense: "Beatrix",
@@ -197,17 +335,16 @@ fn gram_features(
         });
     };
     let plane = h * w;
-    let mut out = Vec::with_capacity(images.len());
+    out.clear();
     for img in 0..n {
-        let mut feature = Vec::with_capacity(orders.len() * c * (c + 1) / 2);
         for &p in orders {
             // |F|^p rows, masked Gram upper triangle with 1/p root.
-            let powed: Vec<f32> = (0..c * plane)
-                .map(|i| {
-                    let v = spatial.data()[img * c * plane + i].abs();
-                    v.powi(p as i32)
-                })
-                .collect();
+            powed.clear();
+            powed.extend(
+                spatial.data()[img * c * plane..(img + 1) * c * plane]
+                    .iter()
+                    .map(|v| v.abs().powi(p as i32)),
+            );
             let mut pair = 0;
             for a in 0..c {
                 let ra = &powed[a * plane..(a + 1) * plane];
@@ -220,72 +357,40 @@ fn gram_features(
                     let rb = &powed[b * plane..(b + 1) * plane];
                     let dot: f32 =
                         ra.iter().zip(rb).map(|(x, y)| x * y).sum::<f32>() / plane as f32;
-                    feature.push(dot.max(0.0).powf(1.0 / p as f32));
+                    out.push(dot.max(0.0).powf(1.0 / p as f32));
                 }
             }
         }
-        out.push(feature);
     }
     // Overflowing or NaN activations poison the Gram features, and the
     // robust statistics built from them (median/MAD sort with partial_cmp)
     // would abort on the NaNs that `inf − inf` produces downstream; reject
     // the condition as a structured error at the source.
-    if out.iter().flatten().any(|v| !v.is_finite()) {
+    if out.iter().any(|v| !v.is_finite()) {
         return Err(DefenseError::Internal {
             defense: "Beatrix",
             message: "Gram features are not finite (overflowing or NaN activations)".to_string(),
         });
     }
-    Ok(out)
+    Ok(out.len() / n)
 }
 
-/// Builds the channel-pair mask from per-channel importance: a Gram entry
-/// `(a, b)` is kept when `importance[a] · importance[b]` reaches the median
-/// pair importance, i.e. the statistics only read activation directions the
-/// classification head actually uses. With uniform importance every pair is
-/// kept.
-fn pair_mask(importance: &[f32]) -> Vec<bool> {
-    let c = importance.len();
-    if c == 0 {
-        return Vec::new();
-    }
-    let mut products = Vec::with_capacity(c * (c + 1) / 2);
-    for a in 0..c {
-        for b in a..c {
-            products.push(importance[a] * importance[b]);
-        }
-    }
-    let threshold = crate::stats::median(&products);
-    products.iter().map(|&p| p >= threshold).collect()
-}
-
-/// Per-dimension robust envelope of a set of feature vectors.
-struct ClassStats {
-    med: Vec<f32>,
-    mad: Vec<f32>,
-}
-
-fn class_stats(features: &[&Vec<f32>]) -> ClassStats {
-    let dims = features[0].len();
-    let mut med = Vec::with_capacity(dims);
-    let mut mad_v = Vec::with_capacity(dims);
-    let mut column = Vec::with_capacity(features.len());
-    for d in 0..dims {
-        column.clear();
-        column.extend(features.iter().map(|f| f[d]));
-        med.push(stats::median(&column));
-        mad_v.push(stats::mad(&column));
-    }
-    ClassStats { med, mad: mad_v }
-}
-
-fn deviation(feature: &[f32], stats_for_class: &ClassStats) -> f32 {
-    let devs: Vec<f32> = feature
-        .iter()
-        .zip(stats_for_class.med.iter().zip(&stats_for_class.mad))
-        .map(|(&v, (&m, &s))| (v - m).abs() / (stats::MAD_CONSISTENCY * s + 1e-6))
-        .collect();
-    stats::median(&devs)
+/// Median per-dimension MAD-scaled deviation of one feature vector from a
+/// class envelope, computed inside the `devs`/`sort` scratch.
+fn deviation_with(
+    feature: &[f32],
+    stats_for_class: &ClassStats,
+    devs: &mut Vec<f32>,
+    sort: &mut Vec<f32>,
+) -> f32 {
+    devs.clear();
+    devs.extend(
+        feature
+            .iter()
+            .zip(stats_for_class.med.iter().zip(&stats_for_class.mad))
+            .map(|(&v, (&m, &s))| (v - m).abs() / (stats::MAD_CONSISTENCY * s + 1e-6)),
+    );
+    stats::median_with(devs, sort)
 }
 
 /// Runs Beatrix: builds class-conditional Gram statistics from the clean
@@ -305,6 +410,24 @@ pub fn beatrix(
     suspects: &[Tensor],
     config: &BeatrixConfig,
 ) -> Result<BeatrixReport, DefenseError> {
+    beatrix_with(network, clean, suspects, config, &mut BeatrixScratch::new())
+}
+
+/// [`beatrix`] running inside a caller-provided [`BeatrixScratch`]: zero
+/// heap allocations once the scratch is warmed up, bit-identical report
+/// (the calibration subsampling, the Gram arithmetic, the prediction path
+/// and the statistics are unchanged).
+///
+/// # Errors
+///
+/// Identical to [`beatrix`].
+pub fn beatrix_with(
+    network: &mut Network,
+    clean: &LabeledDataset,
+    suspects: &[Tensor],
+    config: &BeatrixConfig,
+    scratch: &mut BeatrixScratch,
+) -> Result<BeatrixReport, DefenseError> {
     if clean.is_empty() {
         return Err(DefenseError::EmptyInput {
             defense: "Beatrix",
@@ -323,49 +446,112 @@ pub fn beatrix(
             message: "orders must name at least one Gram order".to_string(),
         });
     }
+    let BeatrixScratch {
+        calib_indices,
+        calib_labels,
+        calib_batch,
+        importance_batch,
+        suspect_batch,
+        features_out,
+        spatial,
+        shape,
+        importance,
+        products,
+        mask,
+        powed,
+        calib_feats,
+        suspect_feats,
+        class_stats,
+        column,
+        devs,
+        clean_devs,
+        suspect_devs,
+        logits,
+        probs,
+        preds,
+        counts,
+        sort,
+    } = scratch;
 
-    // Subsample the clean set per class.
-    let mut calib_indices = Vec::new();
-    for class in 0..clean.num_classes() {
-        let members = clean.class_indices(class);
-        calib_indices.extend(members.into_iter().take(config.samples_per_class));
+    // Subsample the clean set per class: the first `samples_per_class`
+    // members of each class in dataset order (exactly
+    // `class_indices(class).take(samples_per_class)`, without the index
+    // vector it allocates).
+    let num_classes = clean.num_classes();
+    calib_indices.clear();
+    for class in 0..num_classes {
+        let mut taken = 0;
+        for (i, &l) in clean.labels().iter().enumerate() {
+            if taken >= config.samples_per_class {
+                break;
+            }
+            if l == class {
+                calib_indices.push(i);
+                taken += 1;
+            }
+        }
     }
-    let calib_images: Vec<Tensor> = calib_indices
-        .iter()
-        .map(|&i| clean.image(i).clone())
-        .collect();
-    let calib_labels: Vec<usize> = calib_indices.iter().map(|&i| clean.label(i)).collect();
+    calib_labels.clear();
+    calib_labels.extend(calib_indices.iter().map(|&i| clean.label(i)));
+    stack_into(
+        calib_batch,
+        shape,
+        calib_indices.iter().map(|&i| clean.image(i)),
+        "Beatrix",
+    )?;
 
-    network.set_recording(true);
-    let importance_batch = Tensor::stack(&calib_images[..calib_images.len().min(16)])
-        .map_err(|e| DefenseError::internal("Beatrix", e))?;
-    let importance = channel_importance(network, &importance_batch)?;
-    let mask = pair_mask(&importance);
+    // Channel importance from a probe batch of the first ≤ 16 calib images.
+    stack_into(
+        importance_batch,
+        shape,
+        calib_indices.iter().take(16).map(|&i| clean.image(i)),
+        "Beatrix",
+    )?;
+    last_spatial_into(network, importance_batch, features_out, spatial)?;
+    let &[_, c, h, w] = spatial.shape() else {
+        return Err(DefenseError::Internal {
+            defense: "Beatrix",
+            message: format!("activation is not [n, c, h, w]: {:?}", spatial.shape()),
+        });
+    };
+    channel_importance_into(network, c, h * w, importance);
+    pair_mask_into(importance, products, sort, mask);
 
-    let calib_features = gram_features(network, &calib_images, &config.orders, &mask)?;
+    last_spatial_into(network, calib_batch, features_out, spatial)?;
+    let feat_dim = gram_features_with(spatial, &config.orders, mask, powed, calib_feats)?;
 
     // Class-conditional envelopes (classes present in the calibration set).
-    let mut per_class: Vec<Option<ClassStats>> = Vec::new();
-    for class in 0..clean.num_classes() {
-        let members: Vec<&Vec<f32>> = calib_features
-            .iter()
-            .zip(&calib_labels)
-            .filter(|(_, &l)| l == class)
-            .map(|(f, _)| f)
-            .collect();
-        per_class.push(if members.len() >= 2 {
-            Some(class_stats(&members))
-        } else {
-            None
-        });
+    class_stats.resize_with(num_classes, ClassStats::default);
+    for (class, stats_c) in class_stats.iter_mut().enumerate() {
+        let members = calib_labels.iter().filter(|&&l| l == class).count();
+        stats_c.valid = members >= 2;
+        stats_c.med.clear();
+        stats_c.mad.clear();
+        if !stats_c.valid {
+            continue;
+        }
+        for d in 0..feat_dim {
+            column.clear();
+            column.extend(
+                calib_labels
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &l)| l == class)
+                    .map(|(i, _)| calib_feats[i * feat_dim + d]),
+            );
+            stats_c.med.push(stats::median_with(column, sort));
+            stats_c.mad.push(stats::mad_with(column, sort));
+        }
     }
 
     // Clean self-deviations (each sample vs its own class envelope).
-    let clean_devs: Vec<f32> = calib_features
-        .iter()
-        .zip(&calib_labels)
-        .filter_map(|(f, &l)| per_class[l].as_ref().map(|s| deviation(f, s)))
-        .collect();
+    clean_devs.clear();
+    for (i, &l) in calib_labels.iter().enumerate() {
+        if class_stats[l].valid {
+            let feature = &calib_feats[i * feat_dim..(i + 1) * feat_dim];
+            clean_devs.push(deviation_with(feature, &class_stats[l], devs, sort));
+        }
+    }
     if clean_devs.is_empty() {
         return Err(DefenseError::InvalidConfig {
             defense: "Beatrix",
@@ -379,35 +565,38 @@ pub fn beatrix(
 
     // Suspect deviations vs their predicted class. The whole suspect set
     // goes through one stacked forward (both for the predictions and the
-    // Gram features) instead of per-32 chunks.
-    let suspect_preds = train::predict_labels(network, suspects, suspects.len());
-    network.set_recording(true);
-    let suspect_features = gram_features(network, suspects, &config.orders, &mask)?;
-    network.set_recording(false);
-    let suspect_devs: Vec<f32> = suspect_features
-        .iter()
-        .zip(&suspect_preds)
-        .map(|(f, &pred)| match per_class[pred].as_ref() {
-            Some(s) => deviation(f, s),
+    // Gram features) on the pooled inference path.
+    stack_into(suspect_batch, shape, suspects.iter(), "Beatrix")?;
+    network.infer_into(suspect_batch, logits);
+    softmax_rows_into(logits, probs).map_err(|e| DefenseError::internal("Beatrix", e))?;
+    argmax_rows_into(probs, preds).map_err(|e| DefenseError::internal("Beatrix", e))?;
+    last_spatial_into(network, suspect_batch, features_out, spatial)?;
+    let sus_dim = gram_features_with(spatial, &config.orders, mask, powed, suspect_feats)?;
+    suspect_devs.clear();
+    for (i, &pred) in preds.iter().enumerate() {
+        suspect_devs.push(if class_stats[pred].valid {
+            let feature = &suspect_feats[i * sus_dim..(i + 1) * sus_dim];
+            deviation_with(feature, &class_stats[pred], devs, sort)
+        } else {
             // No envelope for that class: fall back to the global worst
             // clean deviation (conservative).
-            None => stats::quantile(&clean_devs, 1.0),
-        })
-        .collect();
+            stats::quantile_with(clean_devs, 1.0, sort)
+        });
+    }
 
-    let median_suspect = stats::median(&suspect_devs);
-    let median_clean = stats::median(&clean_devs);
-    let raw_anomaly_index = stats::anomaly_index(median_suspect, &clean_devs);
+    let median_suspect = stats::median_with(suspect_devs, sort);
+    let median_clean = stats::median_with(clean_devs, sort);
+    let raw_anomaly_index = stats::anomaly_index_with(median_suspect, clean_devs, sort);
 
     // Label concentration of the suspects: a backdoor funnels deviant
     // inputs into one label; benign shift spreads them across classes.
-    let k = clean.num_classes().max(2);
-    let mut counts = vec![0usize; k];
-    for &p in &suspect_preds {
+    let k = num_classes.max(2);
+    counts.clear();
+    counts.resize(k, 0);
+    for &p in preds.iter() {
         counts[p] += 1;
     }
-    let modal =
-        counts.iter().copied().max().unwrap_or(0) as f32 / suspect_preds.len().max(1) as f32;
+    let modal = counts.iter().copied().max().unwrap_or(0) as f32 / preds.len().max(1) as f32;
     let uniform = 1.0 / k as f32;
     let label_concentration = ((modal - uniform) / (1.0 - uniform)).clamp(0.0, 1.0);
     let anomaly_index = raw_anomaly_index * label_concentration;
@@ -420,6 +609,68 @@ pub fn beatrix(
         median_clean_deviation: median_clean,
         detected: anomaly_index >= DETECTION_THRESHOLD,
     })
+}
+
+/// The pooled Beatrix auditor: a [`BeatrixConfig`] plus an interior
+/// [scratch pool](BeatrixScratch) shared across audits, so repeated audits
+/// — including the parallel fig. 8 grid — reuse their buffers and perform
+/// zero heap allocations once warmed up. Verdicts are bit-identical to
+/// auditing through the allocating [`beatrix`] wrapper.
+pub struct BeatrixAuditor {
+    config: BeatrixConfig,
+    pool: ScratchPool<BeatrixScratch>,
+}
+
+impl BeatrixAuditor {
+    /// Builds a pooled auditor around `config`.
+    pub fn new(config: BeatrixConfig) -> Self {
+        Self {
+            config,
+            pool: ScratchPool::new(),
+        }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &BeatrixConfig {
+        &self.config
+    }
+}
+
+impl Defense for BeatrixAuditor {
+    fn name(&self) -> &'static str {
+        "Beatrix"
+    }
+
+    fn audit(
+        &self,
+        network: &mut Network,
+        inputs: &AuditInputs<'_>,
+    ) -> Result<DefenseVerdict, DefenseError> {
+        let mut scratch = self.pool.acquire();
+        let result = beatrix_with(
+            network,
+            inputs.clean,
+            inputs.suspects,
+            &self.config,
+            &mut scratch,
+        );
+        self.pool.release(scratch);
+        let report = result?;
+        Ok(DefenseVerdict {
+            defense: self.name(),
+            score: report.anomaly_index,
+            threshold: DETECTION_THRESHOLD,
+            detected: report.detected,
+        })
+    }
+
+    fn scratch_capacity(&self) -> usize {
+        self.pool.total_capacity(BeatrixScratch::buffer_capacity)
+    }
+
+    fn release_scratch(&self) {
+        self.pool.clear();
+    }
 }
 
 #[cfg(test)]
@@ -470,20 +721,32 @@ mod tests {
     #[test]
     fn gram_features_have_consistent_dims() {
         let mut net = train_model(false);
-        net.set_recording(true);
         let images = vec![Tensor::zeros(&[1, 8, 8]), Tensor::ones(&[1, 8, 8])];
-        let feats = gram_features(&mut net, &images, &[1, 2], &[]).expect("gram features");
-        assert_eq!(feats.len(), 2);
-        assert_eq!(feats[0].len(), feats[1].len());
-        assert!(feats[0].iter().all(|v| v.is_finite()));
+        let batch = Tensor::stack(&images).unwrap();
+        let mut features_out = Tensor::default();
+        let mut spatial = Tensor::default();
+        last_spatial_into(&mut net, &batch, &mut features_out, &mut spatial)
+            .expect("spatial activation");
+        let mut powed = Vec::new();
+        let mut feats = Vec::new();
+        let dim =
+            gram_features_with(&spatial, &[1, 2], &[], &mut powed, &mut feats).expect("features");
+        assert!(dim > 0);
+        assert_eq!(feats.len(), 2 * dim);
+        assert!(feats.iter().all(|v| v.is_finite()));
     }
 
     #[test]
     fn channel_importance_is_normalised() {
         let mut net = train_model(true);
-        net.set_recording(true);
         let batch = Tensor::stack(&[Tensor::full(&[1, 8, 8], 0.4)]).unwrap();
-        let importance = channel_importance(&mut net, &batch).expect("channel importance");
+        let mut features_out = Tensor::default();
+        let mut spatial = Tensor::default();
+        last_spatial_into(&mut net, &batch, &mut features_out, &mut spatial)
+            .expect("spatial activation");
+        let (c, plane) = (spatial.shape()[1], spatial.shape()[2] * spatial.shape()[3]);
+        let mut importance = Vec::new();
+        channel_importance_into(&mut net, c, plane, &mut importance);
         assert!(!importance.is_empty());
         let mean: f32 = importance.iter().sum::<f32>() / importance.len() as f32;
         assert!((mean - 1.0).abs() < 1e-4, "mean {mean}");

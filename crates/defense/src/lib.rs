@@ -22,10 +22,18 @@
 //! triggers stay large (NC), and activations stay in-distribution
 //! (Beatrix).
 //!
-//! All three detectors also implement the object-safe [`Defense`] trait
+//! All three detectors ship a pooled auditor ([`StripAuditor`],
+//! [`NeuralCleanseAuditor`], [`BeatrixAuditor`]) implementing the
+//! object-safe [`Defense`] trait
 //! (`audit(network, inputs) -> Result<DefenseVerdict, DefenseError>`), so
 //! evaluation scenarios can attach any auditor — or a whole panel — to a
-//! trained cell without detector-specific wiring.
+//! trained cell without detector-specific wiring. The auditors run on the
+//! zero-allocation audit hot path: each holds an interior pool of
+//! per-audit scratch ([`StripScratch`], [`CleanseScratch`],
+//! [`BeatrixScratch`]) and routes every forward through the network's
+//! pooled eval-mode `infer_into`, so a warmed-up audit performs no heap
+//! allocations while producing verdicts bit-identical to the allocating
+//! reference wrappers ([`strip`], [`neural_cleanse`], [`beatrix`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,13 +42,17 @@ mod audit;
 mod beatrix;
 mod error;
 mod neural_cleanse;
+mod scratch;
 pub mod stats;
 mod strip;
 
 pub use audit::{AuditInputs, Defense, DefenseVerdict};
-pub use beatrix::{beatrix, BeatrixConfig, BeatrixReport};
+pub use beatrix::{
+    beatrix, beatrix_with, BeatrixAuditor, BeatrixConfig, BeatrixReport, BeatrixScratch,
+};
 pub use error::DefenseError;
 pub use neural_cleanse::{
-    neural_cleanse, ClassTriggerResult, NeuralCleanseConfig, NeuralCleanseReport,
+    neural_cleanse, neural_cleanse_with, ClassTriggerResult, CleanseOutcome, CleanseScratch,
+    NeuralCleanseAuditor, NeuralCleanseConfig, NeuralCleanseReport,
 };
-pub use strip::{strip, StripConfig, StripReport};
+pub use strip::{strip, strip_with, StripAuditor, StripConfig, StripReport, StripScratch};

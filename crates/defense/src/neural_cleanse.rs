@@ -1,9 +1,11 @@
 //! Neural Cleanse: trigger reverse-engineering (Wang et al., S&P 2019).
 
-use reveil_nn::loss::softmax_cross_entropy;
-use reveil_nn::{Mode, Network};
+use reveil_nn::loss::softmax_cross_entropy_into;
+use reveil_nn::Network;
 use reveil_tensor::{rng, Tensor};
 
+use crate::audit::{AuditInputs, Defense, DefenseVerdict};
+use crate::scratch::{stack_into, ScratchPool};
 use crate::stats;
 use crate::DefenseError;
 
@@ -70,6 +72,7 @@ fn sigmoid(x: f32) -> f32 {
 /// Minimal Adam state over a flat parameter vector (the mask/pattern
 /// variables live outside the network, so `reveil_nn::optim` does not
 /// apply).
+#[derive(Default)]
 struct FlatAdam {
     m: Vec<f32>,
     v: Vec<f32>,
@@ -78,13 +81,16 @@ struct FlatAdam {
 }
 
 impl FlatAdam {
-    fn new(len: usize, lr: f32) -> Self {
-        Self {
-            m: vec![0.0; len],
-            v: vec![0.0; len],
-            t: 0,
-            lr,
-        }
+    /// Re-initialises the state for a fresh optimisation of `len`
+    /// parameters, reusing the moment-vector allocations (identical to a
+    /// freshly constructed state).
+    fn reset(&mut self, len: usize, lr: f32) {
+        self.m.clear();
+        self.m.resize(len, 0.0);
+        self.v.clear();
+        self.v.resize(len, 0.0);
+        self.t = 0;
+        self.lr = lr;
     }
 
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
@@ -104,19 +110,135 @@ impl FlatAdam {
     }
 }
 
-/// Reverse-engineers a minimal trigger towards `target` and returns
-/// `(mask_l1, final_loss)`.
+/// Reusable buffers for one Neural Cleanse audit: the optimisation batch,
+/// the per-class mask/pattern variables, the blended inputs, the forward /
+/// backward tensors of the mask-optimisation loop, the Adam moment
+/// vectors, and the statistics sort scratch.
+///
+/// After one warm-up audit at a given input geometry, every subsequent
+/// [`neural_cleanse_with`] call through the same scratch performs **zero
+/// heap allocations** (the audit analogue of the
+/// [`reveil_nn::Layer`](reveil_nn::Layer) buffer-reuse contract), and
+/// outcomes are bit-identical to the allocating [`neural_cleanse`]
+/// wrapper.
+#[derive(Default)]
+pub struct CleanseScratch {
+    /// Sampled calibration indices.
+    picks: Vec<usize>,
+    /// Stacked optimisation batch `[count, c, h, w]`.
+    batch: Tensor,
+    /// Batch-shape scratch.
+    shape: Vec<usize>,
+    /// Per-step target labels (all `target`).
+    labels: Vec<usize>,
+    /// Unconstrained mask variable (`h·w`).
+    mask_raw: Vec<f32>,
+    /// Unconstrained pattern variable (`c·h·w`).
+    pattern_raw: Vec<f32>,
+    /// Sigmoid-squashed mask of the current step.
+    mask: Vec<f32>,
+    /// Sigmoid-squashed pattern of the current step.
+    pattern: Vec<f32>,
+    /// Blended inputs `(1 − m)·x + m·p` of the current step.
+    blended: Tensor,
+    /// Forward logits of the blended batch.
+    logits: Tensor,
+    /// Loss gradient with respect to the logits.
+    grad_logits: Tensor,
+    /// Input gradient from the backward pass.
+    grad_input: Tensor,
+    /// Gradient in mask space.
+    grad_mask: Vec<f32>,
+    /// Gradient in pattern space.
+    grad_pattern: Vec<f32>,
+    /// Adam state of the mask variable, reset per class.
+    adam_mask: FlatAdam,
+    /// Adam state of the pattern variable, reset per class.
+    adam_pattern: FlatAdam,
+    /// Per-class reverse-engineering results of the current audit.
+    per_class: Vec<ClassTriggerResult>,
+    /// Per-class mask norms.
+    norms: Vec<f32>,
+    /// Sort buffer for the robust statistics.
+    sort: Vec<f32>,
+}
+
+impl CleanseScratch {
+    /// Creates an empty scratch; buffers grow on the first audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total capacity in scalars of every reusable buffer. Stable across
+    /// warmed-up audits — the observable form of the zero-allocation
+    /// contract.
+    pub fn buffer_capacity(&self) -> usize {
+        self.picks.capacity()
+            + self.batch.capacity()
+            + self.shape.capacity()
+            + self.labels.capacity()
+            + self.mask_raw.capacity()
+            + self.pattern_raw.capacity()
+            + self.mask.capacity()
+            + self.pattern.capacity()
+            + self.blended.capacity()
+            + self.logits.capacity()
+            + self.grad_logits.capacity()
+            + self.grad_input.capacity()
+            + self.grad_mask.capacity()
+            + self.grad_pattern.capacity()
+            + self.adam_mask.m.capacity()
+            + self.adam_mask.v.capacity()
+            + self.adam_pattern.m.capacity()
+            + self.adam_pattern.v.capacity()
+            + self.per_class.capacity()
+            + self.norms.capacity()
+            + self.sort.capacity()
+    }
+}
+
+/// The scalar outcome of a Neural Cleanse audit (the full per-class detail
+/// is available through the allocating [`neural_cleanse`] wrapper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CleanseOutcome {
+    /// MAD anomaly index of the smallest-mask class (≥ 2 ⇔ detected).
+    pub anomaly_index: f32,
+    /// The class with the smallest reverse-engineered trigger.
+    pub flagged_class: usize,
+    /// Whether the anomaly index reaches the detection threshold of 2.
+    pub detected: bool,
+}
+
+/// Reverse-engineers a minimal trigger towards `target` on the batch in
+/// `scratch.batch` and returns `(mask_l1, final_loss)`.
 ///
 /// # Errors
 ///
 /// Returns [`DefenseError::Internal`] if the batch is not `[n, c, h, w]`
 /// or the loss computation rejects the network's logits.
-fn reverse_engineer(
+fn reverse_engineer_with(
     network: &mut Network,
-    batch: &Tensor,
     target: usize,
     config: &NeuralCleanseConfig,
+    scratch: &mut CleanseScratch,
 ) -> Result<(f32, f32), DefenseError> {
+    let CleanseScratch {
+        batch,
+        labels,
+        mask_raw,
+        pattern_raw,
+        mask,
+        pattern,
+        blended,
+        logits,
+        grad_logits,
+        grad_input,
+        grad_mask,
+        grad_pattern,
+        adam_mask,
+        adam_pattern,
+        ..
+    } = scratch;
     let &[n, c, h, w] = batch.shape() else {
         return Err(DefenseError::Internal {
             defense: "Neural Cleanse",
@@ -126,27 +248,33 @@ fn reverse_engineer(
             ),
         });
     };
-    let labels = vec![target; n];
+    labels.clear();
+    labels.resize(n, target);
 
     // Unconstrained variables squashed through sigmoids.
-    let mut mask_raw = vec![-3.0f32; h * w];
-    let mut pattern_raw = vec![0.0f32; c * h * w];
+    mask_raw.clear();
+    mask_raw.resize(h * w, -3.0);
+    pattern_raw.clear();
+    pattern_raw.resize(c * h * w, 0.0);
     {
         let mut r = rng::rng_from_seed(rng::derive_seed(config.seed, 0x0004_C110 | target as u64));
-        for v in &mut pattern_raw {
+        for v in pattern_raw.iter_mut() {
             *v = rng::normal(&mut r, 0.0, 0.5);
         }
     }
-    let mut adam_mask = FlatAdam::new(mask_raw.len(), config.lr);
-    let mut adam_pattern = FlatAdam::new(pattern_raw.len(), config.lr);
+    adam_mask.reset(mask_raw.len(), config.lr);
+    adam_pattern.reset(pattern_raw.len(), config.lr);
     let mut final_loss = f32::INFINITY;
 
     for _ in 0..config.steps {
-        let mask: Vec<f32> = mask_raw.iter().map(|&v| sigmoid(v)).collect();
-        let pattern: Vec<f32> = pattern_raw.iter().map(|&v| sigmoid(v)).collect();
+        mask.clear();
+        mask.extend(mask_raw.iter().map(|&v| sigmoid(v)));
+        pattern.clear();
+        pattern.extend(pattern_raw.iter().map(|&v| sigmoid(v)));
 
         // x' = (1 − m)·x + m·p, mask broadcast over batch and channels.
-        let mut blended = batch.clone();
+        blended.resize_for_overwrite(batch.shape());
+        blended.data_mut().copy_from_slice(batch.data());
         {
             let data = blended.data_mut();
             for img in 0..n {
@@ -161,21 +289,23 @@ fn reverse_engineer(
             }
         }
 
-        let logits = network.forward(&blended, Mode::Eval);
-        let (loss, grad_logits) = softmax_cross_entropy(&logits, &labels)
+        network.infer_into(blended, logits);
+        let loss = softmax_cross_entropy_into(logits, labels, grad_logits)
             .map_err(|e| DefenseError::internal("Neural Cleanse", e))?;
         final_loss = loss;
         network.zero_grads();
-        let grad_x = network.backward_to_input(&grad_logits);
+        network.backward_to_input_into(grad_logits, grad_input);
 
         // Chain rule into mask and pattern space.
-        let mut grad_mask = vec![0.0f32; h * w];
-        let mut grad_pattern = vec![0.0f32; c * h * w];
+        grad_mask.clear();
+        grad_mask.resize(h * w, 0.0);
+        grad_pattern.clear();
+        grad_pattern.resize(c * h * w, 0.0);
         for img in 0..n {
             for ch in 0..c {
                 let base = (img * c + ch) * h * w;
                 for q in 0..h * w {
-                    let g = grad_x.data()[base + q];
+                    let g = grad_input.data()[base + q];
                     let p = pattern[ch * h * w + q];
                     let x = batch.data()[base + q];
                     grad_mask[q] += g * (p - x);
@@ -193,8 +323,8 @@ fn reverse_engineer(
             *gp *= s * (1.0 - s);
         }
 
-        adam_mask.step(&mut mask_raw, &grad_mask);
-        adam_pattern.step(&mut pattern_raw, &grad_pattern);
+        adam_mask.step(mask_raw, grad_mask);
+        adam_pattern.step(pattern_raw, grad_pattern);
     }
 
     let mask_l1: f32 = mask_raw.iter().map(|&v| sigmoid(v)).sum();
@@ -219,6 +349,31 @@ pub fn neural_cleanse(
     clean_samples: &[Tensor],
     config: &NeuralCleanseConfig,
 ) -> Result<NeuralCleanseReport, DefenseError> {
+    let mut scratch = CleanseScratch::new();
+    let outcome = neural_cleanse_with(network, clean_samples, config, &mut scratch)?;
+    Ok(NeuralCleanseReport {
+        per_class: scratch.per_class.clone(),
+        anomaly_index: outcome.anomaly_index,
+        flagged_class: outcome.flagged_class,
+        detected: outcome.detected,
+    })
+}
+
+/// [`neural_cleanse`] running inside a caller-provided [`CleanseScratch`]:
+/// zero heap allocations once the scratch is warmed up, bit-identical
+/// outcome (the pattern-initialisation and sample-selection RNG streams,
+/// the optimisation arithmetic and the statistics are unchanged). Returns
+/// the scalar [`CleanseOutcome`]; per-class detail stays in the scratch.
+///
+/// # Errors
+///
+/// Identical to [`neural_cleanse`].
+pub fn neural_cleanse_with(
+    network: &mut Network,
+    clean_samples: &[Tensor],
+    config: &NeuralCleanseConfig,
+    scratch: &mut CleanseScratch,
+) -> Result<CleanseOutcome, DefenseError> {
     if clean_samples.is_empty() {
         return Err(DefenseError::EmptyInput {
             defense: "Neural Cleanse",
@@ -233,16 +388,19 @@ pub fn neural_cleanse(
     }
     let mut r = rng::rng_from_seed(rng::derive_seed(config.seed, 0x004C_115E));
     let count = config.sample_count.min(clean_samples.len()).max(1);
-    let picks = rng::sample_indices(clean_samples.len(), count, &mut r);
-    let batch_images: Vec<Tensor> = picks.iter().map(|&i| clean_samples[i].clone()).collect();
-    let batch =
-        Tensor::stack(&batch_images).map_err(|e| DefenseError::internal("Neural Cleanse", e))?;
+    rng::sample_indices_into(clean_samples.len(), count, &mut r, &mut scratch.picks);
+    stack_into(
+        &mut scratch.batch,
+        &mut scratch.shape,
+        scratch.picks.iter().map(|&i| &clean_samples[i]),
+        "Neural Cleanse",
+    )?;
 
     let num_classes = network.num_classes();
-    let mut per_class = Vec::with_capacity(num_classes);
+    scratch.per_class.clear();
     for class in 0..num_classes {
-        let (mask_l1, loss) = reverse_engineer(network, &batch, class, config)?;
-        per_class.push(ClassTriggerResult {
+        let (mask_l1, loss) = reverse_engineer_with(network, class, config, scratch)?;
+        scratch.per_class.push(ClassTriggerResult {
             class,
             mask_l1,
             loss,
@@ -252,7 +410,7 @@ pub fn neural_cleanse(
     // A non-finite mask norm means the optimisation diverged; the robust
     // statistics below (median/MAD) are undefined on NaN, so reject it as
     // a structured error instead of letting it abort the sweep.
-    if let Some(bad) = per_class.iter().find(|c| !c.mask_l1.is_finite()) {
+    if let Some(bad) = scratch.per_class.iter().find(|c| !c.mask_l1.is_finite()) {
         return Err(DefenseError::Internal {
             defense: "Neural Cleanse",
             message: format!(
@@ -261,24 +419,87 @@ pub fn neural_cleanse(
             ),
         });
     }
-    let norms: Vec<f32> = per_class.iter().map(|c| c.mask_l1).collect();
-    let Some((flagged_class, &min_norm)) =
-        norms.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1))
+    scratch.norms.clear();
+    scratch
+        .norms
+        .extend(scratch.per_class.iter().map(|c| c.mask_l1));
+    let Some((flagged_class, &min_norm)) = scratch
+        .norms
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
     else {
         return Err(DefenseError::Internal {
             defense: "Neural Cleanse",
             message: "network reports zero classes".to_string(),
         });
     };
-    let anomaly_index = stats::anomaly_index(min_norm, &norms);
-    let below_median = min_norm < stats::median(&norms);
+    let anomaly_index = stats::anomaly_index_with(min_norm, &scratch.norms, &mut scratch.sort);
+    let below_median = min_norm < stats::median_with(&scratch.norms, &mut scratch.sort);
 
-    Ok(NeuralCleanseReport {
-        per_class,
+    Ok(CleanseOutcome {
         anomaly_index,
         flagged_class,
         detected: anomaly_index >= DETECTION_THRESHOLD && below_median,
     })
+}
+
+/// The pooled Neural Cleanse auditor: a [`NeuralCleanseConfig`] plus an
+/// interior [scratch pool](CleanseScratch) shared across audits, so
+/// repeated audits — including the parallel fig. 7 grid — reuse their
+/// buffers and perform zero heap allocations once warmed up. Verdicts are
+/// bit-identical to auditing through the allocating [`neural_cleanse`]
+/// wrapper.
+pub struct NeuralCleanseAuditor {
+    config: NeuralCleanseConfig,
+    pool: ScratchPool<CleanseScratch>,
+}
+
+impl NeuralCleanseAuditor {
+    /// Builds a pooled auditor around `config`.
+    pub fn new(config: NeuralCleanseConfig) -> Self {
+        Self {
+            config,
+            pool: ScratchPool::new(),
+        }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &NeuralCleanseConfig {
+        &self.config
+    }
+}
+
+impl Defense for NeuralCleanseAuditor {
+    fn name(&self) -> &'static str {
+        "Neural Cleanse"
+    }
+
+    fn audit(
+        &self,
+        network: &mut Network,
+        inputs: &AuditInputs<'_>,
+    ) -> Result<DefenseVerdict, DefenseError> {
+        let mut scratch = self.pool.acquire();
+        let result =
+            neural_cleanse_with(network, inputs.clean_images(), &self.config, &mut scratch);
+        self.pool.release(scratch);
+        let outcome = result?;
+        Ok(DefenseVerdict {
+            defense: self.name(),
+            score: outcome.anomaly_index,
+            threshold: DETECTION_THRESHOLD,
+            detected: outcome.detected,
+        })
+    }
+
+    fn scratch_capacity(&self) -> usize {
+        self.pool.total_capacity(CleanseScratch::buffer_capacity)
+    }
+
+    fn release_scratch(&self) {
+        self.pool.clear();
+    }
 }
 
 #[cfg(test)]
@@ -366,12 +587,14 @@ mod tests {
     fn reverse_engineering_reduces_loss() {
         let mut net = train_model(true, 3);
         let (clean, _) = toy_images(12, 9, 3);
-        let batch = Tensor::stack(&clean).unwrap();
         let cfg = NeuralCleanseConfig {
             steps: 40,
             ..NeuralCleanseConfig::default()
         };
-        let (_, loss) = reverse_engineer(&mut net, &batch, 0, &cfg).expect("reverse engineering");
+        let mut scratch = CleanseScratch::new();
+        scratch.batch = Tensor::stack(&clean).unwrap();
+        let (_, loss) =
+            reverse_engineer_with(&mut net, 0, &cfg, &mut scratch).expect("reverse engineering");
         // Loss towards the backdoor class must drop well below ln(3).
         assert!(loss < (3.0f32).ln() * 0.8, "final loss {loss}");
     }

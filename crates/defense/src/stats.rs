@@ -1,5 +1,24 @@
 //! Robust statistics shared by the defenses: median, MAD, and the
 //! MAD-based anomaly index used by Neural Cleanse and Beatrix.
+//!
+//! Every statistic comes in two spellings: an allocating one (`median`,
+//! `mad`, `anomaly_index`, `quantile`) and a `*_with` variant that sorts
+//! inside a caller-provided scratch vector. The `*_with` variants perform
+//! no heap allocations once the scratch has grown to the population size
+//! (they sort with `sort_unstable_by`, which is in-place; `total_cmp` is a
+//! total order, so the sorted sequence — and therefore every statistic —
+//! is bit-identical between the two spellings).
+
+/// Sorts `scratch` in place and returns its median.
+fn sorted_median(scratch: &mut [f32]) -> f32 {
+    scratch.sort_unstable_by(f32::total_cmp);
+    let n = scratch.len();
+    if n % 2 == 1 {
+        scratch[n / 2]
+    } else {
+        0.5 * (scratch[n / 2 - 1] + scratch[n / 2])
+    }
+}
 
 /// Median of a slice (mean of the two central elements for even lengths).
 ///
@@ -7,15 +26,19 @@
 ///
 /// Panics if `values` is empty.
 pub fn median(values: &[f32]) -> f32 {
+    median_with(values, &mut Vec::new())
+}
+
+/// [`median`] sorting inside `scratch` instead of allocating a copy.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn median_with(values: &[f32], scratch: &mut Vec<f32>) -> f32 {
     assert!(!values.is_empty(), "median of an empty slice");
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f32::total_cmp);
-    let n = sorted.len();
-    if n % 2 == 1 {
-        sorted[n / 2]
-    } else {
-        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
-    }
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    sorted_median(scratch)
 }
 
 /// Median absolute deviation (not yet scaled for normal consistency).
@@ -24,9 +47,19 @@ pub fn median(values: &[f32]) -> f32 {
 ///
 /// Panics if `values` is empty.
 pub fn mad(values: &[f32]) -> f32 {
-    let med = median(values);
-    let deviations: Vec<f32> = values.iter().map(|v| (v - med).abs()).collect();
-    median(&deviations)
+    mad_with(values, &mut Vec::new())
+}
+
+/// [`mad`] computing both medians inside `scratch`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mad_with(values: &[f32], scratch: &mut Vec<f32>) -> f32 {
+    let med = median_with(values, scratch);
+    scratch.clear();
+    scratch.extend(values.iter().map(|v| (v - med).abs()));
+    sorted_median(scratch)
 }
 
 /// Normal-consistency constant for the MAD (`σ ≈ 1.4826 · MAD`).
@@ -43,8 +76,17 @@ pub const MAD_CONSISTENCY: f32 = 1.4826;
 ///
 /// Panics if `values` is empty.
 pub fn anomaly_index(value: f32, values: &[f32]) -> f32 {
-    let med = median(values);
-    let spread = MAD_CONSISTENCY * mad(values);
+    anomaly_index_with(value, values, &mut Vec::new())
+}
+
+/// [`anomaly_index`] computing its medians inside `scratch`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn anomaly_index_with(value: f32, values: &[f32], scratch: &mut Vec<f32>) -> f32 {
+    let med = median_with(values, scratch);
+    let spread = MAD_CONSISTENCY * mad_with(values, scratch);
     let dev = (value - med).abs();
     if spread > 1e-12 {
         dev / spread
@@ -61,18 +103,28 @@ pub fn anomaly_index(value: f32, values: &[f32]) -> f32 {
 ///
 /// Panics if `values` is empty or `q` is outside `[0, 1]`.
 pub fn quantile(values: &[f32], q: f32) -> f32 {
+    quantile_with(values, q, &mut Vec::new())
+}
+
+/// [`quantile`] sorting inside `scratch` instead of allocating a copy.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_with(values: &[f32], q: f32, scratch: &mut Vec<f32>) -> f32 {
     assert!(!values.is_empty(), "quantile of an empty slice");
     assert!(
         (0.0..=1.0).contains(&q),
         "quantile level must be in [0, 1], got {q}"
     );
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f32::total_cmp);
-    let pos = q * (sorted.len() - 1) as f32;
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    scratch.sort_unstable_by(f32::total_cmp);
+    let pos = q * (scratch.len() - 1) as f32;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let t = pos - lo as f32;
-    sorted[lo] * (1.0 - t) + sorted[hi] * t
+    scratch[lo] * (1.0 - t) + scratch[hi] * t
 }
 
 #[cfg(test)]
@@ -116,6 +168,19 @@ mod tests {
         assert_eq!(quantile(&v, 1.0), 40.0);
         assert_eq!(quantile(&v, 0.5), 25.0);
         assert!((quantile(&v, 0.01) - 10.3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn with_variants_match_allocating_ones() {
+        let v = [0.3f32, -1.5, 2.25, 0.3, 9.0, -0.0, 4.5];
+        let mut scratch = Vec::new();
+        assert_eq!(median(&v), median_with(&v, &mut scratch));
+        assert_eq!(mad(&v), mad_with(&v, &mut scratch));
+        assert_eq!(
+            anomaly_index(4.0, &v),
+            anomaly_index_with(4.0, &v, &mut scratch)
+        );
+        assert_eq!(quantile(&v, 0.37), quantile_with(&v, 0.37, &mut scratch));
     }
 
     #[test]

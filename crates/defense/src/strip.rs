@@ -2,9 +2,11 @@
 
 use rand::Rng;
 
-use reveil_nn::{Mode, Network};
+use reveil_nn::Network;
 use reveil_tensor::{ops, rng, Tensor};
 
+use crate::audit::{AuditInputs, Defense, DefenseVerdict};
+use crate::scratch::ScratchPool;
 use crate::stats;
 use crate::DefenseError;
 
@@ -63,64 +65,110 @@ pub struct StripReport {
     pub detected: bool,
 }
 
-/// Mean prediction entropy of `input` under `num_overlays` random clean
-/// superpositions.
+/// Reusable buffers for one STRIP audit: the stacked blend batch, the
+/// forward logits/probability tensors, entropy rows, and the statistics
+/// sort scratch.
 ///
-/// All `num_overlays` blends are written into one reused `batch` buffer
-/// and lowered through a single stacked forward pass (the old path built a
-/// tensor per blend and ran the network in chunks of 32), so the batched
-/// conv substrate amortises the im2col lowering across the whole blend set
-/// and the hot loop performs no per-overlay allocation after the first
-/// suspect.
-///
-/// # Errors
-///
-/// Returns [`DefenseError::Internal`] if an overlay's shape disagrees with
-/// the input or the entropy computation fails.
-fn perturbation_entropy(
-    network: &mut Network,
-    input: &Tensor,
-    overlay_pool: &[Tensor],
-    config: &StripConfig,
-    batch: &mut Tensor,
-    rng: &mut impl Rng,
-) -> Result<f32, DefenseError> {
-    let sample_len = input.len();
-    let mut shape = Vec::with_capacity(input.shape().len() + 1);
-    shape.push(config.num_overlays);
-    shape.extend_from_slice(input.shape());
-    batch.resize_for_overwrite(&shape);
-    for slot in 0..config.num_overlays {
-        let overlay = &overlay_pool[rng.gen_range(0..overlay_pool.len())];
-        if overlay.shape() != input.shape() {
+/// After one warm-up audit at a given input geometry, every subsequent
+/// [`strip_with`] call through the same scratch performs **zero heap
+/// allocations** (the audit analogue of the
+/// [`reveil_nn::Layer`](reveil_nn::Layer) buffer-reuse contract), and
+/// verdicts are bit-identical to the allocating [`strip`] wrapper.
+#[derive(Default)]
+pub struct StripScratch {
+    /// Stacked blend batch `[num_overlays, ...sample]`.
+    batch: Tensor,
+    /// Forward logits of the blend batch.
+    logits: Tensor,
+    /// Row-softmax probabilities of the logits.
+    probs: Tensor,
+    /// Per-overlay entropy rows of the current input.
+    entropies: Vec<f32>,
+    /// Perturbation entropies of the clean calibration inputs.
+    clean_entropies: Vec<f32>,
+    /// Perturbation entropies of the suspect inputs.
+    suspect_entropies: Vec<f32>,
+    /// Batch-shape scratch.
+    shape: Vec<usize>,
+    /// Sort buffer for the robust statistics.
+    sort: Vec<f32>,
+}
+
+impl StripScratch {
+    /// Creates an empty scratch; buffers grow on the first audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total capacity in scalars of every reusable buffer. Stable across
+    /// warmed-up audits — the observable form of the zero-allocation
+    /// contract.
+    pub fn buffer_capacity(&self) -> usize {
+        self.batch.capacity()
+            + self.logits.capacity()
+            + self.probs.capacity()
+            + self.entropies.capacity()
+            + self.clean_entropies.capacity()
+            + self.suspect_entropies.capacity()
+            + self.shape.capacity()
+            + self.sort.capacity()
+    }
+
+    /// Mean prediction entropy of `input` under `num_overlays` random clean
+    /// superpositions.
+    ///
+    /// All `num_overlays` blends are written into the reused `batch` buffer
+    /// and lowered through a single stacked forward pass on the pooled
+    /// [`Network::infer_into`] path, so the batched conv substrate
+    /// amortises the im2col lowering across the whole blend set and the hot
+    /// loop performs no allocation after the first suspect.
+    fn perturbation_entropy(
+        &mut self,
+        network: &mut Network,
+        input: &Tensor,
+        overlay_pool: &[Tensor],
+        config: &StripConfig,
+        rng: &mut impl Rng,
+    ) -> Result<f32, DefenseError> {
+        let sample_len = input.len();
+        self.shape.clear();
+        self.shape.push(config.num_overlays);
+        self.shape.extend_from_slice(input.shape());
+        self.batch.resize_for_overwrite(&self.shape);
+        for slot in 0..config.num_overlays {
+            let overlay = &overlay_pool[rng.gen_range(0..overlay_pool.len())];
+            if overlay.shape() != input.shape() {
+                return Err(DefenseError::Internal {
+                    defense: "STRIP",
+                    message: format!(
+                        "overlay shape {:?} does not match input shape {:?}",
+                        overlay.shape(),
+                        input.shape()
+                    ),
+                });
+            }
+            let dst = &mut self.batch.data_mut()[slot * sample_len..(slot + 1) * sample_len];
+            for ((d, &a), &b) in dst.iter_mut().zip(input.data()).zip(overlay.data()) {
+                *d = (config.blend * a + (1.0 - config.blend) * b).clamp(0.0, 1.0);
+            }
+        }
+        network.infer_into(&self.batch, &mut self.logits);
+        ops::softmax_rows_into(&self.logits, &mut self.probs)
+            .map_err(|e| DefenseError::internal("STRIP", e))?;
+        // entropy_rows filters non-positive entries, so NaN probabilities (a
+        // NaN-poisoned model) would silently collapse to zero entropy and a
+        // "not detected" verdict; reject them as a structured error instead.
+        if self.probs.data().iter().any(|p| !p.is_finite()) {
             return Err(DefenseError::Internal {
                 defense: "STRIP",
-                message: format!(
-                    "overlay shape {:?} does not match input shape {:?}",
-                    overlay.shape(),
-                    input.shape()
-                ),
+                message: "prediction probabilities are not finite (NaN-poisoned model logits)"
+                    .to_string(),
             });
         }
-        let dst = &mut batch.data_mut()[slot * sample_len..(slot + 1) * sample_len];
-        for ((d, &a), &b) in dst.iter_mut().zip(input.data()).zip(overlay.data()) {
-            *d = (config.blend * a + (1.0 - config.blend) * b).clamp(0.0, 1.0);
-        }
+        ops::entropy_rows_into(&self.probs, &mut self.entropies)
+            .map_err(|e| DefenseError::internal("STRIP", e))?;
+        Ok(self.entropies.iter().sum::<f32>() / self.entropies.len() as f32)
     }
-    let logits = network.forward(batch, Mode::Eval);
-    let probs = ops::softmax_rows(&logits).map_err(|e| DefenseError::internal("STRIP", e))?;
-    // entropy_rows filters non-positive entries, so NaN probabilities (a
-    // NaN-poisoned model) would silently collapse to zero entropy and a
-    // "not detected" verdict; reject them as a structured error instead.
-    if probs.data().iter().any(|p| !p.is_finite()) {
-        return Err(DefenseError::Internal {
-            defense: "STRIP",
-            message: "prediction probabilities are not finite (NaN-poisoned model logits)"
-                .to_string(),
-        });
-    }
-    let entropies = ops::entropy_rows(&probs).map_err(|e| DefenseError::internal("STRIP", e))?;
-    Ok(entropies.iter().sum::<f32>() / entropies.len() as f32)
 }
 
 /// Runs STRIP: calibrates the entropy boundary on `clean_holdout`, measures
@@ -145,6 +193,29 @@ pub fn strip(
     clean_holdout: &[Tensor],
     suspects: &[Tensor],
     config: &StripConfig,
+) -> Result<StripReport, DefenseError> {
+    strip_with(
+        network,
+        clean_holdout,
+        suspects,
+        config,
+        &mut StripScratch::new(),
+    )
+}
+
+/// [`strip`] running inside a caller-provided [`StripScratch`]: zero heap
+/// allocations once the scratch is warmed up, bit-identical report (the
+/// overlay RNG stream, blend arithmetic and statistics are unchanged).
+///
+/// # Errors
+///
+/// Identical to [`strip`].
+pub fn strip_with(
+    network: &mut Network,
+    clean_holdout: &[Tensor],
+    suspects: &[Tensor],
+    config: &StripConfig,
+    scratch: &mut StripScratch,
 ) -> Result<StripReport, DefenseError> {
     if clean_holdout.is_empty() {
         return Err(DefenseError::EmptyInput {
@@ -198,44 +269,101 @@ pub fn strip(
     }
     let mut overlay_rng = rng::rng_from_seed(rng::derive_seed(config.seed, 0x0005_7F10));
 
-    // One blend-batch buffer reused across every input of both sets.
-    let mut batch = Tensor::zeros(&[0]);
-    let mut clean_entropies = Vec::with_capacity(clean_holdout.len());
+    // The clean and suspect sets share one RNG stream in this order, and
+    // every blend batch reuses the scratch buffers.
+    scratch.clean_entropies.clear();
     for x in clean_holdout {
-        clean_entropies.push(perturbation_entropy(
-            network,
-            x,
-            clean_holdout,
-            config,
-            &mut batch,
-            &mut overlay_rng,
-        )?);
+        let h =
+            scratch.perturbation_entropy(network, x, clean_holdout, config, &mut overlay_rng)?;
+        scratch.clean_entropies.push(h);
     }
-    let mut suspect_entropies = Vec::with_capacity(suspects.len());
+    scratch.suspect_entropies.clear();
     for x in suspects {
-        suspect_entropies.push(perturbation_entropy(
-            network,
-            x,
-            clean_holdout,
-            config,
-            &mut batch,
-            &mut overlay_rng,
-        )?);
+        let h =
+            scratch.perturbation_entropy(network, x, clean_holdout, config, &mut overlay_rng)?;
+        scratch.suspect_entropies.push(h);
     }
 
-    let boundary = stats::quantile(&clean_entropies, config.frr);
-    let flagged = suspect_entropies.iter().filter(|&&h| h < boundary).count();
-    let flagged_fraction = flagged as f32 / suspect_entropies.len() as f32;
+    let boundary = stats::quantile_with(&scratch.clean_entropies, config.frr, &mut scratch.sort);
+    let flagged = scratch
+        .suspect_entropies
+        .iter()
+        .filter(|&&h| h < boundary)
+        .count();
+    let flagged_fraction = flagged as f32 / scratch.suspect_entropies.len() as f32;
     let decision_value = flagged_fraction - config.detection_far;
 
     Ok(StripReport {
         decision_value,
         flagged_fraction,
         boundary,
-        mean_clean_entropy: clean_entropies.iter().sum::<f32>() / clean_entropies.len() as f32,
-        median_suspect_entropy: stats::median(&suspect_entropies),
+        mean_clean_entropy: scratch.clean_entropies.iter().sum::<f32>()
+            / scratch.clean_entropies.len() as f32,
+        median_suspect_entropy: stats::median_with(&scratch.suspect_entropies, &mut scratch.sort),
         detected: decision_value > 0.0,
     })
+}
+
+/// The pooled STRIP auditor: a [`StripConfig`] plus an interior
+/// [scratch pool](StripScratch) shared across audits, so repeated audits —
+/// including the parallel fig. 6 grid — reuse their buffers and perform
+/// zero heap allocations once warmed up. Verdicts are bit-identical to
+/// auditing through the allocating [`strip`] wrapper.
+pub struct StripAuditor {
+    config: StripConfig,
+    pool: ScratchPool<StripScratch>,
+}
+
+impl StripAuditor {
+    /// Builds a pooled auditor around `config`.
+    pub fn new(config: StripConfig) -> Self {
+        Self {
+            config,
+            pool: ScratchPool::new(),
+        }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &StripConfig {
+        &self.config
+    }
+}
+
+impl Defense for StripAuditor {
+    fn name(&self) -> &'static str {
+        "STRIP"
+    }
+
+    fn audit(
+        &self,
+        network: &mut Network,
+        inputs: &AuditInputs<'_>,
+    ) -> Result<DefenseVerdict, DefenseError> {
+        let mut scratch = self.pool.acquire();
+        let result = strip_with(
+            network,
+            inputs.clean_images(),
+            inputs.suspects,
+            &self.config,
+            &mut scratch,
+        );
+        self.pool.release(scratch);
+        let report = result?;
+        Ok(DefenseVerdict {
+            defense: self.name(),
+            score: report.decision_value,
+            threshold: 0.0,
+            detected: report.detected,
+        })
+    }
+
+    fn scratch_capacity(&self) -> usize {
+        self.pool.total_capacity(StripScratch::buffer_capacity)
+    }
+
+    fn release_scratch(&self) {
+        self.pool.clear();
+    }
 }
 
 #[cfg(test)]

@@ -66,7 +66,7 @@ pub fn run_grid(
 ) -> Result<Vec<Fig6Result>, EvalError> {
     let n_defense = profile.defense_sample_count();
     let specs = grid_specs(profile, datasets, triggers, crs, base_seed);
-    let verdicts = cache.audit_all(&specs, &profile.strip_config(base_seed), n_defense)?;
+    let verdicts = cache.audit_all(&specs, &profile.strip_auditor(base_seed), n_defense)?;
     let mut scores = verdicts.iter().map(|v| v.score);
     Ok(datasets
         .iter()
@@ -134,7 +134,7 @@ mod tests {
                             .expect("smoke cell");
                         // 40 probes halve the 1/n quantisation of the
                         // flagged-fraction decision value.
-                        cell.audit(&profile.strip_config(seed), 40)
+                        cell.audit(&profile.strip_auditor(seed), 40)
                             .expect("STRIP audit")
                             .score
                     })

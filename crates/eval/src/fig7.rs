@@ -68,7 +68,7 @@ pub fn run_grid(
     let specs = grid_specs(profile, datasets, triggers, crs, base_seed);
     let verdicts = cache.audit_all(
         &specs,
-        &profile.neural_cleanse_config(base_seed),
+        &profile.neural_cleanse_auditor(base_seed),
         profile.defense_sample_count(),
     )?;
     let mut scores = verdicts.iter().map(|v| v.score);
@@ -122,7 +122,7 @@ mod tests {
             .train()
             .expect("smoke cell");
         let verdict = cell
-            .audit(&profile.neural_cleanse_config(55), 12)
+            .audit(&profile.neural_cleanse_auditor(55), 12)
             .expect("NC audit");
         assert_eq!(verdict.defense, "Neural Cleanse");
         assert!(verdict.score.is_finite());

@@ -68,7 +68,7 @@ pub fn run_grid(
     let specs = grid_specs(profile, datasets, triggers, crs, base_seed);
     let verdicts = cache.audit_all(
         &specs,
-        &profile.beatrix_config(),
+        &profile.beatrix_auditor(),
         profile.defense_sample_count(),
     )?;
     let mut scores = verdicts.iter().map(|v| v.score);

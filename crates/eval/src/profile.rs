@@ -18,7 +18,10 @@
 
 use reveil_core::AttackConfig;
 use reveil_datasets::{DatasetKind, SyntheticConfig};
-use reveil_defense::{BeatrixConfig, NeuralCleanseConfig, StripConfig};
+use reveil_defense::{
+    BeatrixAuditor, BeatrixConfig, NeuralCleanseAuditor, NeuralCleanseConfig, StripAuditor,
+    StripConfig,
+};
 use reveil_nn::models::ModelFamily;
 use reveil_nn::train::TrainConfig;
 use reveil_nn::Network;
@@ -255,6 +258,24 @@ impl Profile {
                 samples_per_class: 50,
             },
         }
+    }
+
+    /// Pooled STRIP auditor at this profile's budget (scratch reused
+    /// across every audit it runs).
+    pub fn strip_auditor(self, seed: u64) -> StripAuditor {
+        StripAuditor::new(self.strip_config(seed))
+    }
+
+    /// Pooled Neural Cleanse auditor at this profile's budget (scratch
+    /// reused across every audit it runs).
+    pub fn neural_cleanse_auditor(self, seed: u64) -> NeuralCleanseAuditor {
+        NeuralCleanseAuditor::new(self.neural_cleanse_config(seed))
+    }
+
+    /// Pooled Beatrix auditor at this profile's budget (scratch reused
+    /// across every audit it runs).
+    pub fn beatrix_auditor(self) -> BeatrixAuditor {
+        BeatrixAuditor::new(self.beatrix_config())
     }
 
     /// Number of independent seeds averaged per cell (the paper averages 5

@@ -997,6 +997,15 @@ impl ScenarioCache {
                 });
             }
         });
+        // The grid is done: park the cells and the auditor. Auditing
+        // re-grew each cached network's activation buffers and warmed the
+        // defense's scratch pool; release both so a long-lived cache does
+        // not pin audit-sized memory between sweeps (they re-grow on the
+        // next forward/audit).
+        for (cell, _) in &slots {
+            lock_scenario(cell).network.release_buffers();
+        }
+        defense.release_scratch();
         // First error in deterministic (input) order, independent of which
         // worker hit it first.
         slots
@@ -1144,8 +1153,8 @@ mod tests {
         // Repeated audits recycle the cell's suspect pool and stay
         // deterministic.
         let profile = Profile::Smoke;
-        let a = cell.audit(&profile.strip_config(1), budget).unwrap();
-        let b = cell.audit(&profile.strip_config(1), budget).unwrap();
+        let a = cell.audit(&profile.strip_auditor(1), budget).unwrap();
+        let b = cell.audit(&profile.strip_auditor(1), budget).unwrap();
         assert_eq!(a, b);
     }
 

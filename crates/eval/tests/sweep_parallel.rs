@@ -139,7 +139,7 @@ fn audit_executor_is_bit_identical_to_serial_audits() {
     let profile = Profile::Smoke;
     let specs = sweep_specs();
     let budget = profile.defense_sample_count();
-    let strip = profile.strip_config(21);
+    let strip = profile.strip_auditor(21);
 
     // Fan the audits out (with a duplicate appended: it resolves to the
     // same cell and re-audits it, so four verdicts come back).
@@ -181,7 +181,7 @@ fn audit_executor_reports_first_error_in_spec_order() {
     // Budget 0 starves STRIP on every cell; the error must be the first
     // spec's, deterministically, regardless of worker completion order.
     let err = cache
-        .audit_all(&sweep_specs(), &profile.strip_config(21), 0)
+        .audit_all(&sweep_specs(), &profile.strip_auditor(21), 0)
         .expect_err("zero-budget audits must fail");
     assert!(
         matches!(err, EvalError::Defense(DefenseError::EmptyInput { .. })),
@@ -202,12 +202,12 @@ fn zero_budget_audits_error_for_every_defense_instead_of_panicking() {
     // set. Each must reject with a structured error — the old paths
     // panicked or NaN-poisoned the verdict.
     let audits = [
-        ("STRIP", cell.audit(&profile.strip_config(1), 0)),
+        ("STRIP", cell.audit(&profile.strip_auditor(1), 0)),
         (
             "Neural Cleanse",
-            cell.audit(&profile.neural_cleanse_config(1), 0),
+            cell.audit(&profile.neural_cleanse_auditor(1), 0),
         ),
-        ("Beatrix", cell.audit(&profile.beatrix_config(), 0)),
+        ("Beatrix", cell.audit(&profile.beatrix_auditor(), 0)),
     ];
     for (name, audit) in audits {
         assert!(

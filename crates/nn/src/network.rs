@@ -89,9 +89,29 @@ impl Network {
         self.head.forward_into(&self.features_buf, mode, logits);
     }
 
+    /// Eval-mode forward pass into a caller-provided logits tensor: the
+    /// pooled inference path for defense audits. Identical to
+    /// [`Network::forward_into`] with [`Mode::Eval`] — zero heap
+    /// allocations once warmed up, bit-identical to the allocating
+    /// [`Network::forward`] wrapper.
+    pub fn infer_into(&mut self, input: &Tensor, logits: &mut Tensor) {
+        self.forward_into(input, Mode::Eval, logits);
+    }
+
     /// Backbone features only: `[n, c, h, w] → [n, d]`.
     pub fn features(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        self.backbone.forward(input, mode)
+        let mut out = Tensor::default();
+        self.features_into(input, mode, &mut out);
+        out
+    }
+
+    /// Backbone features into a caller-provided tensor, reusing its
+    /// allocation (the zero-allocation counterpart of
+    /// [`Network::features`]). After this call
+    /// [`Network::backbone_boundary_outputs`] exposes the interior layer
+    /// outputs of the same pass without recording clones.
+    pub fn features_into(&mut self, input: &Tensor, mode: Mode, out: &mut Tensor) {
+        self.backbone.forward_into(input, mode, out);
     }
 
     /// Head only, on precomputed features.
@@ -210,6 +230,13 @@ impl Network {
     /// Recorded backbone activations (see [`Sequential::activations`]).
     pub fn backbone_activations(&self) -> &[Tensor] {
         self.backbone.activations()
+    }
+
+    /// Pooled backbone layer-boundary outputs of the last forward pass
+    /// (see [`Sequential::boundary_outputs`]): recording-free access to
+    /// interior activations for eval-time consumers.
+    pub fn backbone_boundary_outputs(&self) -> &[Tensor] {
+        self.backbone.boundary_outputs()
     }
 
     /// Recorded backbone boundary gradients (see

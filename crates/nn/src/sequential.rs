@@ -98,6 +98,17 @@ impl Sequential {
         &self.boundary_grads
     }
 
+    /// The pooled layer-boundary outputs of the last forward pass:
+    /// `boundary_outputs()[i]` is layer `i`'s output for `i < len − 1` (the
+    /// final layer writes the caller's `out` tensor instead). Unlike
+    /// [`Sequential::activations`] this needs no recording mode and no
+    /// per-boundary clone — it reads the ping-pong buffers the forward pass
+    /// already fills — so eval-time consumers (Beatrix's spatial-activation
+    /// probe) stay on the zero-allocation path.
+    pub fn boundary_outputs(&self) -> &[Tensor] {
+        &self.fwd_bufs
+    }
+
     /// Layer names in order (diagnostics).
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()

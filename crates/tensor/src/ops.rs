@@ -906,8 +906,23 @@ pub fn sum_rows(matrix: &Tensor) -> Result<Tensor, TensorError> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `logits` is not rank-2.
 pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    softmax_rows_into(logits, &mut out)?;
+    Ok(out)
+}
+
+/// [`softmax_rows`] writing into a caller-provided tensor, reusing its
+/// allocation (the prediction step of the zero-allocation audit path).
+/// Same max-shifted arithmetic, so results are bit-identical to
+/// [`softmax_rows`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `logits` is not rank-2.
+pub fn softmax_rows_into(logits: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (_, n) = expect_rank2("softmax_rows", logits)?;
-    let mut out = logits.clone();
+    out.resize_for_overwrite(logits.shape());
+    out.data_mut().copy_from_slice(logits.data());
     for row in out.data_mut().chunks_mut(n) {
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
@@ -920,7 +935,7 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
             *v *= inv;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Per-row argmax of an `[m, n]` matrix (predicted class per sample).
@@ -929,20 +944,31 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor, TensorError> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `matrix` is not rank-2.
 pub fn argmax_rows(matrix: &Tensor) -> Result<Vec<usize>, TensorError> {
+    let mut out = Vec::new();
+    argmax_rows_into(matrix, &mut out)?;
+    Ok(out)
+}
+
+/// [`argmax_rows`] writing into a caller-provided vector, reusing its
+/// allocation. First-maximum-wins tie-breaking, identical to
+/// [`argmax_rows`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `matrix` is not rank-2.
+pub fn argmax_rows_into(matrix: &Tensor, out: &mut Vec<usize>) -> Result<(), TensorError> {
     let (_, n) = expect_rank2("argmax_rows", matrix)?;
-    Ok(matrix
-        .data()
-        .chunks(n)
-        .map(|row| {
-            let mut best = 0;
-            for (j, &v) in row.iter().enumerate() {
-                if v > row[best] {
-                    best = j;
-                }
+    out.clear();
+    out.extend(matrix.data().chunks(n).map(|row| {
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
             }
-            best
-        })
-        .collect())
+        }
+        best
+    }));
+    Ok(())
 }
 
 /// Shannon entropy (nats) of each row of a probability matrix.
@@ -954,17 +980,27 @@ pub fn argmax_rows(matrix: &Tensor) -> Result<Vec<usize>, TensorError> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `probs` is not rank-2.
 pub fn entropy_rows(probs: &Tensor) -> Result<Vec<f32>, TensorError> {
+    let mut out = Vec::new();
+    entropy_rows_into(probs, &mut out)?;
+    Ok(out)
+}
+
+/// [`entropy_rows`] writing into a caller-provided vector, reusing its
+/// allocation (the STRIP hot loop). Bit-identical to [`entropy_rows`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `probs` is not rank-2.
+pub fn entropy_rows_into(probs: &Tensor, out: &mut Vec<f32>) -> Result<(), TensorError> {
     let (_, n) = expect_rank2("entropy_rows", probs)?;
-    Ok(probs
-        .data()
-        .chunks(n)
-        .map(|row| {
-            -row.iter()
-                .filter(|&&p| p > 0.0)
-                .map(|&p| p * p.ln())
-                .sum::<f32>()
-        })
-        .collect())
+    out.clear();
+    out.extend(probs.data().chunks(n).map(|row| {
+        -row.iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f32>()
+    }));
+    Ok(())
 }
 
 #[cfg(test)]

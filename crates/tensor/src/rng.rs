@@ -109,10 +109,23 @@ pub fn permutation_into(n: usize, rng: &mut impl Rng, out: &mut Vec<usize>) {
 ///
 /// Panics if `k > n`; callers size their subsets from the same `n`.
 pub fn sample_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut out = Vec::new();
+    sample_indices_into(n, k, rng, &mut out);
+    out
+}
+
+/// [`sample_indices`] writing into a caller-provided vector, reusing its
+/// allocation (the subsampling step of the zero-allocation audit path).
+/// Draws the same random stream, so results are bit-identical to
+/// [`sample_indices`].
+///
+/// # Panics
+///
+/// Panics if `k > n`; callers size their subsets from the same `n`.
+pub fn sample_indices_into(n: usize, k: usize, rng: &mut impl Rng, out: &mut Vec<usize>) {
     assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
-    let mut perm = permutation(n, rng);
-    perm.truncate(k);
-    perm
+    permutation_into(n, rng, out);
+    out.truncate(k);
 }
 
 #[cfg(test)]

@@ -23,10 +23,12 @@ fn main() -> Result<(), EvalError> {
     .with_sigma(1e-3)
     .with_seed(42);
 
-    let strip_cfg = profile.strip_config(1);
-    let nc_cfg = profile.neural_cleanse_config(1);
-    let beatrix_cfg = profile.beatrix_config();
-    let panel: [&dyn Defense; 3] = [&strip_cfg, &nc_cfg, &beatrix_cfg];
+    // Pooled auditors: both cells below audit through the same scratch
+    // pools, so only the first audit of each detector allocates.
+    let strip = profile.strip_auditor(1);
+    let nc = profile.neural_cleanse_auditor(1);
+    let beatrix = profile.beatrix_auditor();
+    let panel: [&dyn Defense; 3] = [&strip, &nc, &beatrix];
 
     for (label, cr) in [
         ("poisoned (no camouflage)", 0.0f32),
